@@ -1,0 +1,43 @@
+//! Criterion benches for the DSP substrate: the primitives on the
+//! pipeline's hot path (FFTs per OFDM frame, Goertzel per phase group,
+//! polynomial fits per calibration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wiforce_dsp::fft::{fft, goertzel};
+use wiforce_dsp::polyfit::Polynomial;
+use wiforce_dsp::Complex;
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n).map(|i| Complex::cis(i as f64 * 0.37) * 0.5).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [64usize, 256, 625, 1024] {
+        let x = signal(n);
+        g.bench_function(format!("fft_{n}"), |b| b.iter(|| fft(black_box(&x))));
+    }
+    g.finish();
+}
+
+fn bench_goertzel(c: &mut Criterion) {
+    let x = signal(625);
+    c.bench_function("goertzel_625", |b| {
+        b.iter(|| goertzel(black_box(&x), black_box(0.0576)))
+    });
+}
+
+fn bench_polyfit(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 0.1 + 0.3 * x - 0.01 * x * x).collect();
+    c.bench_function("cubic_fit_16pts", |b| {
+        b.iter(|| Polynomial::fit(black_box(&xs), black_box(&ys), 3).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fft, bench_goertzel, bench_polyfit
+}
+criterion_main!(benches);

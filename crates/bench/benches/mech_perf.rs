@@ -1,0 +1,33 @@
+//! Criterion benches for the mechanics substrate: the FD contact solve
+//! (calibration cost) vs the analytic model (Monte-Carlo cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wiforce_mech::contact::{ContactSolver, SensorMech};
+use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
+
+fn bench_fd_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contact_fd");
+    for nodes in [101usize, 201, 401] {
+        let solver =
+            ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), nodes);
+        g.bench_function(format!("solve_{nodes}_nodes"), |b| {
+            b.iter(|| solver.contact_patch(black_box(4.0), black_box(0.035)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let model =
+        AnalyticContactModel::new(SensorMech::wiforce_prototype(), Indenter::actuator_tip());
+    c.bench_function("contact_analytic", |b| {
+        b.iter(|| model.contact_patch(black_box(4.0), black_box(0.035)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fd_solver, bench_analytic
+}
+criterion_main!(benches);

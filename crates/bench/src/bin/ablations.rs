@@ -1,0 +1,8 @@
+//! Regenerates the paper's ablations experiment. Pass `--quick` for a fast
+//! smoke run with fewer trials.
+
+fn main() {
+    let quick = wiforce_bench::montecarlo::quick_mode();
+    let report = wiforce_bench::experiments::ablations::run(quick);
+    std::process::exit(if report.all_ok() { 0 } else { 1 });
+}

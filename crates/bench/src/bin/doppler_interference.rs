@@ -1,0 +1,8 @@
+//! Regenerates the §3.3 Doppler-separation experiment (moving clutter vs
+//! the tag's modulation lines). Pass `--quick` for fewer reads.
+
+fn main() {
+    let quick = wiforce_bench::montecarlo::quick_mode();
+    let report = wiforce_bench::experiments::doppler::run(quick);
+    std::process::exit(if report.all_ok() { 0 } else { 1 });
+}

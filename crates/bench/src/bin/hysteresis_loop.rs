@@ -1,0 +1,8 @@
+//! Regenerates the hysteresis-loop extension experiment. Pass `--quick`
+//! for fewer ramp steps.
+
+fn main() {
+    let quick = wiforce_bench::montecarlo::quick_mode();
+    let report = wiforce_bench::experiments::hysteresis::run(quick);
+    std::process::exit(if report.all_ok() { 0 } else { 1 });
+}

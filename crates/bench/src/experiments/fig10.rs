@@ -1,0 +1,69 @@
+//! Fig. 10 — sensor RF characterization: S11/S21 over 0–3 GHz.
+//!
+//! "Across the entire 3 GHz frequencies, S11 is below −10 dB, S12 is
+//! about 0 dB with linear phase" — the broadband claim. We sweep the
+//! prototype line on the simulated bench VNA.
+
+use crate::report::{ExperimentRecord, Report};
+use crate::table::{fmt, TextTable};
+use wiforce_dsp::polyfit::Polynomial;
+use wiforce_em::vna::{FrequencySweep, Vna};
+use wiforce_em::SensorLine;
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> Report {
+    println!("== Fig. 10: sensor S-parameters, 0.05–3 GHz (bench VNA) ==\n");
+    let line = SensorLine::wiforce_prototype();
+    let vna = Vna::bench();
+    let sweep = FrequencySweep { start_hz: 0.05e9, stop_hz: 3.0e9, points: 60 };
+    let result = vna.sweep(sweep, |f| line.rest_sparams(f));
+
+    let phases = result.s21_phase_unwrapped();
+    let mut table = TextTable::new(["f (GHz)", "S11 (dB)", "S21 (dB)", "∠S21 (°)"]);
+    for (i, &f) in result.freqs_hz.iter().enumerate().step_by(5) {
+        table.row([
+            fmt(f / 1e9, 2),
+            fmt(result.sparams[i].s11_db(), 1),
+            fmt(result.sparams[i].s21_db(), 2),
+            fmt(phases[i].to_degrees(), 1),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let worst_s11 = result.worst_s11_db();
+    let worst_s21 = result.s21_db().into_iter().fold(f64::INFINITY, f64::min);
+    let fit = Polynomial::fit(&result.freqs_hz, &phases, 1).expect("linear fit");
+    let rms_nonlin = fit.rms_residual(&result.freqs_hz, &phases).to_degrees();
+    println!(
+        "worst S11 {worst_s11:.1} dB, worst S21 {worst_s21:.2} dB, \
+         S21 phase nonlinearity {rms_nonlin:.2}° RMS\n"
+    );
+
+    let mut rep = Report::new();
+    rep.push(ExperimentRecord::new(
+        "Fig. 10",
+        "S11 across 0–3 GHz",
+        "below −10 dB",
+        format!("worst {worst_s11:.1} dB"),
+        worst_s11 < -10.0,
+        "worst S11 < −10 dB",
+    ));
+    rep.push(ExperimentRecord::new(
+        "Fig. 10",
+        "S21 (thru) across 0–3 GHz",
+        "≈ 0 dB",
+        format!("worst {worst_s21:.2} dB"),
+        worst_s21 > -1.0,
+        "worst S21 > −1 dB",
+    ));
+    rep.push(ExperimentRecord::new(
+        "Fig. 10",
+        "S21 phase linearity",
+        "linear phase",
+        format!("{rms_nonlin:.2}° RMS deviation from linear"),
+        rms_nonlin < 3.0,
+        "RMS nonlinearity < 3°",
+    ));
+    println!("{}", rep.to_console());
+    rep
+}

@@ -1,0 +1,62 @@
+//! Fig. 19 — trace-ratio optimization vs ground width (Appendix).
+//!
+//! The parametric study behind the sensor cross-section: the closed-form
+//! air microstrip wants width:height ≈ 5:1 for 50 Ω, but widening the
+//! ground trace for SMA soldering shifts the optimum to ≈ 4:1.
+
+use crate::report::{ExperimentRecord, Report};
+use crate::table::{fmt, TextTable};
+use wiforce_em::hfss::{optimal_ratio, ratio_sweep};
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> Report {
+    println!("== Fig. 19: optimal width:height ratio vs ground width ==\n");
+    let ratios: Vec<f64> = (20..=70).map(|k| k as f64 * 0.1).collect();
+    let band: Vec<f64> = (1..=30).map(|k| k as f64 * 0.1e9).collect();
+
+    let mut table = TextTable::new(["w/h ratio", "Z (narrow gnd) Ω", "S11 narrow (dB)", "Z (wide gnd) Ω", "S11 wide (dB)"]);
+    let narrow = ratio_sweep(1.0, &ratios, &band, 0.080);
+    let wide = ratio_sweep(2.4, &ratios, &band, 0.080);
+    for (n, w) in narrow.iter().zip(&wide).step_by(5) {
+        table.row([
+            fmt(n.width_height_ratio, 1),
+            fmt(n.impedance_ohm, 1),
+            fmt(n.worst_s11_db, 1),
+            fmt(w.impedance_ohm, 1),
+            fmt(w.worst_s11_db, 1),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let opt_narrow = optimal_ratio(&narrow);
+    let opt_wide = optimal_ratio(&wide);
+    println!("optimal ratio: narrow ground {opt_narrow:.1}:1, wide (2.4×) ground {opt_wide:.1}:1\n");
+
+    let mut rep = Report::new();
+    rep.push(ExperimentRecord::new(
+        "Fig. 19",
+        "optimal ratio, narrow ground",
+        "≈5:1 (closed form)",
+        format!("{opt_narrow:.1}:1"),
+        (4.5..=5.5).contains(&opt_narrow),
+        "within 4.5–5.5",
+    ));
+    rep.push(ExperimentRecord::new(
+        "Fig. 19",
+        "optimal ratio, widened ground",
+        "≈4:1",
+        format!("{opt_wide:.1}:1"),
+        (3.5..=4.5).contains(&opt_wide),
+        "within 3.5–4.5",
+    ));
+    rep.push(ExperimentRecord::new(
+        "Fig. 19",
+        "ground widening lowers the optimum",
+        "5:1 → 4:1",
+        format!("{opt_narrow:.1} → {opt_wide:.1}"),
+        opt_wide < opt_narrow - 0.5,
+        "wide-ground optimum at least 0.5 lower",
+    ));
+    println!("{}", rep.to_console());
+    rep
+}

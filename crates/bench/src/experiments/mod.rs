@@ -1,0 +1,28 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(quick: bool) -> Report`, printing its series to stdout and
+//! returning paper-vs-measured records; the `repro_all` binary collects
+//! every report into `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod doppler;
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig10;
+pub mod fig13_14;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod hysteresis;
+pub mod power;
+pub mod table1;
+
+/// Resolves the repository root (for writing EXPERIMENTS.md) from the
+/// bench crate's manifest directory.
+pub fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}

@@ -1,0 +1,71 @@
+//! §4.3 power budget — "< 1 µW in TSMC 65 nm" — and the §6 battery-free
+//! feasibility it enables.
+
+use crate::report::{ExperimentRecord, Report};
+use crate::table::{fmt, TextTable};
+use wiforce_sensor::harvest::{feasibility_radius_m, Rectifier};
+use wiforce_sensor::power::{estimate, CmosNode};
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> Report {
+    println!("== §4.3: tag power budget ==\n");
+    let mut table =
+        TextTable::new(["node", "fs (kHz)", "switch drive (nW)", "clock gen (nW)", "leakage (nW)", "total (µW)"]);
+    let mut total_65_at_1k = f64::NAN;
+    for node in [CmosNode::N180, CmosNode::TSMC65, CmosNode::N28] {
+        for fs in [1_000.0, 10_000.0, 50_000.0] {
+            let b = estimate(node, fs);
+            if node.name == "65nm" && fs == 1_000.0 {
+                total_65_at_1k = b.total_uw();
+            }
+            table.row([
+                node.name.to_string(),
+                fmt(fs / 1e3, 0),
+                fmt(b.switch_drive_w * 1e9, 2),
+                fmt(b.clock_gen_w * 1e9, 0),
+                fmt(b.leakage_w * 1e9, 0),
+                fmt(b.total_uw(), 3),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // §6: battery-free feasibility via RF harvesting
+    println!("battery-free feasibility (1 W EIRP-class reader, 900 MHz):\n");
+    let mut htable = TextTable::new(["rectifier", "feasibility radius (m)"]);
+    let budget = estimate(CmosNode::TSMC65, 1_000.0);
+    let mut radius_cmos = 0.0;
+    for (name, rect) in
+        [("CMOS rectenna (−20 dBm, 30 %)", Rectifier::cmos_rectenna()), ("Schottky (−15 dBm, 20 %)", Rectifier::schottky())]
+    {
+        let r = feasibility_radius_m(&budget, &rect, 1.0, 0.9e9, 4.0, 1.6);
+        if name.starts_with("CMOS") {
+            radius_cmos = r.unwrap_or(0.0);
+        }
+        htable.row([
+            name.to_string(),
+            r.map_or("infeasible".into(), |v| fmt(v, 2)),
+        ]);
+    }
+    println!("{}", htable.render());
+
+    let mut rep = Report::new();
+    rep.push(ExperimentRecord::new(
+        "§4.3",
+        "tag power in TSMC 65 nm at fs = 1 kHz",
+        "< 1 µW",
+        format!("{total_65_at_1k:.3} µW"),
+        total_65_at_1k < 1.0,
+        "total < 1 µW",
+    ));
+    rep.push(ExperimentRecord::new(
+        "§6",
+        "battery-free operation via RF harvesting",
+        "power frugal enough for energy harvesting",
+        format!("self-powered out to {radius_cmos:.1} m (CMOS rectenna)"),
+        radius_cmos > 1.0,
+        "feasibility radius > 1 m",
+    ));
+    println!("{}", rep.to_console());
+    rep
+}

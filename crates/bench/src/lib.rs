@@ -1,0 +1,17 @@
+//! # wiforce-bench
+//!
+//! Benchmark harness for the WiForce reproduction: one binary per table
+//! and figure of the paper's evaluation (see `src/bin/`), plus Criterion
+//! performance benches (`benches/`).
+//!
+//! Each figure binary regenerates the paper's rows/series as aligned text
+//! tables and records paper-vs-measured outcomes; `repro_all` runs
+//! everything and rewrites `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod montecarlo;
+pub mod report;
+pub mod table;
+
+pub use report::{ExperimentRecord, Report};
+pub use table::TextTable;

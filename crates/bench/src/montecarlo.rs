@@ -1,0 +1,179 @@
+//! Monte-Carlo press sweeps shared by the CDF experiments
+//! (Figs. 13/14/16/17).
+//!
+//! Runs many simulated presses against the calibrated model and collects
+//! force/location errors. Presses are independent, so the sweep fans out
+//! over `std::thread` with per-press deterministic seeds — rerunning any
+//! configuration reproduces identical numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce::calib::SensorModel;
+use wiforce::pipeline::Simulation;
+
+/// One press result.
+#[derive(Debug, Clone, Copy)]
+pub struct PressResult {
+    /// Ground-truth force, N.
+    pub true_force_n: f64,
+    /// Ground-truth location, m.
+    pub true_location_m: f64,
+    /// Estimated force, N (NaN if the press failed to read).
+    pub est_force_n: f64,
+    /// Estimated location, m (NaN if failed).
+    pub est_location_m: f64,
+    /// Whether the press produced a reading at all.
+    pub ok: bool,
+}
+
+impl PressResult {
+    /// Absolute force error, N.
+    pub fn force_error_n(&self) -> f64 {
+        (self.est_force_n - self.true_force_n).abs()
+    }
+
+    /// Absolute location error, m.
+    pub fn location_error_m(&self) -> f64 {
+        (self.est_location_m - self.true_location_m).abs()
+    }
+}
+
+/// A Monte-Carlo sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Press locations, m.
+    pub locations_m: Vec<f64>,
+    /// Press forces, N.
+    pub forces_n: Vec<f64>,
+    /// Independent trials per (force, location).
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Sweep {
+    /// The paper's §5.1 sweep: forces 0–8 N at 20/40/55/60 mm.
+    pub fn paper_eval(trials: usize) -> Self {
+        Sweep {
+            locations_m: vec![0.020, 0.040, 0.055, 0.060],
+            forces_n: (1..=16).map(|i| i as f64 * 0.5).collect(),
+            trials,
+            seed: 0x57EE9,
+        }
+    }
+
+    /// Total number of presses.
+    pub fn len(&self) -> usize {
+        self.locations_m.len() * self.forces_n.len() * self.trials
+    }
+
+    /// `true` if the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates `(force, location, seed)` tuples.
+    fn presses(&self) -> Vec<(f64, f64, u64)> {
+        let mut v = Vec::with_capacity(self.len());
+        let mut idx = 0u64;
+        for &loc in &self.locations_m {
+            for &f in &self.forces_n {
+                for _ in 0..self.trials {
+                    v.push((f, loc, self.seed.wrapping_add(idx.wrapping_mul(0x9E3779B9))));
+                    idx += 1;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Runs the sweep in parallel, returning one result per press.
+pub fn run_sweep(sim: &Simulation, model: &SensorModel, sweep: &Sweep) -> Vec<PressResult> {
+    let presses = sweep.presses();
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let chunk = presses.len().div_ceil(n_threads).max(1);
+
+    let mut results: Vec<Option<PressResult>> = vec![None; presses.len()];
+    std::thread::scope(|scope| {
+        for (slice, work) in results.chunks_mut(chunk).zip(presses.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, &(force, loc, seed)) in slice.iter_mut().zip(work) {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let r = sim.measure_press(model, force, loc, &mut rng);
+                    *slot = Some(match r {
+                        Ok(reading) => PressResult {
+                            true_force_n: force,
+                            true_location_m: loc,
+                            est_force_n: reading.force_n,
+                            est_location_m: reading.location_m,
+                            ok: true,
+                        },
+                        Err(_) => PressResult {
+                            true_force_n: force,
+                            true_location_m: loc,
+                            est_force_n: f64::NAN,
+                            est_location_m: f64::NAN,
+                            ok: false,
+                        },
+                    });
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all presses filled")).collect()
+}
+
+/// Force errors (N) of successful presses.
+pub fn force_errors(results: &[PressResult]) -> Vec<f64> {
+    results.iter().filter(|r| r.ok).map(PressResult::force_error_n).collect()
+}
+
+/// Location errors (mm) of successful presses.
+pub fn location_errors_mm(results: &[PressResult]) -> Vec<f64> {
+    results.iter().filter(|r| r.ok).map(|r| r.location_error_m() * 1e3).collect()
+}
+
+/// Returns `true` when `--quick` was passed (fig binaries use fewer
+/// trials for a fast smoke run).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_enumeration() {
+        let s = Sweep { locations_m: vec![0.02, 0.04], forces_n: vec![1.0, 2.0], trials: 3, seed: 1 };
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        let p = s.presses();
+        assert_eq!(p.len(), 12);
+        // seeds distinct
+        let mut seeds: Vec<u64> = p.iter().map(|x| x.2).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn run_small_sweep_deterministic() {
+        let mut sim = Simulation::paper_default(2.4e9);
+        sim.reference_groups = 1;
+        sim.measure_groups = 1;
+        let model = sim.vna_calibration().unwrap();
+        let sweep = Sweep { locations_m: vec![0.040], forces_n: vec![4.0], trials: 2, seed: 9 };
+        let a = run_sweep(&sim, &model, &sweep);
+        let b = run_sweep(&sim, &model, &sweep);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.ok && y.ok);
+            assert_eq!(x.est_force_n, y.est_force_n);
+        }
+        let errs = force_errors(&a);
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|&e| e < 1.5), "{errs:?}");
+    }
+}

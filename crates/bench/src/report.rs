@@ -1,0 +1,188 @@
+//! Paper-vs-measured experiment records and the EXPERIMENTS.md writer.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One reproduced quantity: what the paper reported vs what we measured.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. "Fig. 13 @ 900 MHz".
+    pub id: String,
+    /// The quantity, e.g. "median force error".
+    pub quantity: String,
+    /// The paper's value, human-readable.
+    pub paper: String,
+    /// Our measured value, human-readable.
+    pub measured: String,
+    /// Whether the reproduction criterion holds (shape/ordering, not
+    /// absolute equality).
+    pub ok: bool,
+    /// The criterion that was checked.
+    pub criterion: String,
+}
+
+impl ExperimentRecord {
+    /// Builds a record.
+    pub fn new(
+        id: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+        criterion: impl Into<String>,
+    ) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            quantity: quantity.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok,
+            criterion: criterion.into(),
+        }
+    }
+}
+
+/// A collection of records that can be rendered and merged into
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    records: Vec<ExperimentRecord>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a record.
+    pub fn push(&mut self, r: ExperimentRecord) {
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// `true` if every record's criterion held.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.ok)
+    }
+
+    /// Renders the records as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| Experiment | Quantity | Paper | Measured | Criterion | OK |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                r.id,
+                r.quantity,
+                r.paper,
+                r.measured,
+                r.criterion,
+                if r.ok { "✅" } else { "❌" }
+            );
+        }
+        out
+    }
+
+    /// Renders a console summary.
+    pub fn to_console(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "[{}] {} — {}: paper {}, measured {} ({})",
+                if r.ok { "ok" } else { "FAIL" },
+                r.id,
+                r.quantity,
+                r.paper,
+                r.measured,
+                r.criterion
+            );
+        }
+        out
+    }
+
+    /// Appends this report's markdown under a section header in the given
+    /// file (creating it if needed); replaces an existing section with the
+    /// same header.
+    pub fn write_section(&self, path: &Path, section: &str) -> std::io::Result<()> {
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let header = format!("## {section}");
+        let mut kept = String::new();
+        let mut skipping = false;
+        for line in existing.lines() {
+            if line.trim() == header {
+                skipping = true;
+                continue;
+            }
+            if skipping && line.starts_with("## ") {
+                skipping = false;
+            }
+            if !skipping {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+        let mut out = kept.trim_end().to_string();
+        if !out.is_empty() {
+            out.push_str("\n\n");
+        }
+        let _ = writeln!(out, "{header}\n");
+        out.push_str(&self.to_markdown());
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ok: bool) -> ExperimentRecord {
+        ExperimentRecord::new("Fig. X", "median", "1.0 N", "1.1 N", ok, "within 2×")
+    }
+
+    #[test]
+    fn markdown_contains_rows() {
+        let mut rep = Report::new();
+        rep.push(rec(true));
+        let md = rep.to_markdown();
+        assert!(md.contains("Fig. X"));
+        assert!(md.contains("✅"));
+        assert!(rep.all_ok());
+    }
+
+    #[test]
+    fn all_ok_reflects_failures() {
+        let mut rep = Report::new();
+        rep.push(rec(true));
+        rep.push(rec(false));
+        assert!(!rep.all_ok());
+        assert!(rep.to_console().contains("FAIL"));
+    }
+
+    #[test]
+    fn write_section_replaces() {
+        let dir = std::env::temp_dir().join("wiforce_report_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("EXPERIMENTS.md");
+        let _ = std::fs::remove_file(&path);
+
+        let mut rep1 = Report::new();
+        rep1.push(rec(true));
+        rep1.write_section(&path, "Fig. X").unwrap();
+        let mut rep2 = Report::new();
+        rep2.push(ExperimentRecord::new("Fig. X", "median", "1.0 N", "2.2 N", false, "c"));
+        rep2.write_section(&path, "Fig. X").unwrap();
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.matches("## Fig. X").count(), 1);
+        assert!(content.contains("2.2 N"));
+        assert!(!content.contains("1.1 N"), "old section should be replaced");
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault injection for robustness testing.
+//!
+//! In the spirit of smoltcp's `--drop-chance`/`--corrupt-chance` example
+//! options: the pipeline should keep working (or degrade gracefully and
+//! *detectably*) under real-world imperfections the paper glosses over —
+//! the tag's Arduino clock drifting relative to the reader ("the arduino
+//! clock is not synchronized with the other elements of the system",
+//! §4.4), dropped channel estimates, and interference bursts.
+
+use rand::Rng;
+use wiforce_dsp::rng::{complex_gaussian, uniform};
+use wiforce_dsp::Complex;
+
+/// Fault configuration applied at the channel-estimate stream level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Probability that a whole snapshot is lost (preamble miss).
+    pub snapshot_drop_prob: f64,
+    /// Tag clock frequency error, parts-per-million. The modulation lines
+    /// move off the nominal `fs`/`4fs` bins by `fs·ppm·1e-6`.
+    pub tag_clock_ppm: f64,
+    /// Probability that a snapshot is hit by an interference burst.
+    pub burst_prob: f64,
+    /// Burst amplitude relative to the direct path.
+    pub burst_rel_amp: f64,
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A harsh-but-survivable profile used by the robustness tests.
+    pub fn harsh() -> Self {
+        FaultConfig {
+            snapshot_drop_prob: 0.02,
+            tag_clock_ppm: 50.0,
+            burst_prob: 0.01,
+            burst_rel_amp: 0.1,
+        }
+    }
+
+    /// Effective tag base clock (Hz) after drift.
+    pub fn drifted_clock_hz(&self, nominal_hz: f64) -> f64 {
+        nominal_hz * (1.0 + self.tag_clock_ppm * 1e-6)
+    }
+}
+
+/// Stateful fault injector for one capture run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    dropped: usize,
+    bursts: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a capture run.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector { config, dropped: 0, bursts: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decides whether snapshot `_n` is dropped entirely.
+    pub fn drops_snapshot<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.config.snapshot_drop_prob > 0.0
+            && uniform(rng, 0.0, 1.0) < self.config.snapshot_drop_prob
+        {
+            self.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Possibly injects an interference burst into a snapshot's estimates.
+    pub fn maybe_burst<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        estimates: &mut [Complex],
+        direct_amp: f64,
+    ) {
+        if self.config.burst_prob > 0.0 && uniform(rng, 0.0, 1.0) < self.config.burst_prob {
+            self.bursts += 1;
+            let var = (self.config.burst_rel_amp * direct_amp).powi(2);
+            for h in estimates.iter_mut() {
+                *h += complex_gaussian(rng, var);
+            }
+        }
+    }
+
+    /// Snapshots dropped so far.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped
+    }
+
+    /// Bursts injected so far.
+    pub fn burst_count(&self) -> usize {
+        self.bursts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::none());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut est = vec![Complex::ONE; 4];
+        for _ in 0..1000 {
+            assert!(!inj.drops_snapshot(&mut rng));
+            inj.maybe_burst(&mut rng, &mut est, 1.0);
+        }
+        assert_eq!(inj.dropped_count(), 0);
+        assert_eq!(inj.burst_count(), 0);
+        assert_eq!(est, vec![Complex::ONE; 4]);
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            snapshot_drop_prob: 0.1,
+            ..FaultConfig::none()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let dropped = (0..n).filter(|_| inj.drops_snapshot(&mut rng)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "{rate}");
+        assert_eq!(inj.dropped_count(), dropped);
+    }
+
+    #[test]
+    fn bursts_add_energy() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            burst_prob: 1.0,
+            burst_rel_amp: 0.5,
+            ..FaultConfig::none()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut est = vec![Complex::ZERO; 1000];
+        inj.maybe_burst(&mut rng, &mut est, 1.0);
+        assert_eq!(inj.burst_count(), 1);
+        let p: f64 = est.iter().map(|z| z.norm_sqr()).sum::<f64>() / est.len() as f64;
+        assert!((p - 0.25).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn clock_drift_moves_lines() {
+        let cfg = FaultConfig { tag_clock_ppm: 100.0, ..FaultConfig::none() };
+        let f = cfg.drifted_clock_hz(1000.0);
+        assert!((f - 1000.1).abs() < 1e-9);
+        assert_eq!(FaultConfig::none().drifted_clock_hz(1000.0), 1000.0);
+    }
+}

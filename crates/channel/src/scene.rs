@@ -1,0 +1,255 @@
+//! Backscatter scene: geometry, clutter, tissue, and the composite channel.
+//!
+//! Implements the paper's channel equation (§3.3):
+//!
+//! ```text
+//! H[k,n] = Σᵢ αᵢ·e^{−j2πkF·dᵢ/c}  +  α_s·e^{−j2πkF·d_s/c} · Γ_tag(f_k, t_n)
+//! ```
+//!
+//! where the first term is the static environment (direct path + clutter)
+//! and the second is the two-way backscatter path modulated by the tag's
+//! time-varying reflection. Geometries mirror the paper's setups: Fig. 12
+//! (TX–RX 1 m apart, sensor 0.5 m from each), Fig. 15 (tissue phantom wall
+//! in the backscatter path, metal plate blocking the direct path), and
+//! Fig. 18 (sensor swept along a 4 m TX–RX line).
+
+use crate::movers::MovingScatterer;
+use crate::multipath::StaticMultipath;
+use crate::pathloss::{backscatter_amplitude, friis_amplitude};
+use wiforce_dsp::{Complex, C0, TAU};
+use wiforce_em::materials::{stack_transmission, TissueLayer};
+
+/// A point in 3-D space, metres.
+pub type Point = [f64; 3];
+
+/// Euclidean distance between two points.
+pub fn dist(a: Point, b: Point) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+/// A complete over-the-air measurement scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Carrier frequency, Hz.
+    pub carrier_hz: f64,
+    /// TX antenna position, m.
+    pub tx_pos_m: Point,
+    /// RX antenna position, m.
+    pub rx_pos_m: Point,
+    /// Tag antenna position, m.
+    pub tag_pos_m: Point,
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Per-antenna gain, dBi (applied to each traversal).
+    pub antenna_gain_dbi: f64,
+    /// Static clutter.
+    pub multipath: StaticMultipath,
+    /// Moving scatterers (dynamic clutter with real Doppler).
+    pub movers: Vec<MovingScatterer>,
+    /// Optional tissue wall between the tag and *both* reader antennas
+    /// (each backscatter leg traverses it once).
+    pub tissue: Option<Vec<TissueLayer>>,
+    /// Extra attenuation inserted on the direct TX→RX path, dB (the §5.2
+    /// metal plate; 0 over the air).
+    pub direct_blockage_db: f64,
+    /// Excess loss per tissue-stack traversal beyond normal-incidence
+    /// absorption, dB — the paper's "refraction and total internal
+    /// propagation effects, which exacerbate the losses" (§5.2).
+    pub tissue_excess_db_per_pass: f64,
+}
+
+impl Scene {
+    /// The paper's Fig. 12 geometry: TX and RX 1 m apart, sensor
+    /// equidistant at 0.5 m from each, 10 dBm TX, modest antenna gain,
+    /// no tissue, no blockage, clutter added by the caller.
+    pub fn fig12(carrier_hz: f64) -> Self {
+        Scene {
+            carrier_hz,
+            tx_pos_m: [0.0, 0.0, 0.0],
+            rx_pos_m: [1.0, 0.0, 0.0],
+            tag_pos_m: [0.5, 0.0, 0.0],
+            tx_power_dbm: 10.0,
+            antenna_gain_dbi: 3.0,
+            multipath: StaticMultipath::anechoic(),
+            movers: Vec::new(),
+            tissue: None,
+            direct_blockage_db: 0.0,
+            tissue_excess_db_per_pass: 15.0,
+        }
+    }
+
+    /// The paper's Fig. 18 distance sweep: TX and RX 4 m apart on a line,
+    /// tag placed `tag_from_tx_m` from the TX on the same line (offset a
+    /// few cm off-axis to avoid exact shadowing).
+    pub fn fig18(carrier_hz: f64, tag_from_tx_m: f64) -> Self {
+        Scene {
+            tx_pos_m: [0.0, 0.0, 0.0],
+            rx_pos_m: [4.0, 0.0, 0.0],
+            tag_pos_m: [tag_from_tx_m, 0.05, 0.0],
+            ..Self::fig12(carrier_hz)
+        }
+    }
+
+    /// The paper's Fig. 15 tissue-phantom setup: Fig. 12 geometry with the
+    /// three-layer phantom in the backscatter path and a metal plate
+    /// (`blockage_db`, paper: ≈45 dB) on the direct path.
+    pub fn tissue_phantom(carrier_hz: f64, blockage_db: f64) -> Self {
+        Scene {
+            tissue: Some(wiforce_em::materials::wiforce_phantom()),
+            direct_blockage_db: blockage_db,
+            ..Self::fig12(carrier_hz)
+        }
+    }
+
+    /// TX→RX distance, m.
+    pub fn direct_distance_m(&self) -> f64 {
+        dist(self.tx_pos_m, self.rx_pos_m)
+    }
+
+    /// Round-trip backscatter distance TX→tag→RX, m.
+    pub fn backscatter_distance_m(&self) -> f64 {
+        dist(self.tx_pos_m, self.tag_pos_m) + dist(self.tag_pos_m, self.rx_pos_m)
+    }
+
+    /// Linear amplitude factor from the antenna gains over `n_hops`
+    /// antenna traversals.
+    fn antenna_amp(&self, n_hops: u32) -> f64 {
+        10f64.powf(self.antenna_gain_dbi * n_hops as f64 / 20.0)
+    }
+
+    /// Direct-path complex gain at absolute frequency `f_hz` (TX and RX
+    /// antenna gains, free space, blockage).
+    pub fn direct_response(&self, f_hz: f64) -> Complex {
+        let d = self.direct_distance_m();
+        let amp = friis_amplitude(f_hz, d)
+            * self.antenna_amp(2)
+            * 10f64.powf(-self.direct_blockage_db / 20.0);
+        Complex::from_polar(amp, -TAU * f_hz * d / C0)
+    }
+
+    /// Backscatter-path complex gain at `f_hz`, *excluding* the tag's own
+    /// reflection coefficient: TX gain, both free-space legs, tag antenna
+    /// twice, optional tissue wall twice, RX gain.
+    pub fn backscatter_gain(&self, f_hz: f64) -> Complex {
+        let d1 = dist(self.tx_pos_m, self.tag_pos_m);
+        let d2 = dist(self.tag_pos_m, self.rx_pos_m);
+        let mut g = Complex::from_polar(
+            backscatter_amplitude(f_hz, d1, d2) * self.antenna_amp(4),
+            -TAU * f_hz * (d1 + d2) / C0,
+        );
+        if let Some(layers) = &self.tissue {
+            let t = stack_transmission(layers, f_hz)
+                * 10f64.powf(-self.tissue_excess_db_per_pass / 20.0);
+            g *= t * t; // traversed on the way in and out
+        }
+        g
+    }
+
+    /// Composite channel at `f_hz` given the tag's instantaneous
+    /// reflection `gamma_tag` — the paper's `H[k,n]` for one `(k, n)`.
+    pub fn channel(&self, f_hz: f64, gamma_tag: Complex) -> Complex {
+        self.direct_response(f_hz) + self.multipath.response(f_hz) + self.backscatter_gain(f_hz) * gamma_tag
+    }
+
+    /// Static part of the channel (everything except the tag term and any
+    /// moving scatterers).
+    pub fn static_response(&self, f_hz: f64) -> Complex {
+        self.direct_response(f_hz) + self.multipath.response(f_hz)
+    }
+
+    /// Time-varying clutter from moving scatterers at time `t_s`.
+    pub fn dynamic_response(&self, f_hz: f64, t_s: f64) -> Complex {
+        self.movers.iter().map(|m| m.response(f_hz, t_s)).sum()
+    }
+
+    /// Power ratio (dB) between the direct path and the backscatter path
+    /// for a tag reflection magnitude `gamma_mag` — the quantity the §5.2
+    /// dynamic-range argument is about.
+    pub fn direct_to_backscatter_db(&self, gamma_mag: f64) -> f64 {
+        let f = self.carrier_hz;
+        20.0 * (self.direct_response(f).abs() / (self.backscatter_gain(f).abs() * gamma_mag))
+            .log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_geometry() {
+        let s = Scene::fig12(0.9e9);
+        assert!((s.direct_distance_m() - 1.0).abs() < 1e-12);
+        // "equidistant at 50 cm away from either of them" with a 1 m
+        // TX–RX spacing puts the sensor on the line's midpoint
+        let d1 = dist(s.tx_pos_m, s.tag_pos_m);
+        let d2 = dist(s.tag_pos_m, s.rx_pos_m);
+        assert!((d1 - 0.5).abs() < 1e-9, "{d1}");
+        assert!((d2 - 0.5).abs() < 1e-9, "{d2}");
+    }
+
+    #[test]
+    fn backscatter_much_weaker_than_direct() {
+        let s = Scene::fig12(0.9e9);
+        let r = s.direct_to_backscatter_db(0.4);
+        assert!((15.0..50.0).contains(&r), "direct/backscatter {r} dB");
+    }
+
+    #[test]
+    fn channel_sums_terms() {
+        let s = Scene::fig12(0.9e9);
+        let g = Complex::from_polar(0.3, 1.0);
+        let h = s.channel(0.9e9, g);
+        let manual = s.direct_response(0.9e9) + s.backscatter_gain(0.9e9) * g;
+        assert!((h - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blockage_attenuates_direct_only() {
+        let mut s = Scene::fig12(0.9e9);
+        let d0 = s.direct_response(0.9e9).abs();
+        let b0 = s.backscatter_gain(0.9e9).abs();
+        s.direct_blockage_db = 45.0;
+        assert!((20.0 * (d0 / s.direct_response(0.9e9).abs()).log10() - 45.0).abs() < 1e-9);
+        assert_eq!(s.backscatter_gain(0.9e9).abs(), b0);
+    }
+
+    #[test]
+    fn tissue_phantom_hits_paper_budget() {
+        // paper §5.2: ≈110 dB two-way backscatter loss at 900 MHz through
+        // the phantom (vs ~45–55 dB over the air)
+        let ota = Scene::fig12(0.9e9);
+        let ph = Scene::tissue_phantom(0.9e9, 45.0);
+        let loss_ota = -20.0 * ota.backscatter_gain(0.9e9).abs().log10();
+        let loss_ph = -20.0 * ph.backscatter_gain(0.9e9).abs().log10();
+        assert!((35.0..65.0).contains(&loss_ota), "over-the-air {loss_ota} dB");
+        assert!((85.0..135.0).contains(&loss_ph), "phantom {loss_ph} dB");
+        assert!(loss_ph > loss_ota + 35.0);
+    }
+
+    #[test]
+    fn fig18_tag_sweep_changes_budget() {
+        let near_rx = Scene::fig18(0.9e9, 3.0); // 3 m from TX, 1 m from RX
+        let mid = Scene::fig18(0.9e9, 2.0);
+        let g_near = near_rx.backscatter_gain(0.9e9).abs();
+        let g_mid = mid.backscatter_gain(0.9e9).abs();
+        // 1m·3m product beats 2m·2m product
+        assert!(g_near > g_mid);
+    }
+
+    #[test]
+    fn phase_tracks_total_distance() {
+        let s = Scene::fig12(0.9e9);
+        let f = 0.9e9;
+        let expect = -TAU * f * s.backscatter_distance_m() / C0;
+        let got = s.backscatter_gain(f).arg();
+        let diff = (got - expect).rem_euclid(TAU);
+        assert!(diff < 1e-9 || (TAU - diff) < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn static_response_excludes_tag() {
+        let s = Scene::fig12(0.9e9);
+        assert_eq!(s.static_response(0.9e9), s.channel(0.9e9, Complex::ZERO));
+    }
+}

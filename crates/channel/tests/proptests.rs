@@ -1,0 +1,63 @@
+//! Property and statistical tests on the channel substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce_channel::pathloss::{backscatter_loss_db, friis_loss_db};
+use wiforce_channel::{Scene, StaticMultipath};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Friis loss is monotone in distance and frequency.
+    #[test]
+    fn friis_monotone(d in 0.2f64..20.0, dd in 0.1f64..10.0, f in 0.4e9f64..5.9e9) {
+        prop_assert!(friis_loss_db(f, d + dd) > friis_loss_db(f, d));
+        prop_assert!(friis_loss_db(f * 1.5, d) > friis_loss_db(f, d));
+    }
+
+    /// Two-way backscatter loss equals the sum of the two one-way legs.
+    #[test]
+    fn backscatter_is_sum_of_legs(d1 in 0.3f64..5.0, d2 in 0.3f64..5.0, f in 0.5e9f64..3.0e9) {
+        let total = backscatter_loss_db(f, d1, d2);
+        let sum = friis_loss_db(f, d1) + friis_loss_db(f, d2);
+        prop_assert!((total - sum).abs() < 1e-9);
+    }
+
+    /// The composite channel is linear in the tag reflection.
+    #[test]
+    fn channel_linear_in_gamma(re in -0.9f64..0.9, im in -0.9f64..0.9) {
+        use wiforce_dsp::Complex;
+        let s = Scene::fig12(0.9e9);
+        let g = Complex::new(re, im);
+        let h0 = s.channel(0.9e9, Complex::ZERO);
+        let h1 = s.channel(0.9e9, g);
+        let h2 = s.channel(0.9e9, g.scale(2.0));
+        // (h2 - h0) == 2·(h1 - h0)
+        let lin = (h2 - h0) - (h1 - h0).scale(2.0);
+        prop_assert!(lin.abs() < 1e-15);
+    }
+}
+
+#[test]
+fn dense_multipath_magnitude_is_rayleigh_like() {
+    // with many independent paths the summed clutter amplitude approaches
+    // a Rayleigh distribution: mean/rms = sqrt(pi/4) ≈ 0.886
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ratios = Vec::new();
+    let mags: Vec<f64> = (0..4000)
+        .map(|_| {
+            let m = StaticMultipath::random_indoor(&mut rng, 24, 1.0, 30.0, 0.1);
+            m.response(0.9e9).abs()
+        })
+        .collect();
+    let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+    let rms = (mags.iter().map(|m| m * m).sum::<f64>() / mags.len() as f64).sqrt();
+    ratios.push(mean / rms);
+    let expected = (std::f64::consts::PI / 4.0).sqrt();
+    assert!(
+        (mean / rms - expected).abs() < 0.03,
+        "mean/rms {} vs Rayleigh {expected}",
+        mean / rms
+    );
+}

@@ -1,0 +1,282 @@
+//! Gesture recognition on top of the force/location stream.
+//!
+//! The paper motivates WiForce with richer-than-binary touch interfaces
+//! (§1: force-controlled earbuds/smartwatches; §8: RFID touch systems
+//! limited to "simple gestures/sliding movements" — WiForce adds the force
+//! dimension). This module turns the estimator's reading stream into
+//! discrete UI events: taps, holds with force levels, and swipes along the
+//! sensor's continuum.
+
+use crate::estimator::ForceReading;
+
+/// A recognized gesture event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gesture {
+    /// A short press-and-release.
+    Tap {
+        /// Press location, m.
+        location_m: f64,
+        /// Peak force during the tap, N.
+        peak_force_n: f64,
+    },
+    /// A sustained press; emitted once when the hold is established, with
+    /// the quantized force level (1-based).
+    Hold {
+        /// Press location, m.
+        location_m: f64,
+        /// Quantized force level, 1..=n_levels.
+        level: u8,
+        /// Mean force during the settling window, N.
+        force_n: f64,
+    },
+    /// The finger slid along the sensor while touching.
+    Swipe {
+        /// Starting location, m.
+        from_m: f64,
+        /// Ending location, m.
+        to_m: f64,
+    },
+}
+
+/// Configuration for the gesture recognizer.
+#[derive(Debug, Clone, Copy)]
+pub struct GestureConfig {
+    /// Readings per second (one per phase group; paper default ≈27.8 Hz).
+    pub readings_per_s: f64,
+    /// A touch shorter than this is a tap, s.
+    pub tap_max_s: f64,
+    /// A touch at steady force longer than this is a hold, s.
+    pub hold_min_s: f64,
+    /// Location travel that distinguishes a swipe from a stationary touch, m.
+    pub swipe_min_travel_m: f64,
+    /// Force quantization step for hold levels, N.
+    pub level_step_n: f64,
+    /// Number of hold levels.
+    pub n_levels: u8,
+}
+
+impl GestureConfig {
+    /// Defaults matched to the paper's pipeline cadence (36 ms groups).
+    pub fn wiforce() -> Self {
+        GestureConfig {
+            readings_per_s: 1.0 / 0.036,
+            tap_max_s: 0.3,
+            hold_min_s: 0.5,
+            swipe_min_travel_m: 8e-3,
+            level_step_n: 1.5,
+            n_levels: 5,
+        }
+    }
+}
+
+/// State machine turning readings into gestures.
+#[derive(Debug, Clone)]
+pub struct GestureRecognizer {
+    cfg: GestureConfig,
+    touch: Option<TouchTrack>,
+}
+
+#[derive(Debug, Clone)]
+struct TouchTrack {
+    readings: Vec<(f64, f64)>, // (location, force)
+    hold_emitted: bool,
+}
+
+impl GestureRecognizer {
+    /// Creates a recognizer.
+    pub fn new(cfg: GestureConfig) -> Self {
+        GestureRecognizer { cfg, touch: None }
+    }
+
+    /// Consumes one reading; returns at most one gesture event.
+    pub fn push(&mut self, reading: &ForceReading) -> Option<Gesture> {
+        if reading.touched {
+            let track = self.touch.get_or_insert(TouchTrack {
+                readings: Vec::new(),
+                hold_emitted: false,
+            });
+            track.readings.push((reading.location_m, reading.force_n));
+            // hold detection fires while still touching
+            let held_s = track.readings.len() as f64 / self.cfg.readings_per_s;
+            if !track.hold_emitted && held_s >= self.cfg.hold_min_s {
+                let travel = travel_m(&track.readings);
+                if travel < self.cfg.swipe_min_travel_m {
+                    track.hold_emitted = true;
+                    let force = mean_force(&track.readings);
+                    let level = ((force / self.cfg.level_step_n).ceil() as u8)
+                        .clamp(1, self.cfg.n_levels);
+                    return Some(Gesture::Hold {
+                        location_m: mean_location(&track.readings),
+                        level,
+                        force_n: force,
+                    });
+                }
+            }
+            None
+        } else {
+            let track = self.touch.take()?;
+            if track.readings.is_empty() {
+                return None;
+            }
+            let duration_s = track.readings.len() as f64 / self.cfg.readings_per_s;
+            let travel = travel_m(&track.readings);
+            if travel >= self.cfg.swipe_min_travel_m {
+                return Some(Gesture::Swipe {
+                    from_m: track.readings.first().expect("nonempty").0,
+                    to_m: track.readings.last().expect("nonempty").0,
+                });
+            }
+            if duration_s <= self.cfg.tap_max_s && !track.hold_emitted {
+                let peak = track
+                    .readings
+                    .iter()
+                    .map(|&(_, f)| f)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                return Some(Gesture::Tap {
+                    location_m: mean_location(&track.readings),
+                    peak_force_n: peak,
+                });
+            }
+            None
+        }
+    }
+}
+
+fn mean_location(readings: &[(f64, f64)]) -> f64 {
+    readings.iter().map(|&(l, _)| l).sum::<f64>() / readings.len() as f64
+}
+
+fn mean_force(readings: &[(f64, f64)]) -> f64 {
+    readings.iter().map(|&(_, f)| f).sum::<f64>() / readings.len() as f64
+}
+
+fn travel_m(readings: &[(f64, f64)]) -> f64 {
+    match (readings.first(), readings.last()) {
+        (Some(&(a, _)), Some(&(b, _))) => (b - a).abs(),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(touched: bool, loc: f64, force: f64) -> ForceReading {
+        ForceReading {
+            force_n: force,
+            location_m: loc,
+            dphi1_rad: 0.0,
+            dphi2_rad: 0.0,
+            residual_rad: 0.0,
+            touched,
+        }
+    }
+
+    fn cfg() -> GestureConfig {
+        GestureConfig::wiforce()
+    }
+
+    #[test]
+    fn tap_detected() {
+        let mut g = GestureRecognizer::new(cfg());
+        // 4 readings ≈ 0.14 s touch, then release
+        for _ in 0..4 {
+            assert_eq!(g.push(&reading(true, 0.040, 2.0)), None);
+        }
+        let ev = g.push(&reading(false, f64::NAN, 0.0)).expect("tap");
+        match ev {
+            Gesture::Tap { location_m, peak_force_n } => {
+                assert!((location_m - 0.040).abs() < 1e-9);
+                assert!((peak_force_n - 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected tap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hold_fires_with_level_while_touching() {
+        let mut g = GestureRecognizer::new(cfg());
+        let mut hold = None;
+        for _ in 0..20 {
+            if let Some(ev) = g.push(&reading(true, 0.060, 4.4)) {
+                hold = Some(ev);
+                break;
+            }
+        }
+        match hold.expect("hold should fire") {
+            Gesture::Hold { location_m, level, force_n } => {
+                assert!((location_m - 0.060).abs() < 1e-9);
+                assert_eq!(level, 3); // ceil(4.4 / 1.5) = 3
+                assert!((force_n - 4.4).abs() < 1e-9);
+            }
+            other => panic!("expected hold, got {other:?}"),
+        }
+        // release after a hold produces nothing more
+        assert_eq!(g.push(&reading(false, f64::NAN, 0.0)), None);
+    }
+
+    #[test]
+    fn swipe_detected_on_release() {
+        let mut g = GestureRecognizer::new(cfg());
+        for i in 0..8 {
+            let loc = 0.020 + i as f64 * 0.005;
+            assert_eq!(g.push(&reading(true, loc, 3.0)), None);
+        }
+        let ev = g.push(&reading(false, f64::NAN, 0.0)).expect("swipe");
+        match ev {
+            Gesture::Swipe { from_m, to_m } => {
+                assert!((from_m - 0.020).abs() < 1e-9);
+                assert!((to_m - 0.055).abs() < 1e-9);
+                assert!(to_m > from_m, "rightward swipe");
+            }
+            other => panic!("expected swipe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leftward_swipe_preserves_direction() {
+        let mut g = GestureRecognizer::new(cfg());
+        for i in 0..8 {
+            let loc = 0.060 - i as f64 * 0.004;
+            let _ = g.push(&reading(true, loc, 3.0));
+        }
+        match g.push(&reading(false, f64::NAN, 0.0)).expect("swipe") {
+            Gesture::Swipe { from_m, to_m } => assert!(to_m < from_m),
+            other => panic!("expected swipe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_stationary_touch_is_neither() {
+        // longer than a tap, shorter than a hold, no travel
+        let mut g = GestureRecognizer::new(cfg());
+        for _ in 0..10 {
+            assert_eq!(g.push(&reading(true, 0.040, 2.0)), None);
+        }
+        assert_eq!(g.push(&reading(false, f64::NAN, 0.0)), None);
+    }
+
+    #[test]
+    fn untouched_stream_is_silent() {
+        let mut g = GestureRecognizer::new(cfg());
+        for _ in 0..50 {
+            assert_eq!(g.push(&reading(false, f64::NAN, 0.0)), None);
+        }
+    }
+
+    #[test]
+    fn hold_levels_clamp() {
+        let mut g = GestureRecognizer::new(cfg());
+        let mut hold = None;
+        for _ in 0..20 {
+            if let Some(ev) = g.push(&reading(true, 0.040, 50.0)) {
+                hold = Some(ev);
+                break;
+            }
+        }
+        match hold.expect("hold") {
+            Gesture::Hold { level, .. } => assert_eq!(level, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+}

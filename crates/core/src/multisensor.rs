@@ -1,0 +1,164 @@
+//! 2-D continuum sensing with multiple tags (paper §7).
+//!
+//! Several WiForce strips laid side by side, each toggling at its own
+//! clock frequency, land in separate Doppler bins and are read
+//! independently; a press between strips splits its force across the
+//! neighbours, and the force-weighted lateral centroid recovers the
+//! second coordinate. This module runs the per-strip estimation and the
+//! lateral interpolation on top of the single-sensor pipeline.
+
+use crate::calib::SensorModel;
+use crate::pipeline::Simulation;
+use crate::WiForceError;
+use rand::Rng;
+use wiforce_sensor::multi::TagArray;
+
+/// A 2-D press estimate from a strip array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Press2D {
+    /// Along-strip coordinate, m.
+    pub x_m: f64,
+    /// Across-strip coordinate, m.
+    pub y_m: f64,
+    /// Total force, N.
+    pub force_n: f64,
+}
+
+/// A 2-D sensing surface: one simulation per strip (sharing scene and
+/// reader) plus the strip geometry.
+pub struct ContinuumSurface {
+    sims: Vec<Simulation>,
+    array: TagArray,
+    model: SensorModel,
+}
+
+impl ContinuumSurface {
+    /// Builds a surface of `n_strips` prototype tags at `pitch_m` spacing,
+    /// calibrating one shared sensor model (strips are identical).
+    pub fn new(carrier_hz: f64, n_strips: usize, pitch_m: f64) -> Result<Self, WiForceError> {
+        let array = TagArray::new_strip(n_strips, pitch_m, 800.0, 2200.0)
+            .map_err(|e| WiForceError::Config(e.to_string()))?;
+        let base = Simulation::paper_default(carrier_hz);
+        let model = base.vna_calibration()?;
+        let sims = array
+            .tags()
+            .iter()
+            .map(|tag| {
+                let fs = tag.clocks.base_freq_hz();
+                let mut sim = base.clone();
+                sim.tag = *tag;
+                sim.group.line1_hz = fs;
+                sim.group.line2_hz = 4.0 * fs;
+                sim
+            })
+            .collect();
+        Ok(ContinuumSurface { sims, array, model })
+    }
+
+    /// Number of strips.
+    pub fn n_strips(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// The shared single-strip sensor model.
+    pub fn model(&self) -> &SensorModel {
+        &self.model
+    }
+
+    /// Splits a press at lateral coordinate `y` into per-strip forces:
+    /// linear sharing between the two nearest strips (a press directly on
+    /// a strip loads only that strip).
+    pub fn split_force(&self, force_n: f64, y_m: f64) -> Vec<f64> {
+        let pitch = self.array.pitch_m();
+        let n = self.n_strips();
+        let mut shares = vec![0.0; n];
+        let pos = (y_m / pitch).clamp(0.0, (n - 1) as f64);
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        shares[i] += force_n * (1.0 - frac);
+        if i + 1 < n {
+            shares[i + 1] += force_n * frac;
+        }
+        shares
+    }
+
+    /// Measures a 2-D press: runs each strip's pipeline on its share of
+    /// the force, then combines.
+    pub fn measure_press<R: Rng>(
+        &self,
+        force_n: f64,
+        x_m: f64,
+        y_m: f64,
+        rng: &mut R,
+    ) -> Result<Press2D, WiForceError> {
+        let shares = self.split_force(force_n, y_m);
+        let mut strip_forces = vec![0.0; self.n_strips()];
+        let mut x_weighted = 0.0;
+        let mut x_weight = 0.0;
+        for (i, (sim, &share)) in self.sims.iter().zip(&shares).enumerate() {
+            if share <= 0.0 {
+                continue;
+            }
+            match sim.measure_press(&self.model, share, x_m, rng) {
+                Ok(r) if r.touched => {
+                    strip_forces[i] = r.force_n;
+                    x_weighted += r.location_m * r.force_n;
+                    x_weight += r.force_n;
+                }
+                Ok(_) => {}
+                Err(WiForceError::OutOfModelRange { .. }) => {
+                    // too light a share on this strip — treat as untouched
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let total: f64 = strip_forces.iter().sum();
+        if total <= 0.0 || x_weight <= 0.0 {
+            return Err(WiForceError::TagNotDetected { line_to_floor_db: 0.0 });
+        }
+        let y = self
+            .array
+            .lateral_estimate_m(&strip_forces)
+            .expect("length matches and total > 0");
+        Ok(Press2D { x_m: x_weighted / x_weight, y_m: y, force_n: total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_on_strip_loads_single_strip() {
+        let s = ContinuumSurface::new(2.4e9, 3, 0.012).unwrap();
+        let shares = s.split_force(4.0, 0.012);
+        assert!((shares[1] - 4.0).abs() < 1e-9, "{shares:?}");
+        assert_eq!(shares[0], 0.0);
+        assert_eq!(shares[2], 0.0);
+    }
+
+    #[test]
+    fn split_between_strips_shares_linearly() {
+        let s = ContinuumSurface::new(2.4e9, 3, 0.012).unwrap();
+        let shares = s.split_force(4.0, 0.009);
+        assert!((shares[0] - 1.0).abs() < 1e-9, "{shares:?}");
+        assert!((shares[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_clamps_outside() {
+        let s = ContinuumSurface::new(2.4e9, 2, 0.012).unwrap();
+        let shares = s.split_force(2.0, -0.05);
+        assert!((shares[0] - 2.0).abs() < 1e-9);
+        let shares_hi = s.split_force(2.0, 0.5);
+        assert!((shares_hi[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strips_have_distinct_lines() {
+        let s = ContinuumSurface::new(2.4e9, 3, 0.012).unwrap();
+        let f0 = s.sims[0].group.line1_hz;
+        let f1 = s.sims[1].group.line1_hz;
+        assert!((f0 - f1).abs() > 10.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Doppler-domain spectrum analysis and tag discovery.
+//!
+//! The harmonic transform of [`crate::harmonics`] reads *known* modulation
+//! lines. Before that can happen, a reader facing an unknown environment
+//! must answer: *which tags are out there, and at what clock frequencies?*
+//! (Paper §1: each sensor end carries "a small identification unit"; §7:
+//! multiple sensors "will show up in separate doppler bins".) This module
+//! computes the full Doppler spectrum of a channel-estimate stream and
+//! discovers WiForce tags by their signature — a pair of lines at `f` and
+//! `4f` with (near-)common support across subcarriers.
+
+use wiforce_dsp::fft::{fft, next_pow2};
+use wiforce_dsp::window::{window, WindowKind};
+use wiforce_dsp::Complex;
+
+/// Doppler spectrum of a channel-estimate stream (power per bin, combined
+/// across subcarriers).
+#[derive(Debug, Clone)]
+pub struct DopplerSpectrum {
+    /// Bin frequencies, Hz (non-negative half only), ascending.
+    pub freqs_hz: Vec<f64>,
+    /// Total power per bin, summed over subcarriers.
+    pub power: Vec<f64>,
+}
+
+impl DopplerSpectrum {
+    /// Computes the spectrum of `snapshots[n][k]` taken every
+    /// `snapshot_period_s`. The per-subcarrier mean (static clutter) is
+    /// removed, a Hann window applied (the strong tag lines would
+    /// otherwise bury weaker ones under rectangular-window sidelobes),
+    /// the snapshot axis zero-padded to a power of two, and
+    /// per-subcarrier power spectra summed.
+    pub fn compute(snapshots: &[Vec<Complex>], snapshot_period_s: f64) -> Self {
+        let n = snapshots.len();
+        assert!(n >= 2, "need at least two snapshots");
+        let k_sub = snapshots[0].len();
+        assert!(snapshots.iter().all(|s| s.len() == k_sub), "ragged snapshots");
+
+        let n_fft = next_pow2(n);
+        let w = window(WindowKind::Hann, n);
+        let mut power = vec![0.0; n_fft / 2];
+        let mut col = vec![Complex::ZERO; n_fft];
+        for k in 0..k_sub {
+            let mut mean = Complex::ZERO;
+            for snap in snapshots {
+                mean += snap[k];
+            }
+            mean = mean.scale(1.0 / n as f64);
+            for (i, snap) in snapshots.iter().enumerate() {
+                col[i] = (snap[k] - mean) * w[i];
+            }
+            col[n..].iter_mut().for_each(|z| *z = Complex::ZERO);
+            let spec = fft(&col);
+            for (b, p) in power.iter_mut().enumerate() {
+                *p += spec[b].norm_sqr();
+            }
+        }
+        let df = 1.0 / (n_fft as f64 * snapshot_period_s);
+        let freqs_hz = (0..n_fft / 2).map(|b| b as f64 * df).collect();
+        DopplerSpectrum { freqs_hz, power }
+    }
+
+    /// Frequency resolution, Hz.
+    pub fn resolution_hz(&self) -> f64 {
+        if self.freqs_hz.len() < 2 {
+            return 0.0;
+        }
+        self.freqs_hz[1] - self.freqs_hz[0]
+    }
+
+    /// Median bin power — a robust noise-floor estimate.
+    pub fn floor(&self) -> f64 {
+        wiforce_dsp::stats::median(&self.power)
+    }
+
+    /// Interpolated power at an arbitrary frequency (nearest bin).
+    pub fn power_at(&self, f_hz: f64) -> f64 {
+        if self.freqs_hz.is_empty() {
+            return 0.0;
+        }
+        let df = self.resolution_hz().max(1e-12);
+        let idx = ((f_hz / df).round() as usize).min(self.power.len() - 1);
+        self.power[idx]
+    }
+
+    /// Local peaks at least `min_snr_db` above the floor, as
+    /// `(frequency_hz, power)` sorted by descending power.
+    pub fn peaks(&self, min_snr_db: f64) -> Vec<(f64, f64)> {
+        let floor = self.floor().max(1e-300);
+        let thresh = floor * 10f64.powf(min_snr_db / 10.0);
+        let mut out = Vec::new();
+        for i in 1..self.power.len().saturating_sub(1) {
+            let p = self.power[i];
+            if p >= thresh && p > self.power[i - 1] && p >= self.power[i + 1] {
+                out.push((self.freqs_hz[i], p));
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN power"));
+        out
+    }
+}
+
+/// A discovered WiForce tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveredTag {
+    /// Estimated base clock frequency `fs`, Hz.
+    pub fs_hz: f64,
+    /// Line power at `fs`.
+    pub p1_power: f64,
+    /// Line power at `4fs`.
+    pub p2_power: f64,
+}
+
+/// Tag-discovery thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryConfig {
+    /// Minimum peak SNR over the spectrum floor, dB.
+    pub min_snr_db: f64,
+    /// Smallest plausible tag clock, Hz.
+    pub fs_min_hz: f64,
+    /// Largest plausible tag clock, Hz.
+    pub fs_max_hz: f64,
+    /// Reject candidates more than this many dB below the strongest
+    /// detected peak — co-deployed tags share a link budget within tens of
+    /// dB, while jitter spurs and sidelobes sit far below the real lines.
+    pub max_below_strongest_db: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_snr_db: 10.0,
+            fs_min_hz: 250.0,
+            fs_max_hz: 5000.0,
+            max_below_strongest_db: 20.0,
+        }
+    }
+}
+
+/// Discovers WiForce tags in a spectrum with default thresholds except the
+/// given SNR gate.
+pub fn discover_tags(spectrum: &DopplerSpectrum, min_snr_db: f64) -> Vec<DiscoveredTag> {
+    discover_tags_with(spectrum, &DiscoveryConfig { min_snr_db, ..DiscoveryConfig::default() })
+}
+
+/// Discovers WiForce tags in a spectrum: candidate peaks at `f ∈ [fs_min,
+/// fs_max]` whose `4f` partner is *itself a detected peak* (shoulders of
+/// unrelated lines don't count) with comparable power. The partner's
+/// frequency refines the `fs` estimate (4× the precision). Harmonically
+/// related duplicates (a tag's own `2f`/`3f` lines) are suppressed.
+pub fn discover_tags_with(
+    spectrum: &DopplerSpectrum,
+    cfg: &DiscoveryConfig,
+) -> Vec<DiscoveredTag> {
+    let (min_snr_db, fs_min_hz, fs_max_hz) = (cfg.min_snr_db, cfg.fs_min_hz, cfg.fs_max_hz);
+    let peaks = spectrum.peaks(min_snr_db);
+    let strongest = peaks.first().map_or(0.0, |&(_, p)| p);
+    let power_gate = strongest * 10f64.powf(-cfg.max_below_strongest_db / 10.0);
+    // partner-matching tolerance: a few bins plus a relative term for
+    // interpolation error on the fs peak itself
+    let match_tol = |f: f64| 4.0 * spectrum.resolution_hz() + 0.01 * f;
+    let mut tags: Vec<DiscoveredTag> = Vec::new();
+    for &(f, p) in &peaks {
+        if f < fs_min_hz
+            || f > fs_max_hz
+            || p < power_gate
+            || 4.0 * f > *spectrum.freqs_hz.last().unwrap_or(&0.0)
+        {
+            continue;
+        }
+        // the 4f partner must be a detected peak near 4f
+        let Some(&(f2, p2)) = peaks
+            .iter()
+            .filter(|(pf, _)| (pf - 4.0 * f).abs() < match_tol(4.0 * f))
+            .min_by(|a, b| {
+                (a.0 - 4.0 * f).abs().partial_cmp(&(b.0 - 4.0 * f).abs()).expect("NaN")
+            })
+        else {
+            continue;
+        };
+        // a real tag's two lines carry comparable power (the clock Fourier
+        // coefficients differ by only a few dB); wildly unbalanced pairs
+        // are sidelobe/noise coincidences
+        if p2 > 20.0 * p || p > 20.0 * p2 {
+            continue;
+        }
+        // the 4f line measures the clock with 4× the frequency precision
+        let fs = f2 / 4.0;
+        // suppress duplicates and near-sidelobes: fs within ~1 % (or a few
+        // bins) of a small-integer multiple/submultiple of a claimed tag
+        let tol = match_tol(fs);
+        let dup = tags.iter().any(|t| {
+            [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+                .iter()
+                .any(|&m| (fs - m * t.fs_hz).abs() < tol)
+        });
+        if dup {
+            continue;
+        }
+        tags.push(DiscoveredTag { fs_hz: fs, p1_power: p, p2_power: p2 });
+    }
+    tags.sort_by(|a, b| a.fs_hz.partial_cmp(&b.fs_hz).expect("NaN fs"));
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiforce_dsp::TAU;
+
+    const T: f64 = 57.6e-6;
+
+    /// Synthesizes snapshots with static clutter + tag tone pairs.
+    fn synth(n: usize, tags: &[(f64, f64)]) -> Vec<Vec<Complex>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * T;
+                let mut v = Complex::from_polar(0.5, 0.3);
+                for &(fs, amp) in tags {
+                    v += Complex::cis(TAU * fs * t) * amp;
+                    v += Complex::cis(TAU * 4.0 * fs * t) * (amp * 0.7);
+                }
+                vec![v, v * Complex::cis(0.4)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spectrum_finds_tone() {
+        let snaps = synth(1024, &[(1000.0, 1e-2)]);
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        let peaks = spec.peaks(10.0);
+        assert!(!peaks.is_empty());
+        let (f, _) = peaks[0];
+        assert!((f - 1000.0).abs() < 2.0 * spec.resolution_hz(), "{f}");
+    }
+
+    #[test]
+    fn static_clutter_rejected() {
+        // clutter alone: no peaks
+        let snaps = synth(1024, &[]);
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        assert!(spec.peaks(10.0).is_empty(), "{:?}", spec.peaks(10.0));
+    }
+
+    #[test]
+    fn discovers_single_tag() {
+        let snaps = synth(2048, &[(1000.0, 1e-2)]);
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        let tags = discover_tags(&spec, 10.0);
+        assert_eq!(tags.len(), 1, "{tags:?}");
+        assert!((tags[0].fs_hz - 1000.0).abs() < 2.0 * spec.resolution_hz());
+        assert!(tags[0].p2_power > 0.0);
+    }
+
+    #[test]
+    fn discovers_multiple_tags() {
+        let snaps = synth(4096, &[(800.0, 1e-2), (1300.0, 8e-3)]);
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        let tags = discover_tags(&spec, 10.0);
+        assert_eq!(tags.len(), 2, "{tags:?}");
+        assert!((tags[0].fs_hz - 800.0).abs() < 3.0 * spec.resolution_hz());
+        assert!((tags[1].fs_hz - 1300.0).abs() < 3.0 * spec.resolution_hz());
+    }
+
+    #[test]
+    fn lone_tone_without_partner_is_not_a_tag() {
+        // a tone at 1 kHz with no 4 kHz partner (e.g. a real mover)
+        let snaps: Vec<Vec<Complex>> = (0..2048)
+            .map(|i| {
+                let t = i as f64 * T;
+                vec![Complex::from_polar(0.5, 0.3) + Complex::cis(TAU * 1000.0 * t) * 1e-2]
+            })
+            .collect();
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        assert!(discover_tags(&spec, 10.0).is_empty());
+    }
+
+    #[test]
+    fn resolution_and_floor() {
+        let snaps = synth(1024, &[(1000.0, 1e-2)]);
+        let spec = DopplerSpectrum::compute(&snaps, T);
+        assert!((spec.resolution_hz() - 1.0 / (1024.0 * T)).abs() < 1e-9);
+        assert!(spec.floor() < spec.power_at(1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two snapshots")]
+    fn rejects_tiny_input() {
+        let _ = DopplerSpectrum::compute(&[vec![Complex::ZERO]], T);
+    }
+}

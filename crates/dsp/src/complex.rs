@@ -1,0 +1,357 @@
+//! A minimal complex-number type for `f64` baseband arithmetic.
+//!
+//! The approved dependency set for this reproduction does not include `num`,
+//! so we carry our own `Complex`. It is deliberately small: exactly the
+//! operations the WiForce pipeline needs (polar construction, conjugation,
+//! magnitude/phase, exponentials, the arithmetic operator set) with semantics
+//! matching `num_complex::Complex64` where they overlap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + j·im` with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Unit phasor `e^{jθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`abs`](Self::abs)).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Polar decomposition `(r, θ)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components if `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = self.to_polar();
+        Complex::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}j", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, k: f64) -> Complex {
+        self.scale(k)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, z: Complex) -> Complex {
+        z.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, k: f64) -> Complex {
+        Complex::new(self.re / k, self.im / k)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        let (r, th) = z.to_polar();
+        assert!((r - 2.0).abs() < EPS);
+        assert!((th - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let th = k as f64 * 0.41;
+            assert!((Complex::cis(th).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.25);
+        let b = Complex::new(-0.5, 3.0);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * a.inv(), Complex::ONE));
+        assert!(close(-(-a), a));
+        assert!(close(a * Complex::ONE, a));
+        assert!(close(a + Complex::ZERO, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn conj_properties() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close((a * b).conj(), a.conj() * b.conj()));
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < EPS);
+        assert!((a * a.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_multiplication_extracts_phase_difference() {
+        // The core trick of WiForce's Eq. (4): conj-multiplying two phasors
+        // with the same magnitude and a common phase factor leaves only the
+        // phase difference.
+        let common = Complex::from_polar(0.8, 1.234); // air propagation etc.
+        let p1 = common * Complex::cis(0.25);
+        let p2 = common * Complex::cis(0.75);
+        let d = p2 * p1.conj();
+        assert!((d.arg() - 0.5).abs() < EPS);
+        assert!((d.abs() - common.norm_sqr()).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex::new(0.3, 1.1);
+        let e = z.exp();
+        let expect = Complex::from_polar(0.3f64.exp(), 1.1);
+        assert!(close(e, expect));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+        // principal branch: non-negative real part
+        assert!(s.re >= 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = [Complex::new(1.0, 1.0); 4];
+        let s: Complex = v.iter().sum();
+        assert!(close(s, Complex::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex::new(2.0, -6.0);
+        assert!(close(z * 0.5, Complex::new(1.0, -3.0)));
+        assert!(close(0.5 * z, Complex::new(1.0, -3.0)));
+        assert!(close(z / 2.0, Complex::new(1.0, -3.0)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1-2j");
+        assert_eq!(format!("{}", Complex::new(-1.5, 0.5)), "-1.5+0.5j");
+    }
+}

@@ -1,0 +1,335 @@
+//! Discrete Fourier transforms.
+//!
+//! WiForce's sensing algorithm (paper §3.3, Eq. 1–3) takes an FFT *across
+//! channel snapshots* to isolate the tag's switching harmonics ("artificial
+//! Doppler") from static multipath, and the OFDM reader needs FFTs across
+//! subcarriers. Snapshot group sizes are powers of two in our pipeline, but
+//! calibration sweeps produce arbitrary lengths, so we provide:
+//!
+//! * [`fft`] / [`ifft`] — any length: radix-2 when `n` is a power of two,
+//!   Bluestein's algorithm otherwise.
+//! * [`goertzel`] — single-bin DFT at an arbitrary (even fractional)
+//!   normalized frequency; this is how the pipeline cheaply evaluates the
+//!   spectrum exactly at `fs` and `4·fs` without a full transform.
+//! * [`dft_naive`] — O(n²) reference used by the test-suite oracle.
+//!
+//! Conventions: forward transform `X[k] = Σ_n x[n]·e^{-j2πkn/N}` (no
+//! normalization), inverse divides by `N`, matching NumPy/Matlab.
+
+use crate::complex::Complex;
+use crate::TAU;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Next power of two `>= n` (with `next_pow2(0) == 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two. Use [`fft`] for general
+/// lengths.
+pub fn fft_radix2_inplace(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length (radix-2 fast path, Bluestein otherwise).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut buf = x.to_vec();
+        fft_radix2_inplace(&mut buf);
+        buf
+    } else {
+        bluestein(x, false)
+    }
+}
+
+/// Inverse DFT of arbitrary length, normalized by `1/N`.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if is_power_of_two(n) {
+        // IFFT(x) = conj(FFT(conj(x))) / N
+        let mut buf: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
+        fft_radix2_inplace(&mut buf);
+        buf.iter_mut().for_each(|z| *z = z.conj());
+        buf
+    } else {
+        bluestein(x, true)
+    };
+    let scale = 1.0 / n as f64;
+    out.iter_mut().for_each(|z| *z = z.scale(scale));
+    out
+}
+
+/// Bluestein's chirp-z algorithm: DFT of arbitrary length via a
+/// power-of-two-length circular convolution.
+fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // chirp[k] = e^{sign·jπk²/n}; use k² mod 2n to avoid large-angle
+    // precision loss.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * crate::PI * kk as f64 / n as f64)
+        })
+        .collect();
+
+    let m = next_pow2(2 * n - 1);
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_radix2_inplace(&mut a);
+    fft_radix2_inplace(&mut b);
+    for i in 0..m {
+        a[i] *= b[i];
+    }
+    // inverse power-of-two FFT of a
+    a.iter_mut().for_each(|z| *z = z.conj());
+    fft_radix2_inplace(&mut a);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k].conj().scale(scale) * chirp[k]).collect()
+}
+
+/// Naive O(n²) DFT used as a correctness oracle in tests.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|i| x[i] * Complex::cis(-TAU * (k * i) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Goertzel evaluation of the DTFT of `x` at normalized frequency
+/// `f_norm = f / f_sample` (cycles per sample, may be fractional):
+/// `X(f) = Σ_n x[n]·e^{-j2π f_norm n}`.
+///
+/// This is exactly WiForce's Eq. (1) for one analysis frequency, and is what
+/// the pipeline uses to read the `fs` and `4fs` harmonic bins without paying
+/// for a full FFT per subcarrier.
+pub fn goertzel(x: &[Complex], f_norm: f64) -> Complex {
+    // Direct complex accumulation with recurrence phasor; numerically robust
+    // for the modest n (<= a few thousand) used per phase group.
+    let w = Complex::cis(-TAU * f_norm);
+    let mut phase = Complex::ONE;
+    let mut acc = Complex::ZERO;
+    for &xn in x {
+        acc += xn * phase;
+        phase *= w;
+    }
+    acc
+}
+
+/// Swaps the two halves of a spectrum so the zero bin sits in the middle
+/// (like `fftshift`). For odd lengths the extra element goes to the first
+/// half after shifting, matching NumPy.
+pub fn fftshift<T: Clone>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+/// Frequency (Hz) of FFT bin `k` for length `n` and sample rate `fs_hz`,
+/// mapping the upper half to negative frequencies.
+pub fn bin_frequency(k: usize, n: usize, fs_hz: f64) -> f64 {
+    assert!(k < n);
+    let kk = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+    kk * fs_hz / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "bin {i}: {x:?} vs {y:?} (diff {})",
+                (*x - *y).abs()
+            );
+        }
+    }
+
+    fn impulse(n: usize, at: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; n];
+        v[at] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let x = impulse(8, 0);
+        let s = fft(&x);
+        for z in s {
+            assert!((z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_shifted_impulse_is_phase_ramp() {
+        let x = impulse(16, 3);
+        let s = fft(&x);
+        for (k, z) in s.iter().enumerate() {
+            let expect = Complex::cis(-TAU * 3.0 * k as f64 / 16.0);
+            assert!((*z - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_for_awkward_lengths() {
+        for n in [3usize, 5, 6, 7, 12, 17, 30, 97] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.31).cos(), (i as f64 * 0.17).sin()))
+                .collect();
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft_all_lengths() {
+        for n in [1usize, 2, 4, 5, 8, 9, 16, 21, 64, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+                .collect();
+            let back = ifft(&fft(&x));
+            assert_spectra_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.2).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let s = fft(&x);
+        let freq_energy: f64 = s.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn goertzel_matches_fft_bin() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(TAU * 7.0 * i as f64 / n as f64) * 2.5)
+            .collect();
+        let s = fft(&x);
+        for k in [0usize, 1, 7, 64, 127] {
+            let g = goertzel(&x, k as f64 / n as f64);
+            assert!((g - s[k]).abs() < 1e-8, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn goertzel_reads_tone_phase() {
+        // A tone at normalized frequency f with initial phase φ shows up in
+        // the Goertzel bin with phase φ — the property the harmonic reader
+        // relies on to extract sensor phases.
+        let n = 500;
+        let f = 0.031; // not an integer bin of n
+        let phi = 1.01;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::cis(TAU * f * i as f64 + phi)).collect();
+        let g = goertzel(&x, f);
+        assert!((g.arg() - phi).abs() < 1e-9);
+        assert!((g.abs() - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fftshift_even_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bin_frequency_wraps_negative() {
+        assert_eq!(bin_frequency(0, 8, 8000.0), 0.0);
+        assert_eq!(bin_frequency(1, 8, 8000.0), 1000.0);
+        assert_eq!(bin_frequency(4, 8, 8000.0), 4000.0);
+        assert_eq!(bin_frequency(5, 8, 8000.0), -3000.0);
+        assert_eq!(bin_frequency(7, 8, 8000.0), -1000.0);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn radix2_rejects_non_power_of_two() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft_radix2_inplace(&mut x);
+    }
+}

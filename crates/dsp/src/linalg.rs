@@ -1,0 +1,439 @@
+//! Small dense real matrices: LU solve and linear least squares.
+//!
+//! The WiForce pipeline only needs modest linear algebra — fitting cubic
+//! phase-force models (4×4 normal equations), least-squares channel
+//! estimation, and the beam contact solver's banded systems — so this module
+//! keeps to a simple row-major `Vec<f64>` matrix with partial-pivot LU.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Errors from linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot column at which elimination failed.
+        pivot: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>12.5} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds an `rows x cols` matrix from a generator `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, rhs.cols),
+                got: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, 1),
+                got: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect())
+    }
+
+    /// Solves `self · x = b` with partial-pivot Gaussian elimination.
+    ///
+    /// `self` must be square; `b.len()` must equal `rows`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, n), got: (n, self.cols) });
+        }
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Pivot selection.
+            let (mut piv, mut best) = (col, a[col * n + col].abs());
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if piv != col {
+                for c in 0..n {
+                    a.swap(col * n + c, piv * n + c);
+                }
+                x.swap(col, piv);
+            }
+            // Eliminate below.
+            let inv_p = 1.0 / a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] * inv_p;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for c in (col + 1)..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in (col + 1)..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solution of the overdetermined system `self · x ≈ b`
+    /// via the normal equations `(AᵀA)x = Aᵀb` with Tikhonov damping
+    /// `ridge ≥ 0` on the diagonal.
+    pub fn lstsq(&self, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, 1),
+                got: (b.len(), 1),
+            });
+        }
+        let at = self.transpose();
+        let mut ata = at.matmul(self)?;
+        for i in 0..ata.rows {
+            ata[(i, i)] += ridge;
+        }
+        let atb = at.matvec(b)?;
+        ata.solve(&atb)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves a symmetric tridiagonal-plus-diagonal-dominant banded system fast.
+///
+/// `solve_banded` solves `A x = b` where `A` is banded with half-bandwidth
+/// `kd` (i.e. `A[i][j] == 0` when `|i-j| > kd`), given in LAPACK-style band
+/// storage `band[d][i] = A[i][i+d-kd]` — but to keep the call sites simple we
+/// accept a closure returning `A[i][j]`. Gaussian elimination without
+/// pivoting (valid for the diagonally dominant systems produced by the beam
+/// finite-difference operator).
+pub fn solve_banded(
+    n: usize,
+    kd: usize,
+    a: impl Fn(usize, usize) -> f64,
+    b: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(b.len(), n);
+    let width = 2 * kd + 1;
+    // band[i][d] = A[i][i + d - kd]
+    let mut band = vec![0.0; n * width];
+    for i in 0..n {
+        for d in 0..width {
+            let j = i as isize + d as isize - kd as isize;
+            if j >= 0 && (j as usize) < n {
+                band[i * width + d] = a(i, j as usize);
+            }
+        }
+    }
+    let mut x = b.to_vec();
+    // Forward elimination.
+    for i in 0..n {
+        let p = band[i * width + kd];
+        if p.abs() < 1e-300 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        let inv_p = 1.0 / p;
+        for r in (i + 1)..(i + kd + 1).min(n) {
+            let off = kd as isize - (r - i) as isize;
+            let idx = (r * width) as isize + off;
+            let factor = band[idx as usize] * inv_p;
+            if factor == 0.0 {
+                continue;
+            }
+            band[idx as usize] = 0.0;
+            for c in (i + 1)..(i + kd + 1).min(n) {
+                let src = i * width + kd + (c - i);
+                let dst = (r * width) as isize + kd as isize - (r as isize - c as isize);
+                band[dst as usize] -= factor * band[src];
+            }
+            x[r] -= factor * x[i];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for c in (i + 1)..(i + kd + 1).min(n) {
+            acc -= band[i * width + kd + (c - i)] * x[c];
+        }
+        x[i] = acc / band[i * width + kd];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let id = Matrix::identity(3);
+        let b = vec![1.0, -2.0, 3.0];
+        assert_eq!(id.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_3x3_solve() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // zero on the leading diagonal forces a row swap
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn matmul_matvec_agree() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = vec![1.0, 0.0, -1.0];
+        let mv = a.matvec(&v).unwrap();
+        assert_eq!(mv, vec![-2.0, -2.0]);
+        let vm = Matrix::from_rows(&[vec![1.0], vec![0.0], vec![-1.0]]);
+        let mm = a.matmul(&vm).unwrap();
+        assert_eq!(mm[(0, 0)], -2.0);
+        assert_eq!(mm[(1, 0)], -2.0);
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.matvec(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        // Overdetermined but consistent: y = 2x + 1 sampled at 5 points.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let sol = a.lstsq(&b, 0.0).unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-10);
+        assert!((sol[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual_with_noise() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        // y = 3x - 2 with deterministic "noise"
+        let b: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 3.0 * x - 2.0 + 0.01 * ((i * 7 % 11) as f64 - 5.0)).collect();
+        let a = Matrix::from_fn(xs.len(), 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
+        let sol = a.lstsq(&b, 0.0).unwrap();
+        assert!((sol[0] + 2.0).abs() < 0.05);
+        assert!((sol[1] - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn banded_matches_dense() {
+        // 1-D Laplacian (tridiagonal, diagonally dominant with +4 diag)
+        let n = 12;
+        let aij = |i: usize, j: usize| -> f64 {
+            if i == j {
+                4.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        };
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let banded = solve_banded(n, 1, aij, &b).unwrap();
+        let dense = Matrix::from_fn(n, n, aij).solve(&b).unwrap();
+        for (x, y) in banded.iter().zip(&dense) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn banded_wider_bandwidth() {
+        // pentadiagonal system like the beam 4th-difference operator
+        let n = 20;
+        let aij = |i: usize, j: usize| -> f64 {
+            match i.abs_diff(j) {
+                0 => 7.0,
+                1 => -4.0 * 0.5,
+                2 => 1.0 * 0.25,
+                _ => 0.0,
+            }
+        };
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let banded = solve_banded(n, 2, aij, &b).unwrap();
+        let dense = Matrix::from_fn(n, n, aij).solve(&b).unwrap();
+        for (x, y) in banded.iter().zip(&dense) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

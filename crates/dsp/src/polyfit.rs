@@ -1,0 +1,318 @@
+//! Polynomial least-squares fitting and evaluation.
+//!
+//! WiForce's sensor model (paper §4.2) is a *cubic fit* of the phase-force
+//! profile at each calibration location; the wireless estimator then inverts
+//! the fitted model. This module provides the [`Polynomial`] type used for
+//! those fits plus monotone-inversion helpers.
+
+use crate::linalg::{LinalgError, Matrix};
+use std::fmt;
+
+/// A real polynomial `c₀ + c₁x + c₂x² + …` stored by ascending power.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Constructs from ascending-power coefficients; trailing zeros trimmed.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: vec![0.0] }
+    }
+
+    /// Ascending-power coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Horner evaluation.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative as a new polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * (i + 1) as f64)
+                .collect(),
+        )
+    }
+
+    /// Least-squares fit of degree `degree` to samples `(xs, ys)`.
+    ///
+    /// Requires `xs.len() == ys.len() >= degree + 1`. Uses Vandermonde normal
+    /// equations with a tiny ridge for numerical robustness on clustered
+    /// abscissae (typical of force sweeps).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitError> {
+        if xs.len() != ys.len() {
+            return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        }
+        if xs.len() < degree + 1 {
+            return Err(FitError::TooFewPoints { need: degree + 1, got: xs.len() });
+        }
+        // Scale x into [-1, 1] for conditioning, fit, then compose back.
+        let (lo, hi) = xs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        let span = (hi - lo).max(1e-12);
+        let mid = 0.5 * (hi + lo);
+        let half = 0.5 * span;
+        let scaled: Vec<f64> = xs.iter().map(|&x| (x - mid) / half).collect();
+
+        let a = Matrix::from_fn(xs.len(), degree + 1, |r, c| scaled[r].powi(c as i32));
+        let c_scaled = a.lstsq(ys, 1e-12).map_err(FitError::Linalg)?;
+
+        // Expand p((x - mid)/half) into plain powers of x via synthetic
+        // composition: p(u), u = (x - mid)/half.
+        let mut out = vec![0.0; degree + 1];
+        // powers of u as polynomials in x, built iteratively
+        let mut upow = vec![1.0]; // u^0 = 1
+        let u_lin = [-mid / half, 1.0 / half]; // u = a + b x
+        for (k, ck) in c_scaled.iter().enumerate() {
+            for (i, &ui) in upow.iter().enumerate() {
+                out[i] += ck * ui;
+            }
+            if k < degree {
+                // upow *= u_lin
+                let mut next = vec![0.0; upow.len() + 1];
+                for (i, &ui) in upow.iter().enumerate() {
+                    next[i] += ui * u_lin[0];
+                    next[i + 1] += ui * u_lin[1];
+                }
+                upow = next;
+            }
+        }
+        Ok(Polynomial::new(out))
+    }
+
+    /// RMS residual of this polynomial over samples.
+    pub fn rms_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = self.eval(x) - y;
+                e * e
+            })
+            .sum();
+        (ss / xs.len() as f64).sqrt()
+    }
+
+    /// Finds `x ∈ [lo, hi]` with `p(x) = y` by bisection, assuming `p` is
+    /// monotone on the interval. Returns `None` if `y` is outside
+    /// `[min(p(lo), p(hi)), max(p(lo), p(hi))]`.
+    pub fn invert_monotone(&self, y: f64, lo: f64, hi: f64) -> Option<f64> {
+        let (flo, fhi) = (self.eval(lo), self.eval(hi));
+        let (ymin, ymax) = if flo <= fhi { (flo, fhi) } else { (fhi, flo) };
+        if y < ymin - 1e-9 || y > ymax + 1e-9 {
+            return None;
+        }
+        let increasing = fhi >= flo;
+        let (mut a, mut b) = (lo, hi);
+        for _ in 0..200 {
+            let m = 0.5 * (a + b);
+            let fm = self.eval(m);
+            let go_right = if increasing { fm < y } else { fm > y };
+            if go_right {
+                a = m;
+            } else {
+                b = m;
+            }
+            if (b - a).abs() < 1e-12 * (hi - lo).abs().max(1.0) {
+                break;
+            }
+        }
+        Some(0.5 * (a + b))
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => write!(f, "{a}·x")?,
+                _ => write!(f, "{a}·x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from polynomial fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// `xs` and `ys` had different lengths.
+    LengthMismatch {
+        /// Number of abscissae supplied.
+        xs: usize,
+        /// Number of ordinates supplied.
+        ys: usize,
+    },
+    /// Not enough samples for the requested degree.
+    TooFewPoints {
+        /// Samples required for the requested degree.
+        need: usize,
+        /// Samples supplied.
+        got: usize,
+    },
+    /// Underlying linear solve failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "xs has {xs} samples but ys has {ys}")
+            }
+            FitError::TooFewPoints { need, got } => {
+                write!(f, "need at least {need} samples for this degree, got {got}")
+            }
+            FitError::Linalg(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]); // 1 - 2x + 3x²
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 9.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![5.0, 1.0, -3.0, 2.0]); // 5 + x - 3x² + 2x³
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[1.0, -6.0, 6.0]);
+        assert_eq!(Polynomial::new(vec![7.0]).derivative(), Polynomial::zero());
+    }
+
+    #[test]
+    fn fit_exact_cubic() {
+        let truth = Polynomial::new(vec![0.5, -1.0, 0.25, 0.125]);
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.4).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fit = Polynomial::fit(&xs, &ys, 3).unwrap();
+        for (a, b) in fit.coeffs().iter().zip(truth.coeffs()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert!(fit.rms_residual(&xs, &ys) < 1e-9);
+    }
+
+    #[test]
+    fn fit_degree_zero_is_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let fit = Polynomial::fit(&xs, &ys, 0).unwrap();
+        assert!((fit.eval(0.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(matches!(
+            Polynomial::fit(&[1.0], &[1.0, 2.0], 1),
+            Err(FitError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 3),
+            Err(FitError::TooFewPoints { need: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn fit_is_least_squares_on_noisy_data() {
+        // quadratic + small symmetric perturbation: fit should stay close
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 + 0.5 * x * x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let fit = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs()[2] - 0.5).abs() < 1e-3);
+        assert!((fit.coeffs()[0] - 2.0).abs() < 2e-2);
+    }
+
+    #[test]
+    fn invert_monotone_increasing() {
+        let p = Polynomial::new(vec![0.0, 2.0, 0.0, 1.0]); // 2x + x³, strictly increasing
+        let x = p.invert_monotone(10.0, 0.0, 3.0).unwrap();
+        assert!((p.eval(x) - 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn invert_monotone_decreasing() {
+        let p = Polynomial::new(vec![5.0, -1.0]); // 5 - x
+        let x = p.invert_monotone(2.0, 0.0, 10.0).unwrap();
+        assert!((x - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invert_out_of_range_is_none() {
+        let p = Polynomial::new(vec![0.0, 1.0]);
+        assert!(p.invert_monotone(100.0, 0.0, 1.0).is_none());
+        assert!(p.invert_monotone(-1.0, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::new(vec![1.0, 0.0, -2.5]);
+        assert_eq!(format!("{p}"), "1 - 2.5·x^2");
+    }
+}

@@ -1,0 +1,111 @@
+//! Seeded random sampling: Gaussian and circularly-symmetric complex
+//! Gaussian noise.
+//!
+//! The `rand` crate (the only approved runtime dependency) provides uniform
+//! sampling; the Gaussian transform (Box–Muller) lives here so the channel
+//! and front-end simulators can draw AWGN without pulling in `rand_distr`.
+//! All samplers take a caller-supplied `Rng`, keeping every simulation
+//! deterministic under a fixed seed.
+
+use crate::complex::Complex;
+use crate::TAU;
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a circularly-symmetric complex Gaussian sample with total variance
+/// `variance` (`variance/2` per real component) — the standard AWGN model.
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex {
+    let s = (variance / 2.0).sqrt();
+    Complex::new(s * standard_normal(rng), s * standard_normal(rng))
+}
+
+/// Fills a buffer with AWGN of the given total variance per sample.
+pub fn awgn_buffer<R: Rng + ?Sized>(rng: &mut R, len: usize, variance: f64) -> Vec<Complex> {
+    (0..len).map(|_| complex_gaussian(rng, variance)).collect()
+}
+
+/// Draws a uniform sample in `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.02, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.02, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        assert!((mean(&xs) - 5.0).abs() < 0.05);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn complex_gaussian_variance_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let zs: Vec<Complex> = (0..50_000).map(|_| complex_gaussian(&mut rng, 4.0)).collect();
+        let re: Vec<f64> = zs.iter().map(|z| z.re).collect();
+        let im: Vec<f64> = zs.iter().map(|z| z.im).collect();
+        assert!((variance(&re) - 2.0).abs() < 0.1);
+        assert!((variance(&im) - 2.0).abs() < 0.1);
+        // total power ≈ variance
+        let p: f64 = zs.iter().map(|z| z.norm_sqr()).sum::<f64>() / zs.len() as f64;
+        assert!((p - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn awgn_buffer_len_and_power() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let buf = awgn_buffer(&mut rng, 10_000, 0.5);
+        assert_eq!(buf.len(), 10_000);
+        let p: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / buf.len() as f64;
+        assert!((p - 0.5).abs() < 0.03);
+    }
+}

@@ -1,0 +1,188 @@
+//! Time-domain signal helpers: convolution, correlation, energy, delays.
+//!
+//! The reader's preamble synchronizer (paper §4.4) finds the 320-sample OFDM
+//! preamble in the received stream by cross-correlation; the channel
+//! simulator applies multipath as a linear convolution. Both live here.
+
+use crate::complex::Complex;
+
+/// Full linear convolution; output length `a.len() + b.len() - 1`.
+pub fn convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let n = a.len() + b.len() - 1;
+    let mut out = vec![Complex::ZERO; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == Complex::ZERO {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Sliding cross-correlation of `haystack` against `needle`:
+/// `out[k] = Σ_i haystack[k+i]·conj(needle[i])` for every full overlap
+/// position (`haystack.len() - needle.len() + 1` outputs).
+///
+/// Returns an empty vector if the needle is longer than the haystack.
+pub fn cross_correlate(haystack: &[Complex], needle: &[Complex]) -> Vec<Complex> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    let m = haystack.len() - needle.len() + 1;
+    (0..m)
+        .map(|k| {
+            needle
+                .iter()
+                .enumerate()
+                .map(|(i, &ni)| haystack[k + i] * ni.conj())
+                .sum()
+        })
+        .collect()
+}
+
+/// Index of the peak-magnitude correlation lag, or `None` for empty input.
+pub fn peak_index(corr: &[Complex]) -> Option<usize> {
+    corr.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.norm_sqr().partial_cmp(&b.norm_sqr()).expect("NaN in correlation")
+        })
+        .map(|(i, _)| i)
+}
+
+/// Signal energy `Σ|x|²`.
+pub fn energy(x: &[Complex]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Average power `Σ|x|²/n` (0 for empty).
+pub fn power(x: &[Complex]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    energy(x) / x.len() as f64
+}
+
+/// Delays a signal by `d` samples, zero-filling the front and keeping length.
+pub fn delay(x: &[Complex], d: usize) -> Vec<Complex> {
+    let mut out = vec![Complex::ZERO; x.len()];
+    if d < x.len() {
+        out[d..].copy_from_slice(&x[..x.len() - d]);
+    }
+    out
+}
+
+/// Element-wise product of equal-length signals.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn hadamard(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    assert_eq!(a.len(), b.len(), "hadamard requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn convolve_identity() {
+        let x = vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        let d = vec![Complex::ONE];
+        assert_eq!(convolve(&x, &d), x);
+    }
+
+    #[test]
+    fn convolve_known() {
+        let a = vec![c(1.0, 0.0), c(2.0, 0.0)];
+        let b = vec![c(3.0, 0.0), c(4.0, 0.0)];
+        let out = convolve(&a, &b);
+        assert_eq!(out.len(), 3);
+        assert!((out[0] - c(3.0, 0.0)).abs() < 1e-12);
+        assert!((out[1] - c(10.0, 0.0)).abs() < 1e-12);
+        assert!((out[2] - c(8.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolve_commutative() {
+        let a: Vec<Complex> = (0..5).map(|i| c(i as f64, (i * i) as f64)).collect();
+        let b: Vec<Complex> = (0..3).map(|i| c(1.0 - i as f64, 0.5)).collect();
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_finds_embedded_needle() {
+        let needle: Vec<Complex> = (0..16).map(|i| Complex::cis(i as f64 * 0.9)).collect();
+        let mut haystack = vec![Complex::ZERO; 100];
+        let offset = 37;
+        for (i, &n) in needle.iter().enumerate() {
+            haystack[offset + i] = n * 0.5;
+        }
+        let corr = cross_correlate(&haystack, &needle);
+        assert_eq!(peak_index(&corr), Some(offset));
+    }
+
+    #[test]
+    fn correlation_peak_phase_reflects_channel() {
+        // a complex gain on the embedded needle shows up as the peak phase
+        let needle: Vec<Complex> = (0..8).map(|i| Complex::cis(i as f64)).collect();
+        let gain = Complex::from_polar(2.0, 1.1);
+        let mut haystack = vec![Complex::ZERO; 32];
+        for (i, &n) in needle.iter().enumerate() {
+            haystack[10 + i] = n * gain;
+        }
+        let corr = cross_correlate(&haystack, &needle);
+        let pk = peak_index(&corr).unwrap();
+        assert_eq!(pk, 10);
+        assert!((corr[pk].arg() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlate_empty_cases() {
+        assert!(cross_correlate(&[], &[Complex::ONE]).is_empty());
+        assert!(cross_correlate(&[Complex::ONE], &[]).is_empty());
+        let short = vec![Complex::ONE; 2];
+        let long = vec![Complex::ONE; 5];
+        assert!(cross_correlate(&short, &long).is_empty());
+        assert!(peak_index(&[]).is_none());
+    }
+
+    #[test]
+    fn energy_and_power() {
+        let x = vec![c(3.0, 4.0), c(0.0, 0.0)];
+        assert_eq!(energy(&x), 25.0);
+        assert_eq!(power(&x), 12.5);
+        assert_eq!(power(&[]), 0.0);
+    }
+
+    #[test]
+    fn delay_shifts_and_pads() {
+        let x = vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        let d = delay(&x, 1);
+        assert_eq!(d, vec![Complex::ZERO, c(1.0, 0.0), c(2.0, 0.0)]);
+        assert_eq!(delay(&x, 10), vec![Complex::ZERO; 3]);
+        assert_eq!(delay(&x, 0), x);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = vec![c(1.0, 1.0), c(2.0, 0.0)];
+        let b = vec![c(0.0, 1.0), c(3.0, 0.0)];
+        let h = hadamard(&a, &b);
+        assert!((h[0] - c(-1.0, 1.0)).abs() < 1e-12);
+        assert!((h[1] - c(6.0, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Descriptive statistics and empirical CDFs.
+//!
+//! The paper's headline evaluation artifacts are *empirical CDFs* of force
+//! and location error (Figs. 13, 14, 16, 17) and their medians. This module
+//! provides those plus the circular statistics needed to average phases
+//! across subcarriers (paper Eq. 5: "take an average over subcarrier
+//! indices").
+
+use crate::complex::Complex;
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (denominator `n-1`); 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square of a sequence.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root-mean-square error between two equal-length sequences.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Median (average of middle two for even lengths); NaN-free input assumed.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolation percentile `p ∈ [0, 100]` (NumPy `linear` method).
+/// Returns 0 for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Circular mean of angles (radians): `arg(Σ e^{jθ})`.
+///
+/// This is how per-subcarrier phase readings are combined — a plain
+/// arithmetic mean would be wrong near the ±π wrap.
+pub fn circular_mean(angles: &[f64]) -> f64 {
+    let s: Complex = angles.iter().map(|&a| Complex::cis(a)).sum();
+    s.arg()
+}
+
+/// Mean resultant length `|Σ e^{jθ}| / n` — 1 for perfectly aligned phases,
+/// → 0 for uniformly scattered ones. A cheap phase-coherence metric.
+pub fn circular_resultant(angles: &[f64]) -> f64 {
+    if angles.is_empty() {
+        return 0.0;
+    }
+    let s: Complex = angles.iter().map(|&a| Complex::cis(a)).sum();
+    s.abs() / angles.len() as f64
+}
+
+/// Circular standard deviation `sqrt(-2 ln R)` (radians).
+pub fn circular_std(angles: &[f64]) -> f64 {
+    let r = circular_resultant(angles).clamp(1e-15, 1.0);
+    (-2.0 * r.ln()).sqrt()
+}
+
+/// An empirical cumulative distribution function over a sample set.
+///
+/// Mirrors the CDF plots of the paper's Figs. 13/14/16/17: construct from the
+/// absolute errors of a Monte-Carlo run, then query medians/percentiles or
+/// dump plot-ready `(value, probability)` rows.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from samples (empty input allowed).
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x), the fraction of samples at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // number of elements <= x via partition point
+        let cnt = self.sorted.partition_point(|&s| s <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile: smallest sample `v` with `P(X ≤ v) ≥ q`, for `q ∈ (0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Median value.
+    pub fn median(&self) -> f64 {
+        median(&self.sorted)
+    }
+
+    /// 90th-percentile value.
+    pub fn p90(&self) -> f64 {
+        percentile(&self.sorted, 90.0)
+    }
+
+    /// Plot-ready rows `(value, cumulative_probability)`, one per sample.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PI;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_handles_wrap() {
+        // angles straddling the ±π boundary: arithmetic mean would give ~0,
+        // circular mean must give ~π.
+        let angles = [PI - 0.1, -PI + 0.1];
+        let m = circular_mean(&angles);
+        assert!((m.abs() - PI).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn circular_resultant_coherence() {
+        let aligned = [0.5; 100];
+        assert!((circular_resultant(&aligned) - 1.0).abs() < 1e-12);
+        let scattered: Vec<f64> = (0..360).map(|i| i as f64 * PI / 180.0).collect();
+        assert!(circular_resultant(&scattered) < 0.01);
+        assert!(circular_std(&aligned) < 1e-6);
+        assert!(circular_std(&scattered) > 1.0);
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let e = Ecdf::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(3.0), 0.6);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.quantile(0.5), 3.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+        assert_eq!(e.median(), 3.0);
+    }
+
+    #[test]
+    fn ecdf_curve_monotone() {
+        let e = Ecdf::new([0.3, 0.1, 0.7, 0.4]);
+        let c = e.curve();
+        assert_eq!(c.len(), 4);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), 0.0);
+    }
+}

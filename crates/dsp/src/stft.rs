@@ -1,0 +1,153 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! Used for time-resolved Doppler views of snapshot streams: a force
+//! press appearing, a mover sweeping through, a tag's clock drifting —
+//! all visible as a waterfall that the single long FFT of
+//! `wiforce::spectrum` integrates away.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::window::{window, WindowKind};
+
+/// A spectrogram: power per (frame, bin).
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Power rows, one per time frame; `rows[t][b]`.
+    pub rows: Vec<Vec<f64>>,
+    /// Bin frequencies, Hz (non-negative half), ascending.
+    pub freqs_hz: Vec<f64>,
+    /// Time of each frame's centre, s.
+    pub times_s: Vec<f64>,
+}
+
+/// Computes the STFT power of a complex sequence sampled at `fs_hz`, with
+/// `frame_len` samples per frame (must be ≥ 2; rounded up to a power of
+/// two internally), hop `hop` samples, and a Hann window.
+///
+/// Frames that would run past the end of the input are dropped.
+pub fn spectrogram(x: &[Complex], fs_hz: f64, frame_len: usize, hop: usize) -> Spectrogram {
+    assert!(frame_len >= 2, "frame_len must be at least 2");
+    assert!(hop >= 1, "hop must be at least 1");
+    let n_fft = frame_len.next_power_of_two();
+    let w = window(WindowKind::Hann, frame_len);
+    let n_bins = n_fft / 2;
+    let freqs_hz: Vec<f64> = (0..n_bins).map(|b| b as f64 * fs_hz / n_fft as f64).collect();
+
+    let mut rows = Vec::new();
+    let mut times_s = Vec::new();
+    let mut start = 0usize;
+    let mut buf = vec![Complex::ZERO; n_fft];
+    while start + frame_len <= x.len() {
+        // remove the frame mean (DC clutter) then window
+        let mut mean = Complex::ZERO;
+        for &v in &x[start..start + frame_len] {
+            mean += v;
+        }
+        mean = mean.scale(1.0 / frame_len as f64);
+        for i in 0..frame_len {
+            buf[i] = (x[start + i] - mean) * w[i];
+        }
+        buf[frame_len..].iter_mut().for_each(|z| *z = Complex::ZERO);
+        let spec = fft(&buf);
+        rows.push(spec[..n_bins].iter().map(|z| z.norm_sqr()).collect());
+        times_s.push((start + frame_len / 2) as f64 / fs_hz);
+        start += hop;
+    }
+    Spectrogram { rows, freqs_hz, times_s }
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn n_frames(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The strongest bin's frequency (Hz) in frame `t`.
+    pub fn peak_frequency_hz(&self, t: usize) -> f64 {
+        let row = &self.rows[t];
+        let (b, _) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+            .expect("nonempty row");
+        self.freqs_hz[b]
+    }
+
+    /// Total power per frame (a time-domain envelope of non-DC activity).
+    pub fn frame_power(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TAU;
+
+    #[test]
+    fn tracks_a_frequency_step() {
+        // 1 kHz tone for the first half, 3 kHz for the second
+        let fs = 17_361.0; // the reader's snapshot rate
+        let n = 4000;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let f = if i < n / 2 { 1000.0 } else { 3000.0 };
+                Complex::cis(TAU * f * t) + Complex::from_re(0.5) // plus DC clutter
+            })
+            .collect();
+        let sg = spectrogram(&x, fs, 512, 256);
+        assert!(sg.n_frames() >= 10);
+        let early = sg.peak_frequency_hz(1);
+        let late = sg.peak_frequency_hz(sg.n_frames() - 2);
+        assert!((early - 1000.0).abs() < 80.0, "{early}");
+        assert!((late - 3000.0).abs() < 80.0, "{late}");
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let fs = 1000.0;
+        let x = vec![Complex::from_re(2.0); 1024];
+        let sg = spectrogram(&x, fs, 256, 128);
+        for p in sg.frame_power() {
+            assert!(p < 1e-12, "DC should vanish, got {p}");
+        }
+    }
+
+    #[test]
+    fn envelope_detects_activity_onset() {
+        let fs = 1000.0;
+        let n = 2000;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                if i >= n / 2 {
+                    Complex::cis(TAU * 100.0 * i as f64 / fs)
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect();
+        let sg = spectrogram(&x, fs, 128, 64);
+        let env = sg.frame_power();
+        let mid = env.len() / 2;
+        let quiet = env[..mid - 2].iter().cloned().fold(0.0_f64, f64::max);
+        let loud = env[mid + 2..].iter().cloned().fold(0.0_f64, f64::max);
+        assert!(loud > 100.0 * quiet.max(1e-12));
+    }
+
+    #[test]
+    fn frame_geometry() {
+        let x = vec![Complex::ZERO; 1000];
+        let sg = spectrogram(&x, 1000.0, 100, 50);
+        // frames at 0, 50, …, 900 → 19 frames
+        assert_eq!(sg.n_frames(), 19);
+        assert_eq!(sg.freqs_hz.len(), 64); // next_pow2(100)/2
+        assert!((sg.times_s[0] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn rejects_zero_hop() {
+        let _ = spectrogram(&[Complex::ZERO; 16], 1.0, 4, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Spectral windows.
+//!
+//! Used by the harmonic (Doppler) FFT to trade main-lobe width against
+//! sidelobe leakage when isolating the tag's switching tones from clutter.
+
+use crate::TAU;
+
+/// Window shapes supported by [`window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones window (no tapering).
+    Rect,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+/// Generates an `n`-point symmetric window of the given kind.
+pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let denom = (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / denom;
+            match kind {
+                WindowKind::Rect => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * (TAU * x).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (TAU * x).cos(),
+                WindowKind::Blackman => {
+                    0.42 - 0.5 * (TAU * x).cos() + 0.08 * (2.0 * TAU * x).cos()
+                }
+            }
+        })
+        .collect()
+}
+
+/// Coherent gain of a window: mean of its samples. Dividing a windowed
+/// spectrum by `n · coherent_gain` restores tone amplitudes.
+pub fn coherent_gain(w: &[f64]) -> f64 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    w.iter().sum::<f64>() / w.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_ones() {
+        assert_eq!(window(WindowKind::Rect, 4), vec![1.0; 4]);
+        assert_eq!(coherent_gain(&window(WindowKind::Rect, 4)), 1.0);
+    }
+
+    #[test]
+    fn hann_endpoints_zero_center_one() {
+        let w = window(WindowKind::Hann, 9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = window(kind, 33);
+            for i in 0..w.len() {
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "{kind:?} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(window(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn gains_in_expected_order() {
+        // rect > hamming > hann > blackman coherent gain
+        let n = 128;
+        let g = |k| coherent_gain(&window(k, n));
+        assert!(g(WindowKind::Rect) > g(WindowKind::Hamming));
+        assert!(g(WindowKind::Hamming) > g(WindowKind::Hann));
+        assert!(g(WindowKind::Hann) > g(WindowKind::Blackman));
+    }
+}

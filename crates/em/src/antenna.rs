@@ -1,0 +1,151 @@
+//! Antenna gain patterns and polarization.
+//!
+//! The paper treats antennas as fixed gains; real deployments (a tag stuck
+//! on a surgical tool at an arbitrary angle) see the *pattern*: a dipole
+//! tag antenna read off-axis loses several dB, and a polarization
+//! mismatch costs `cos²ψ`. This module provides standard lossless
+//! patterns, verified to conserve radiated power, plus the mismatch law —
+//! used by the orientation-sensitivity analysis.
+
+use wiforce_dsp::PI;
+
+/// Idealized lossless antenna patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Reference isotropic radiator (0 dBi everywhere).
+    Isotropic,
+    /// Infinitesimal (short) dipole: `1.5·sin²θ`, 1.76 dBi peak.
+    ShortDipole,
+    /// Half-wave dipole: `1.64·[cos(π/2·cosθ)/sinθ]²`, 2.15 dBi peak.
+    HalfWaveDipole,
+    /// Simple unidirectional patch: `3.26·cos²θ` on the front hemisphere
+    /// (≈5 dBi peak), −15 dB floor behind.
+    Patch,
+}
+
+impl Pattern {
+    /// Linear gain at polar angle `theta` (rad) from boresight.
+    pub fn gain(&self, theta: f64) -> f64 {
+        let theta = theta.rem_euclid(2.0 * PI);
+        let theta = if theta > PI { 2.0 * PI - theta } else { theta };
+        match self {
+            Pattern::Isotropic => 1.0,
+            Pattern::ShortDipole => 1.5 * theta.sin().powi(2),
+            Pattern::HalfWaveDipole => {
+                let s = theta.sin();
+                if s.abs() < 1e-9 {
+                    return 0.0;
+                }
+                1.64 * ((PI / 2.0 * theta.cos()).cos() / s).powi(2)
+            }
+            Pattern::Patch => {
+                if theta <= PI / 2.0 {
+                    let g = 3.26 * theta.cos().powi(2);
+                    g.max(3.26 * 10f64.powf(-1.5))
+                } else {
+                    3.26 * 10f64.powf(-1.5) // -15 dB back lobe
+                }
+            }
+        }
+    }
+
+    /// Peak gain, dBi.
+    pub fn peak_gain_dbi(&self) -> f64 {
+        let peak = (0..=1800)
+            .map(|i| self.gain(i as f64 * PI / 1800.0))
+            .fold(0.0_f64, f64::max);
+        10.0 * peak.log10()
+    }
+
+    /// Radiated-power integral `∮ G dΩ / 4π` — exactly 1 for a lossless
+    /// antenna (used by the tests; the `Patch` model is approximate).
+    pub fn power_integral(&self) -> f64 {
+        // axisymmetric patterns: ∫ G(θ) sinθ dθ / 2
+        let n = 20_000;
+        let dtheta = PI / n as f64;
+        (0..n)
+            .map(|i| {
+                let theta = (i as f64 + 0.5) * dtheta;
+                self.gain(theta) * theta.sin() * dtheta
+            })
+            .sum::<f64>()
+            / 2.0
+    }
+}
+
+/// Polarization mismatch power factor between two linear antennas whose
+/// polarization axes differ by `psi` radians: `cos²ψ`.
+pub fn polarization_match(psi_rad: f64) -> f64 {
+    psi_rad.cos().powi(2)
+}
+
+/// Combined link gain factor (linear, power) for a tag antenna read at
+/// `theta` off boresight with polarization mismatch `psi`.
+pub fn link_gain(pattern: Pattern, theta_rad: f64, psi_rad: f64) -> f64 {
+    pattern.gain(theta_rad) * polarization_match(psi_rad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_is_unity_everywhere() {
+        for k in 0..10 {
+            assert_eq!(Pattern::Isotropic.gain(k as f64 * 0.4), 1.0);
+        }
+        assert!((Pattern::Isotropic.power_integral() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dipole_peaks_broadside_nulls_axial() {
+        for p in [Pattern::ShortDipole, Pattern::HalfWaveDipole] {
+            assert!(p.gain(PI / 2.0) > 1.4, "{p:?}");
+            assert!(p.gain(0.0) < 1e-6, "{p:?} axial null");
+            assert!(p.gain(PI) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lossless_patterns_conserve_power() {
+        assert!((Pattern::ShortDipole.power_integral() - 1.0).abs() < 1e-4);
+        assert!((Pattern::HalfWaveDipole.power_integral() - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn peak_gains_match_textbook() {
+        assert!((Pattern::ShortDipole.peak_gain_dbi() - 1.76).abs() < 0.05);
+        assert!((Pattern::HalfWaveDipole.peak_gain_dbi() - 2.15).abs() < 0.05);
+        assert!((Pattern::Patch.peak_gain_dbi() - 5.13).abs() < 0.2);
+    }
+
+    #[test]
+    fn patch_front_to_back() {
+        let p = Pattern::Patch;
+        let ftb = 10.0 * (p.gain(0.0) / p.gain(PI)).log10();
+        assert!((ftb - 15.0).abs() < 0.5, "front-to-back {ftb} dB");
+    }
+
+    #[test]
+    fn polarization_law() {
+        assert!((polarization_match(0.0) - 1.0).abs() < 1e-12);
+        assert!(polarization_match(PI / 2.0) < 1e-12);
+        assert!((polarization_match(PI / 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_axis_read_costs_decibels() {
+        // a tag dipole read 60° off broadside (θ = 30° from the axis)
+        // plus 30° polarization mismatch: ≈7.6 dB pattern + 1.25 dB
+        // polarization — orientation matters a lot for real stickers
+        let g = link_gain(Pattern::HalfWaveDipole, PI / 2.0 - PI / 3.0, PI / 6.0);
+        let loss_db = 10.0 * (Pattern::HalfWaveDipole.gain(PI / 2.0) / g).log10();
+        assert!((6.0..12.0).contains(&loss_db), "{loss_db} dB");
+    }
+
+    #[test]
+    fn pattern_symmetric_about_pi() {
+        let p = Pattern::ShortDipole;
+        assert!((p.gain(1.0) - p.gain(2.0 * PI - 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! One-port VNA error model and Short-Open-Load calibration.
+//!
+//! The paper's §4.2 sensor model is built from VNA phase readings, which
+//! are only as good as the instrument's calibration. A real reflection
+//! measurement sees the DUT through a three-term error network —
+//! directivity `e00`, source match `e11`, and reflection tracking
+//! `e10·e01`:
+//!
+//! ```text
+//! Γ_measured = e00 + (e10e01 · Γ_actual) / (1 − e11 · Γ_actual)
+//! ```
+//!
+//! Measuring the three known standards (short Γ=−1, open Γ=+1, load Γ=0)
+//! determines the three terms exactly, after which raw measurements can be
+//! corrected. This module provides the error network, the SOL solver, and
+//! the correction — so the reproduction's "VNA ground truth" can carry a
+//! realistic uncalibrated-instrument ablation.
+
+use wiforce_dsp::Complex;
+
+/// Three-term one-port error network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Directivity: leakage that returns without reaching the DUT.
+    pub e00: Complex,
+    /// Source match: re-reflection between instrument and DUT.
+    pub e11: Complex,
+    /// Reflection tracking: the product `e10·e01` (round-trip gain).
+    pub tracking: Complex,
+}
+
+impl ErrorModel {
+    /// A perfect instrument (no correction needed).
+    pub fn ideal() -> Self {
+        ErrorModel { e00: Complex::ZERO, e11: Complex::ZERO, tracking: Complex::ONE }
+    }
+
+    /// A plausible bench-top instrument before user calibration: −30 dB
+    /// directivity, −25 dB source match, 1 dB tracking ripple with phase.
+    pub fn uncalibrated_bench() -> Self {
+        ErrorModel {
+            e00: Complex::from_polar(0.032, 0.8),
+            e11: Complex::from_polar(0.056, -1.9),
+            tracking: Complex::from_polar(0.89, 0.35),
+        }
+    }
+
+    /// What the instrument reports for an actual reflection `gamma`.
+    pub fn apply(&self, gamma: Complex) -> Complex {
+        self.e00 + (self.tracking * gamma) / (Complex::ONE - self.e11 * gamma)
+    }
+
+    /// Inverts [`apply`](Self::apply): recovers the actual reflection from
+    /// a raw measurement.
+    pub fn correct(&self, measured: Complex) -> Complex {
+        let num = measured - self.e00;
+        num / (self.tracking + self.e11 * num)
+    }
+
+    /// Solves the error terms from raw measurements of the three ideal
+    /// standards: short (Γ=−1), open (Γ=+1), load (Γ=0).
+    pub fn from_sol(m_short: Complex, m_open: Complex, m_load: Complex) -> Self {
+        // load: Γ=0 ⇒ e00 = m_load
+        let e00 = m_load;
+        let a = m_short - e00; // = -T / (1 + e11)
+        let b = m_open - e00; // =  T / (1 - e11)
+        // a·(1+e11) = -T ;  b·(1-e11) = T  ⇒  a + a·e11 = -b + b·e11
+        // ⇒ e11 = (a + b) / (b - a)
+        let e11 = (a + b) / (b - a);
+        let tracking = b * (Complex::ONE - e11);
+        ErrorModel { e00, e11, tracking }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn ideal_is_transparent() {
+        let m = ErrorModel::ideal();
+        let g = Complex::from_polar(0.8, 1.2);
+        assert!(close(m.apply(g), g, 1e-12));
+        assert!(close(m.correct(g), g, 1e-12));
+    }
+
+    #[test]
+    fn apply_correct_round_trip() {
+        let m = ErrorModel::uncalibrated_bench();
+        for k in 0..24 {
+            let g = Complex::from_polar(0.05 + 0.04 * k as f64 % 0.95, k as f64 * 0.7);
+            let corrected = m.correct(m.apply(g));
+            assert!(close(corrected, g, 1e-12), "{g:?} -> {corrected:?}");
+        }
+    }
+
+    #[test]
+    fn sol_recovers_error_terms() {
+        let truth = ErrorModel::uncalibrated_bench();
+        let m_short = truth.apply(-Complex::ONE);
+        let m_open = truth.apply(Complex::ONE);
+        let m_load = truth.apply(Complex::ZERO);
+        let solved = ErrorModel::from_sol(m_short, m_open, m_load);
+        assert!(close(solved.e00, truth.e00, 1e-12));
+        assert!(close(solved.e11, truth.e11, 1e-12));
+        assert!(close(solved.tracking, truth.tracking, 1e-12));
+    }
+
+    #[test]
+    fn calibrated_measurement_of_sensor_phase() {
+        // the end-use: raw sensor reflections through an uncalibrated
+        // instrument are badly distorted; SOL-corrected ones are exact
+        use crate::sensor_line::{SensorLine, Termination};
+        let line = SensorLine::wiforce_prototype();
+        let inst = ErrorModel::uncalibrated_bench();
+        let cal = ErrorModel::from_sol(
+            inst.apply(-Complex::ONE),
+            inst.apply(Complex::ONE),
+            inst.apply(Complex::ZERO),
+        );
+        let truth = line.port_reflection(0.9e9, Some(0.03), Termination::Open);
+        let raw = inst.apply(truth);
+        let corrected = cal.correct(raw);
+        assert!((raw - truth).abs() > 0.02, "uncalibrated should be visibly wrong");
+        assert!(close(corrected, truth, 1e-10));
+    }
+
+    #[test]
+    fn phase_error_of_uncalibrated_instrument_is_significant() {
+        // quantifies why the paper calibrates: a few degrees of phase error
+        // dwarfs the 0.5° sensing requirement
+        use wiforce_dsp::phase::wrap_to_pi;
+        let inst = ErrorModel::uncalibrated_bench();
+        let g = Complex::from_polar(0.9, -2.0);
+        let err = wrap_to_pi((inst.apply(g).arg() - g.arg()).abs());
+        assert!(err.to_degrees() > 1.0, "{}", err.to_degrees());
+    }
+}

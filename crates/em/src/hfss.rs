@@ -1,0 +1,211 @@
+//! Parametric ground-width study (the paper's Appendix / Fig. 19).
+//!
+//! The Appendix reports an HFSS finding: the ideal (closed-form) air
+//! microstrip wants a width:height ratio of ≈5:1 for 50 Ω, but widening the
+//! ground trace (needed to solder SMA connector legs) adds fringing
+//! capacitance that lowers the line impedance, shifting the optimum ratio
+//! to ≈4:1. We model that with a saturating ground-width correction fitted
+//! to reproduce exactly that 5:1 → 4:1 shift, then expose the same
+//! parametric sweep the paper plots: insertion loss vs ratio, per ground
+//! width.
+
+use crate::materials::Dielectric;
+use crate::microstrip::Microstrip;
+use crate::twoport::Abcd;
+use crate::Z_REF;
+use wiforce_dsp::Complex;
+
+/// A microstrip with an explicitly finite (possibly widened) ground trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundedMicrostrip {
+    /// The underlying (infinite-ground) microstrip model.
+    pub microstrip: Microstrip,
+    /// Ground trace width, m.
+    pub ground_width_m: f64,
+}
+
+impl GroundedMicrostrip {
+    /// The paper's prototype: 2.5 mm trace over a 6 mm ground.
+    pub fn wiforce_prototype() -> Self {
+        GroundedMicrostrip {
+            microstrip: Microstrip::wiforce_sensor(),
+            ground_width_m: 6e-3,
+        }
+    }
+
+    /// Impedance correction factor from the widened ground's fringing
+    /// capacitance: 1 at `ground = trace` (the closed-form regime), dropping
+    /// by ≈11 % once the ground is ≳2.4× the trace (saturating).
+    pub fn ground_correction(&self) -> f64 {
+        let w = self.microstrip.trace_width_m;
+        let ratio = (self.ground_width_m / w).max(1.0);
+        // calibrated so Z(4:1 trace:height, 2.4× ground) = 50 Ω
+        const K: f64 = 0.188;
+        1.0 - K * (1.0 - (-(ratio - 1.0) / 1.5).exp())
+    }
+
+    /// Corrected characteristic impedance, Ω.
+    pub fn impedance_ohm(&self) -> f64 {
+        self.microstrip.impedance_ohm() * self.ground_correction()
+    }
+
+    /// Worst-case |S11| (dB) of an 80 mm line of this cross-section in the
+    /// 50 Ω system across `freqs_hz` — the matching quality metric of the
+    /// Fig. 19 sweep.
+    pub fn worst_s11_db(&self, freqs_hz: &[f64], length_m: f64) -> f64 {
+        let z0 = Complex::from_re(self.impedance_ohm());
+        freqs_hz
+            .iter()
+            .map(|&f| {
+                let s = Abcd::line(z0, self.microstrip.gamma(f), length_m).to_sparams(Z_REF);
+                s.s11_db()
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak insertion loss (dB) across `freqs_hz` for a line of
+    /// `length_m` — mismatch ripple shows up here.
+    pub fn worst_insertion_loss_db(&self, freqs_hz: &[f64], length_m: f64) -> f64 {
+        let z0 = Complex::from_re(self.impedance_ohm());
+        freqs_hz
+            .iter()
+            .map(|&f| {
+                let s = Abcd::line(z0, self.microstrip.gamma(f), length_m).to_sparams(Z_REF);
+                s.insertion_loss_db()
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// One row of the Fig. 19 parametric sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioSweepPoint {
+    /// Trace-width : height ratio `w/h`.
+    pub width_height_ratio: f64,
+    /// Corrected line impedance, Ω.
+    pub impedance_ohm: f64,
+    /// Worst |S11| across the band, dB.
+    pub worst_s11_db: f64,
+    /// Worst insertion loss across the band, dB.
+    pub worst_insertion_loss_db: f64,
+}
+
+/// Sweeps the width:height ratio for a given ground width (as a multiple of
+/// the trace width), reporting matching quality per point — the software
+/// stand-in for the paper's HFSS study.
+pub fn ratio_sweep(
+    ground_over_trace: f64,
+    ratios: &[f64],
+    freqs_hz: &[f64],
+    length_m: f64,
+) -> Vec<RatioSweepPoint> {
+    ratios
+        .iter()
+        .map(|&r| {
+            // fix height, vary trace width
+            let height = 0.63e-3;
+            let trace = r * height;
+            let gm = GroundedMicrostrip {
+                microstrip: Microstrip {
+                    trace_width_m: trace,
+                    height_m: height,
+                    substrate: Dielectric::AIR,
+                    conductivity_s_per_m: 5.8e7,
+                },
+                ground_width_m: ground_over_trace * trace,
+            };
+            RatioSweepPoint {
+                width_height_ratio: r,
+                impedance_ohm: gm.impedance_ohm(),
+                worst_s11_db: gm.worst_s11_db(freqs_hz, length_m),
+                worst_insertion_loss_db: gm.worst_insertion_loss_db(freqs_hz, length_m),
+            }
+        })
+        .collect()
+}
+
+/// The ratio minimizing worst-case S11 in a sweep.
+pub fn optimal_ratio(points: &[RatioSweepPoint]) -> f64 {
+    points
+        .iter()
+        .min_by(|a, b| a.worst_s11_db.partial_cmp(&b.worst_s11_db).expect("NaN"))
+        .map(|p| p.width_height_ratio)
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band() -> Vec<f64> {
+        (1..=30).map(|k| k as f64 * 0.1e9).collect()
+    }
+
+    fn ratios() -> Vec<f64> {
+        (20..=70).map(|k| k as f64 * 0.1).collect()
+    }
+
+    #[test]
+    fn narrow_ground_optimum_near_five() {
+        let pts = ratio_sweep(1.0, &ratios(), &band(), 0.080);
+        let opt = optimal_ratio(&pts);
+        assert!((4.5..5.5).contains(&opt), "optimum {opt}");
+    }
+
+    #[test]
+    fn wide_ground_optimum_near_four() {
+        // the paper's finding: widened ground (6 mm / 2.5 mm = 2.4×) shifts
+        // the optimum to ≈4:1
+        let pts = ratio_sweep(2.4, &ratios(), &band(), 0.080);
+        let opt = optimal_ratio(&pts);
+        assert!((3.5..4.5).contains(&opt), "optimum {opt}");
+    }
+
+    #[test]
+    fn prototype_impedance_is_matched() {
+        let z = GroundedMicrostrip::wiforce_prototype().impedance_ohm();
+        assert!((z - 50.0).abs() < 2.0, "Z = {z}");
+    }
+
+    #[test]
+    fn correction_saturates() {
+        let mut gm = GroundedMicrostrip::wiforce_prototype();
+        gm.ground_width_m = 2.5e-3; // equal to trace
+        assert!((gm.ground_correction() - 1.0).abs() < 1e-12);
+        gm.ground_width_m = 25e-3;
+        let c_wide = gm.ground_correction();
+        gm.ground_width_m = 250e-3;
+        let c_very_wide = gm.ground_correction();
+        assert!((c_wide - c_very_wide).abs() < 0.01, "saturating correction");
+        assert!(c_wide < 0.9);
+    }
+
+    #[test]
+    fn mismatch_grows_away_from_optimum() {
+        let pts = ratio_sweep(2.4, &ratios(), &band(), 0.080);
+        let opt = optimal_ratio(&pts);
+        let s11_at = |r: f64| -> f64 {
+            pts.iter()
+                .min_by(|a, b| {
+                    (a.width_height_ratio - r)
+                        .abs()
+                        .partial_cmp(&(b.width_height_ratio - r).abs())
+                        .unwrap()
+                })
+                .unwrap()
+                .worst_s11_db
+        };
+        assert!(s11_at(opt) < s11_at(opt - 1.5));
+        assert!(s11_at(opt) < s11_at(opt + 1.5));
+    }
+
+    #[test]
+    fn insertion_loss_small_near_match() {
+        let pts = ratio_sweep(2.4, &ratios(), &band(), 0.080);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.worst_s11_db.partial_cmp(&b.worst_s11_db).unwrap())
+            .unwrap();
+        assert!(best.worst_insertion_loss_db < 0.5, "{}", best.worst_insertion_loss_db);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dielectric materials, including human-tissue phantoms.
+//!
+//! The paper's §5.2 tests propagation through a three-layer gelatin phantom
+//! (muscle 25 mm / fat 10 mm / skin 2 mm) "with dielectric properties
+//! selected to mimic human tissue properties". Relative permittivities and
+//! conductivities below follow the standard Gabriel tissue database values
+//! around 900 MHz (the frequency the paper uses in-body, since 2.4 GHz is
+//! strongly attenuated).
+
+use crate::{EPS0, MU0};
+use wiforce_dsp::{Complex, TAU};
+
+/// A linear isotropic dielectric described by relative permittivity plus
+/// either a loss tangent or an ionic conductivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dielectric {
+    /// Real relative permittivity εᵣ'.
+    pub rel_permittivity: f64,
+    /// Loss tangent tan δ (used for substrate-style losses).
+    pub loss_tangent: f64,
+    /// Ionic conductivity σ, S/m (used for tissue-style losses).
+    pub conductivity_s_per_m: f64,
+}
+
+impl Dielectric {
+    /// Vacuum / dry air.
+    pub const AIR: Dielectric = Dielectric {
+        rel_permittivity: 1.0,
+        loss_tangent: 0.0,
+        conductivity_s_per_m: 0.0,
+    };
+
+    /// FR-4 PCB laminate.
+    pub const FR4: Dielectric = Dielectric {
+        rel_permittivity: 4.4,
+        loss_tangent: 0.02,
+        conductivity_s_per_m: 0.0,
+    };
+
+    /// Muscle tissue near 900 MHz (Gabriel database).
+    pub const MUSCLE: Dielectric = Dielectric {
+        rel_permittivity: 55.0,
+        loss_tangent: 0.0,
+        conductivity_s_per_m: 0.94,
+    };
+
+    /// Fat tissue near 900 MHz.
+    pub const FAT: Dielectric = Dielectric {
+        rel_permittivity: 5.5,
+        loss_tangent: 0.0,
+        conductivity_s_per_m: 0.05,
+    };
+
+    /// Skin (dry) near 900 MHz.
+    pub const SKIN: Dielectric = Dielectric {
+        rel_permittivity: 41.0,
+        loss_tangent: 0.0,
+        conductivity_s_per_m: 0.87,
+    };
+
+    /// Complex relative permittivity `εᵣ' − j·(εᵣ'·tanδ + σ/(ω·ε₀))`.
+    pub fn complex_permittivity(&self, f_hz: f64) -> Complex {
+        let omega = TAU * f_hz;
+        let imag = self.rel_permittivity * self.loss_tangent
+            + if omega > 0.0 { self.conductivity_s_per_m / (omega * EPS0) } else { 0.0 };
+        Complex::new(self.rel_permittivity, -imag)
+    }
+
+    /// Complex propagation constant `γ = jω√(με₀ε_c)` for a plane wave in
+    /// this medium at `f_hz`; `γ.re` is the attenuation (Np/m), `γ.im` the
+    /// phase constant (rad/m).
+    pub fn gamma(&self, f_hz: f64) -> Complex {
+        let omega = TAU * f_hz;
+        let ec = self.complex_permittivity(f_hz) * EPS0;
+        (Complex::new(0.0, omega) * Complex::new(0.0, omega) * ec.scale(MU0)).sqrt()
+    }
+
+    /// Plane-wave intrinsic impedance `η = √(μ/ε_c)`, Ω.
+    pub fn intrinsic_impedance(&self, f_hz: f64) -> Complex {
+        let ec = self.complex_permittivity(f_hz) * EPS0;
+        (Complex::from_re(MU0) / ec).sqrt()
+    }
+
+    /// One-way attenuation in dB over `len_m` at `f_hz`.
+    pub fn attenuation_db(&self, f_hz: f64, len_m: f64) -> f64 {
+        let alpha = self.gamma(f_hz).re;
+        20.0 * alpha * len_m * std::f64::consts::LOG10_E
+    }
+}
+
+/// One layer of a planar tissue phantom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TissueLayer {
+    /// Layer dielectric.
+    pub dielectric: Dielectric,
+    /// Layer thickness, m.
+    pub thickness_m: f64,
+}
+
+/// The paper's three-layer phantom: 25 mm muscle, 10 mm fat, 2 mm skin.
+pub fn wiforce_phantom() -> Vec<TissueLayer> {
+    vec![
+        TissueLayer { dielectric: Dielectric::MUSCLE, thickness_m: 25e-3 },
+        TissueLayer { dielectric: Dielectric::FAT, thickness_m: 10e-3 },
+        TissueLayer { dielectric: Dielectric::SKIN, thickness_m: 2e-3 },
+    ]
+}
+
+/// One-way propagation factor (complex amplitude) through a stack of
+/// layers at normal incidence, including absorption, per-interface Fresnel
+/// transmission from air into/out of the stack, and accumulated phase.
+pub fn stack_transmission(layers: &[TissueLayer], f_hz: f64) -> Complex {
+    let mut t = Complex::ONE;
+    let mut prev = Dielectric::AIR;
+    for layer in layers {
+        t *= fresnel_transmission(prev, layer.dielectric, f_hz);
+        let g = layer.dielectric.gamma(f_hz);
+        t *= (-g * layer.thickness_m).exp();
+        prev = layer.dielectric;
+    }
+    t *= fresnel_transmission(prev, Dielectric::AIR, f_hz);
+    t
+}
+
+/// Fresnel amplitude transmission coefficient from medium `a` into `b` at
+/// normal incidence: `τ = 2η_b / (η_a + η_b)`.
+pub fn fresnel_transmission(a: Dielectric, b: Dielectric, f_hz: f64) -> Complex {
+    let ea = a.intrinsic_impedance(f_hz);
+    let eb = b.intrinsic_impedance(f_hz);
+    eb.scale(2.0) / (ea + eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_is_lossless() {
+        let g = Dielectric::AIR.gamma(0.9e9);
+        assert!(g.re.abs() < 1e-12);
+        // β = ω/c
+        let beta = TAU * 0.9e9 / wiforce_dsp::C0;
+        assert!((g.im - beta).abs() / beta < 1e-9);
+        assert!(Dielectric::AIR.attenuation_db(0.9e9, 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tissue_has_high_permittivity() {
+        // paper §5.2: "materials with high dielectric constants (εᵣ > 10)"
+        for d in [Dielectric::MUSCLE, Dielectric::SKIN] {
+            assert!(d.rel_permittivity > 10.0, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn muscle_attenuates_strongly_at_900mhz() {
+        // published values: muscle α ≈ 1–2.5 dB/cm at 900 MHz
+        let db_per_cm = Dielectric::MUSCLE.attenuation_db(0.9e9, 0.01);
+        assert!((0.8..3.0).contains(&db_per_cm), "{db_per_cm} dB/cm");
+    }
+
+    #[test]
+    fn fat_much_more_transparent_than_muscle() {
+        let f = 0.9e9;
+        assert!(
+            Dielectric::FAT.attenuation_db(f, 0.01) < 0.3 * Dielectric::MUSCLE.attenuation_db(f, 0.01)
+        );
+    }
+
+    #[test]
+    fn attenuation_grows_with_frequency() {
+        // the reason the paper picks 900 MHz over 2.4 GHz for in-body
+        let a900 = Dielectric::MUSCLE.attenuation_db(0.9e9, 0.025);
+        let a24 = Dielectric::MUSCLE.attenuation_db(2.4e9, 0.025);
+        assert!(a24 > a900, "2.4 GHz {a24} dB vs 900 MHz {a900} dB");
+    }
+
+    #[test]
+    fn intrinsic_impedance_air_377() {
+        let eta = Dielectric::AIR.intrinsic_impedance(1e9);
+        assert!((eta.re - 376.73).abs() < 0.1);
+        assert!(eta.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn fresnel_same_medium_is_unity() {
+        let t = fresnel_transmission(Dielectric::AIR, Dielectric::AIR, 1e9);
+        assert!((t - Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phantom_one_way_loss_tens_of_db() {
+        // the paper reports ≈110 dB two-way backscatter loss through the
+        // phantom including air propagation; the phantom stack itself (one
+        // way, both phantom walls ≈ twice through) accounts for a few tens
+        // of dB of that
+        let t = stack_transmission(&wiforce_phantom(), 0.9e9);
+        let db = -20.0 * t.abs().log10();
+        assert!((10.0..40.0).contains(&db), "one-way phantom loss {db} dB");
+    }
+
+    #[test]
+    fn phantom_layers_match_paper() {
+        let ph = wiforce_phantom();
+        assert_eq!(ph.len(), 3);
+        assert_eq!(ph[0].thickness_m, 25e-3);
+        assert_eq!(ph[1].thickness_m, 10e-3);
+        assert_eq!(ph[2].thickness_m, 2e-3);
+    }
+
+    #[test]
+    fn complex_permittivity_lossless_at_dc_guard() {
+        // no division blow-up at f = 0
+        let e = Dielectric::MUSCLE.complex_permittivity(0.0);
+        assert!(e.re == 55.0 && e.im == 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests on the two-port algebra and line models.
+
+use proptest::prelude::*;
+use wiforce_dsp::Complex;
+use wiforce_em::microstrip::Microstrip;
+use wiforce_em::twoport::Abcd;
+use wiforce_em::Dielectric;
+
+fn arb_network() -> impl Strategy<Value = Abcd> {
+    // random cascades of passive elements are reciprocal by construction
+    (
+        0.1f64..200.0,
+        -100.0f64..100.0,
+        1e-4f64..0.05,
+        -0.05f64..0.05,
+        20.0f64..120.0,
+        0.0f64..3.0,
+        1.0f64..200.0,
+        0.001f64..0.3,
+    )
+        .prop_map(|(rs, xs, gs, bs, z0, alpha, beta, len)| {
+            Abcd::series(Complex::new(rs, xs))
+                .cascade(&Abcd::shunt(Complex::new(gs, bs)))
+                .cascade(&Abcd::line(Complex::from_re(z0), Complex::new(alpha, beta), len))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Reciprocal networks have unit ABCD determinant and S12 == S21.
+    #[test]
+    fn cascades_stay_reciprocal(net in arb_network()) {
+        let det = net.det();
+        prop_assert!((det - Complex::ONE).abs() < 1e-6, "det {det:?}");
+        let s = net.to_sparams(50.0);
+        prop_assert!((s.s12 - s.s21).abs() < 1e-6);
+    }
+
+    /// Cascading is associative.
+    #[test]
+    fn cascade_associative(a in arb_network(), b in arb_network(), c in arb_network()) {
+        let left = a.cascade(&b).cascade(&c);
+        let right = a.cascade(&b.cascade(&c));
+        prop_assert!((left.a - right.a).abs() < 1e-6 * left.a.abs().max(1.0));
+        prop_assert!((left.b - right.b).abs() < 1e-6 * left.b.abs().max(1.0));
+        prop_assert!((left.c - right.c).abs() < 1e-6 * left.c.abs().max(1.0));
+        prop_assert!((left.d - right.d).abs() < 1e-6 * left.d.abs().max(1.0));
+    }
+
+    /// Passive networks never reflect or transmit more power than they
+    /// receive.
+    #[test]
+    fn passive_networks_do_not_amplify(net in arb_network()) {
+        let s = net.to_sparams(50.0);
+        prop_assert!(s.s11.abs() <= 1.0 + 1e-9, "S11 {}", s.s11.abs());
+        prop_assert!(s.s21.abs() <= 1.0 + 1e-9, "S21 {}", s.s21.abs());
+    }
+
+    /// Microstrip impedance decreases monotonically with trace width and
+    /// increases with height.
+    #[test]
+    fn microstrip_impedance_monotone(
+        w1 in 0.5e-3f64..5e-3,
+        dw in 0.1e-3f64..3e-3,
+        h in 0.2e-3f64..2e-3,
+    ) {
+        let z = |w: f64, h: f64| Microstrip {
+            trace_width_m: w,
+            height_m: h,
+            substrate: Dielectric::AIR,
+            conductivity_s_per_m: 5.8e7,
+        }
+        .impedance_ohm();
+        prop_assert!(z(w1 + dw, h) < z(w1, h));
+        prop_assert!(z(w1, h * 1.5) > z(w1, h));
+    }
+
+    /// Phase accumulated on a shorted stub grows linearly with length
+    /// (modulo wrapping): doubling the length doubles the round-trip
+    /// electrical length.
+    #[test]
+    fn stub_phase_linear_in_length(d in 0.005f64..0.035) {
+        use wiforce_em::{SensorLine, Termination};
+        use wiforce_dsp::phase::wrap_to_pi;
+        let mut line = SensorLine::wiforce_prototype();
+        line.contact_resistance_ohm = 0.0;
+        let f = 0.9e9;
+        let beta = line.microstrip.beta(f);
+        let p1 = line.port_phase(f, Some(d), Termination::Open);
+        let p2 = line.port_phase(f, Some(2.0 * d), Termination::Open);
+        // ideal relation: φ(2d) − φ(d) = −2βd (+ mismatch ripple)
+        let diff = wrap_to_pi(p2 - p1 + 2.0 * beta * d);
+        prop_assert!(diff.abs() < 0.3, "ripple-adjusted residual {diff}");
+    }
+}

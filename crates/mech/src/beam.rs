@@ -1,0 +1,129 @@
+//! Euler–Bernoulli beam geometry and composite stiffness.
+//!
+//! The bending member in WiForce is a composite: a soft elastomer beam with
+//! a thin conductive trace bonded underneath (paper Fig. 1 / §3.1). For
+//! bending purposes the elastomer cross-section dominates once it is a few
+//! millimetres thick; the copper trace contributes both a small stiffness
+//! and the electrical function.
+
+use crate::material::{Conductor, Elastomer};
+
+/// Rectangular-cross-section beam geometry with composite stiffness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamGeometry {
+    /// Beam span between the mechanical supports (the sensor length), m.
+    pub length_m: f64,
+    /// Elastomer beam width, m.
+    pub width_m: f64,
+    /// Elastomer beam thickness, m.
+    pub thickness_m: f64,
+    /// Conductive trace width, m.
+    pub trace_width_m: f64,
+    /// Conductive trace thickness, m.
+    pub trace_thickness_m: f64,
+    /// Elastomer material.
+    pub elastomer: Elastomer,
+    /// Trace conductor material.
+    pub conductor: Conductor,
+}
+
+impl BeamGeometry {
+    /// The paper's prototype: 80 mm long sensor, 10 mm wide and ~10 mm
+    /// thick Ecoflex beam, 2.5 mm wide / 35 µm copper trace.
+    pub fn wiforce_prototype() -> Self {
+        BeamGeometry {
+            length_m: 0.080,
+            width_m: 0.010,
+            thickness_m: 0.010,
+            trace_width_m: 2.5e-3,
+            trace_thickness_m: 35e-6,
+            elastomer: Elastomer::ECOFLEX_0030,
+            conductor: Conductor::COPPER,
+        }
+    }
+
+    /// A "thin trace" variant with a vestigial elastomer layer — the naive
+    /// design of paper Fig. 4a that saturates at a point contact.
+    pub fn thin_trace() -> Self {
+        BeamGeometry {
+            thickness_m: 0.4e-3,
+            ..Self::wiforce_prototype()
+        }
+    }
+
+    /// Second moment of area of the elastomer section, m⁴.
+    pub fn elastomer_second_moment(&self) -> f64 {
+        self.width_m * self.thickness_m.powi(3) / 12.0
+    }
+
+    /// Second moment of area of the trace section about its own centroid, m⁴.
+    pub fn trace_second_moment(&self) -> f64 {
+        self.trace_width_m * self.trace_thickness_m.powi(3) / 12.0
+    }
+
+    /// Composite flexural rigidity `EI`, N·m².
+    ///
+    /// Sums the elastomer and trace contributions (parallel-axis offset of
+    /// the thin trace is negligible relative to the elastomer core at the
+    /// strain levels of interest, and silicone–copper bonding is compliant,
+    /// so we do not apply the transformed-section boost).
+    pub fn flexural_rigidity(&self) -> f64 {
+        self.elastomer.young_modulus_pa * self.elastomer_second_moment()
+            + self.conductor.young_modulus_pa * self.trace_second_moment()
+    }
+
+    /// Deflection at the centre of a simply supported beam under a central
+    /// point load `F` (the classic `FL³/48EI`); used to sanity-check the
+    /// finite-difference solver.
+    pub fn center_point_load_deflection(&self, force_n: f64) -> f64 {
+        force_n * self.length_m.powi(3) / (48.0 * self.flexural_rigidity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_dimensions_match_paper() {
+        let b = BeamGeometry::wiforce_prototype();
+        assert_eq!(b.length_m, 0.080);
+        assert_eq!(b.trace_width_m, 2.5e-3);
+    }
+
+    #[test]
+    fn second_moment_scales_with_cube_of_thickness() {
+        let b = BeamGeometry::wiforce_prototype();
+        let mut b2 = b;
+        b2.thickness_m *= 2.0;
+        let ratio = b2.elastomer_second_moment() / b.elastomer_second_moment();
+        assert!((ratio - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_beam_dominates_thin_trace_stiffness() {
+        let b = BeamGeometry::wiforce_prototype();
+        let ei_el = b.elastomer.young_modulus_pa * b.elastomer_second_moment();
+        let ei_tr = b.conductor.young_modulus_pa * b.trace_second_moment();
+        // the 10 mm ecoflex core out-stiffens the 35 µm copper film
+        assert!(ei_el > 10.0 * ei_tr, "{ei_el} vs {ei_tr}");
+    }
+
+    #[test]
+    fn thin_trace_is_much_floppier() {
+        let soft = BeamGeometry::wiforce_prototype().flexural_rigidity();
+        let thin = BeamGeometry::thin_trace().flexural_rigidity();
+        assert!(thin < soft / 100.0);
+    }
+
+    #[test]
+    fn center_deflection_formula() {
+        let b = BeamGeometry::wiforce_prototype();
+        let w = b.center_point_load_deflection(1.0);
+        let expect = 0.080f64.powi(3) / (48.0 * b.flexural_rigidity());
+        assert!((w - expect).abs() < 1e-15);
+        // the soft prototype deflects past the 0.63 mm gap under ~10 mN —
+        // touch threshold is tiny, as intended for a tactile sensor
+        assert!(b.center_point_load_deflection(0.02) > 0.63e-3);
+    }
+}

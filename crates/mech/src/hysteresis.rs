@@ -1,0 +1,188 @@
+//! Viscoelastic hysteresis for press sequences.
+//!
+//! Ecoflex is viscoelastic: the contact patch for a given force differs
+//! between the loading and unloading branches of a press cycle, and the
+//! paper's own measurement clouds (Table 1) show the resulting scatter.
+//! This module wraps any [`ForceTransducer`] with a *play operator* (the
+//! scalar Prandtl–Ishlinskii building block) plus first-order creep, so
+//! time-series workloads (ramps, staircases) exercise realistic
+//! loading/unloading asymmetry.
+
+use crate::patch::ContactPatch;
+use crate::ForceTransducer;
+
+/// Stateful hysteretic wrapper around a memoryless transducer.
+///
+/// The *effective* force driving the contact model trails the applied
+/// force inside a play band of width `play_n` and relaxes toward it with
+/// time constant `creep_tau_s`:
+///
+/// * ramp up: effective ≈ applied − play/2 (patch lags behind);
+/// * ramp down: effective ≈ applied + play/2 (patch releases late);
+/// * hold: effective creeps toward applied.
+#[derive(Debug, Clone)]
+pub struct Hysteretic<T> {
+    inner: T,
+    /// Play-band width, N.
+    play_n: f64,
+    /// Creep time constant, s.
+    creep_tau_s: f64,
+    effective_n: f64,
+    last_t_s: Option<f64>,
+}
+
+impl<T: ForceTransducer> Hysteretic<T> {
+    /// Wraps a transducer with Ecoflex-like defaults: 0.4 N play band,
+    /// 1.5 s creep.
+    pub fn new(inner: T) -> Self {
+        Hysteretic { inner, play_n: 0.4, creep_tau_s: 1.5, effective_n: 0.0, last_t_s: None }
+    }
+
+    /// Overrides the play-band width (N).
+    pub fn with_play(mut self, play_n: f64) -> Self {
+        self.play_n = play_n.max(0.0);
+        self
+    }
+
+    /// Overrides the creep time constant (s).
+    pub fn with_creep_tau(mut self, tau_s: f64) -> Self {
+        self.creep_tau_s = tau_s.max(1e-6);
+        self
+    }
+
+    /// The wrapped transducer.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Resets the internal state (sensor fully relaxed).
+    pub fn reset(&mut self) {
+        self.effective_n = 0.0;
+        self.last_t_s = None;
+    }
+
+    /// Advances the state to time `t_s` with applied force `force_n` and
+    /// returns the effective force driving the contact.
+    pub fn effective_force(&mut self, t_s: f64, force_n: f64) -> f64 {
+        // play operator: effective stays within ±play/2 of applied
+        let half = self.play_n / 2.0;
+        self.effective_n = self.effective_n.clamp(force_n - half, force_n + half);
+        // creep toward the applied force over elapsed time
+        if let Some(last) = self.last_t_s {
+            let dt = (t_s - last).max(0.0);
+            let alpha = 1.0 - (-dt / self.creep_tau_s).exp();
+            self.effective_n += alpha * (force_n - self.effective_n);
+        }
+        self.last_t_s = Some(t_s);
+        self.effective_n = self.effective_n.max(0.0);
+        self.effective_n
+    }
+
+    /// The contact patch at time `t_s` under applied `force_n`, advancing
+    /// the hysteresis state.
+    pub fn press(&mut self, t_s: f64, force_n: f64, location_m: f64) -> Option<ContactPatch> {
+        let eff = self.effective_force(t_s, force_n);
+        self.inner.contact_patch(eff, location_m)
+    }
+
+    /// Sensor length, m.
+    pub fn length_m(&self) -> f64 {
+        self.inner.length_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::SensorMech;
+    use crate::{AnalyticContactModel, Indenter};
+
+    fn wrapped() -> Hysteretic<AnalyticContactModel> {
+        Hysteretic::new(AnalyticContactModel::new(
+            SensorMech::wiforce_prototype(),
+            Indenter::actuator_tip(),
+        ))
+    }
+
+    #[test]
+    fn loading_lags_unloading_leads() {
+        let mut h = wrapped().with_creep_tau(1e9); // isolate the play band
+        // fast ramp up to 4 N
+        let mut t = 0.0;
+        for k in 0..=40 {
+            h.effective_force(t, k as f64 * 0.1);
+            t += 0.01;
+        }
+        let up = h.effective_force(t, 4.0);
+        assert!(up < 4.0, "loading branch should lag: {up}");
+        // ramp past to 6 N then back down to 4 N
+        for k in 0..=20 {
+            h.effective_force(t, 4.0 + k as f64 * 0.1);
+            t += 0.01;
+        }
+        for k in 0..=20 {
+            h.effective_force(t, 6.0 - k as f64 * 0.1);
+            t += 0.01;
+        }
+        let down = h.effective_force(t, 4.0);
+        assert!(down > 4.0, "unloading branch should lead: {down}");
+        assert!(down - up > 0.2, "hysteresis loop should open: {up} vs {down}");
+    }
+
+    #[test]
+    fn creep_closes_the_gap_on_hold() {
+        let mut h = wrapped().with_play(0.4).with_creep_tau(0.5);
+        let mut t = 0.0;
+        for k in 0..=40 {
+            h.effective_force(t, k as f64 * 0.1);
+            t += 0.01;
+        }
+        let fresh = h.effective_force(t, 4.0);
+        // hold for many time constants
+        let settled = h.effective_force(t + 10.0, 4.0);
+        assert!((settled - 4.0).abs() < 0.02, "creep should settle: {settled}");
+        assert!((fresh - 4.0).abs() > (settled - 4.0).abs());
+    }
+
+    #[test]
+    fn patch_differs_between_branches() {
+        let mut h = wrapped().with_creep_tau(1e9);
+        let mut t = 0.0;
+        let mut step = |h: &mut Hysteretic<_>, f: f64| {
+            let p = h.press(t, f, 0.040);
+            t += 0.01;
+            p
+        };
+        for k in 0..=40 {
+            step(&mut h, k as f64 * 0.1);
+        }
+        let up = step(&mut h, 4.0).unwrap();
+        for k in 0..=20 {
+            step(&mut h, 4.0 + k as f64 * 0.1);
+        }
+        for k in 0..=20 {
+            step(&mut h, 6.0 - k as f64 * 0.1);
+        }
+        let down = step(&mut h, 4.0).unwrap();
+        assert!(
+            down.width_m() > up.width_m(),
+            "unloading patch should stay wider: {down:?} vs {up:?}"
+        );
+    }
+
+    #[test]
+    fn effective_force_never_negative() {
+        let mut h = wrapped();
+        h.effective_force(0.0, 1.0);
+        let e = h.effective_force(0.1, 0.0);
+        assert!(e >= 0.0);
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut h = wrapped();
+        h.effective_force(0.0, 5.0);
+        h.reset();
+        assert_eq!(h.effective_force(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Indenter (press) shapes.
+//!
+//! The paper's evaluation uses an actuated indenter with a load cell for
+//! ground truth (§4.2, Fig. 11), and a human fingertip (~10 mm wide, §5.3)
+//! for the UI experiments. The indenter shape sets the footprint over which
+//! force enters the soft beam before the elastomer spreads it further.
+
+/// Cross-sectional pressure footprint of an indenter pressing the sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Indenter {
+    /// Idealized knife-edge / point contact (zero footprint).
+    Point,
+    /// Rigid flat punch of the given width (m) — the paper's actuated
+    /// indenter tip.
+    Flat {
+        /// Footprint width along the sensor axis, m.
+        width_m: f64,
+    },
+    /// Human fingertip: compliant pad approximated by a raised-cosine
+    /// pressure footprint of the given width (m), nominally 10 mm.
+    Fingertip {
+        /// Effective pad width along the sensor axis, m.
+        width_m: f64,
+    },
+}
+
+impl Indenter {
+    /// The paper's actuated indenter: 2 mm flat tip.
+    pub fn actuator_tip() -> Self {
+        Indenter::Flat { width_m: 2e-3 }
+    }
+
+    /// Typical human fingertip (paper §5.3: width/thickness ≈ 10 mm).
+    pub fn fingertip() -> Self {
+        Indenter::Fingertip { width_m: 10e-3 }
+    }
+
+    /// Footprint half-width, m.
+    pub fn half_width_m(&self) -> f64 {
+        match *self {
+            Indenter::Point => 0.0,
+            Indenter::Flat { width_m } | Indenter::Fingertip { width_m } => width_m / 2.0,
+        }
+    }
+
+    /// Normalized footprint weight at signed offset `dx` (m) from the press
+    /// centre. Integrates to 1 over the footprint (per unit length weights
+    /// are handled by the caller's discretization).
+    ///
+    /// * `Point` — delta function; callers special-case it to a single node.
+    /// * `Flat` — uniform over the width.
+    /// * `Fingertip` — raised cosine (soft edges).
+    pub fn footprint_weight(&self, dx: f64) -> f64 {
+        match *self {
+            Indenter::Point => {
+                if dx == 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Indenter::Flat { width_m } => {
+                if dx.abs() <= width_m / 2.0 {
+                    1.0 / width_m
+                } else {
+                    0.0
+                }
+            }
+            Indenter::Fingertip { width_m } => {
+                let h = width_m / 2.0;
+                if dx.abs() <= h {
+                    // raised cosine normalized to unit integral
+                    (1.0 + (std::f64::consts::PI * dx / h).cos()) / width_m
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_widths() {
+        assert_eq!(Indenter::Point.half_width_m(), 0.0);
+        assert_eq!(Indenter::actuator_tip().half_width_m(), 1e-3);
+        assert_eq!(Indenter::fingertip().half_width_m(), 5e-3);
+    }
+
+    #[test]
+    fn flat_footprint_uniform_and_bounded() {
+        let ind = Indenter::Flat { width_m: 4e-3 };
+        assert_eq!(ind.footprint_weight(0.0), 250.0);
+        assert_eq!(ind.footprint_weight(1.9e-3), 250.0);
+        assert_eq!(ind.footprint_weight(2.1e-3), 0.0);
+    }
+
+    #[test]
+    fn footprints_integrate_to_one() {
+        for ind in [Indenter::Flat { width_m: 6e-3 }, Indenter::fingertip()] {
+            let n = 20_001;
+            let h = ind.half_width_m() * 1.2;
+            let dx = 2.0 * h / (n - 1) as f64;
+            let integral: f64 =
+                (0..n).map(|i| ind.footprint_weight(-h + i as f64 * dx) * dx).sum();
+            assert!((integral - 1.0).abs() < 1e-3, "{ind:?}: {integral}");
+        }
+    }
+
+    #[test]
+    fn fingertip_soft_edges() {
+        let ind = Indenter::fingertip();
+        // peaked at centre, fading to zero at edges
+        assert!(ind.footprint_weight(0.0) > ind.footprint_weight(4e-3));
+        assert!(ind.footprint_weight(4.99e-3) < 10.0);
+        assert_eq!(ind.footprint_weight(5.01e-3), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Material properties for the sensor's mechanical stack.
+//!
+//! The paper fabricates the sensor from Ecoflex soft silicone ("with bending
+//! properties which maximize the phase changes transduced by contact
+//! forces", §1). Nominal elastic moduli here follow published
+//! characterizations of Smooth-On Ecoflex grades and PDMS; exact values only
+//! set the force scale of the simulation, not the qualitative transduction.
+
+/// A hyperelastic polymer approximated as linear-elastic for the small-ish
+/// strains of the contact solver, with a strain-stiffening correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Elastomer {
+    /// Small-strain Young's modulus, Pa.
+    pub young_modulus_pa: f64,
+    /// Poisson ratio (≈0.5 for nearly incompressible silicones).
+    pub poisson_ratio: f64,
+    /// Compressive strain at which the tangent stiffness has doubled;
+    /// models densification of the soft layer as it bottoms out.
+    pub stiffening_strain: f64,
+}
+
+impl Elastomer {
+    /// Smooth-On Ecoflex 00-30 (the paper's sensor beam material).
+    pub const ECOFLEX_0030: Elastomer = Elastomer {
+        young_modulus_pa: 125e3,
+        poisson_ratio: 0.49,
+        stiffening_strain: 0.45,
+    };
+
+    /// Smooth-On Ecoflex 00-50 (stiffer variant).
+    pub const ECOFLEX_0050: Elastomer = Elastomer {
+        young_modulus_pa: 250e3,
+        poisson_ratio: 0.49,
+        stiffening_strain: 0.45,
+    };
+
+    /// Sylgard-184 PDMS (much stiffer; a poor choice for the sensor, kept
+    /// for ablations).
+    pub const PDMS: Elastomer = Elastomer {
+        young_modulus_pa: 1.8e6,
+        poisson_ratio: 0.49,
+        stiffening_strain: 0.5,
+    };
+
+    /// Secant compressive stress (Pa) at engineering strain `eps ∈ [0, 1)`,
+    /// with smooth densification stiffening:
+    /// `σ(ε) = E·ε / (1 − (ε/ε_s)²)` clipped near full densification.
+    pub fn stress_pa(&self, eps: f64) -> f64 {
+        let eps = eps.clamp(0.0, 0.999);
+        let ratio = (eps / self.stiffening_strain.max(1e-6)).min(0.999);
+        self.young_modulus_pa * eps / (1.0 - ratio * ratio)
+    }
+
+    /// Tangent stiffness dσ/dε at strain `eps` (Pa).
+    pub fn tangent_modulus_pa(&self, eps: f64) -> f64 {
+        // numeric derivative is fine at this precision
+        let d = 1e-6;
+        (self.stress_pa(eps + d) - self.stress_pa((eps - d).max(0.0))) / (2.0 * d)
+    }
+}
+
+/// A conductor used for the traces. Only flexural stiffness matters to the
+/// mechanics; conductivity matters to the RF loss model in `wiforce-em`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conductor {
+    /// Young's modulus, Pa.
+    pub young_modulus_pa: f64,
+    /// Electrical conductivity, S/m.
+    pub conductivity_s_per_m: f64,
+}
+
+impl Conductor {
+    /// Annealed copper.
+    pub const COPPER: Conductor = Conductor {
+        young_modulus_pa: 110e9,
+        conductivity_s_per_m: 5.8e7,
+    };
+
+    /// Conductive silver ink/epoxy trace (flexible-PCB future-work variant).
+    pub const SILVER_INK: Conductor = Conductor {
+        young_modulus_pa: 10e9,
+        conductivity_s_per_m: 1.0e6,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecoflex_much_softer_than_pdms() {
+        let (eco, pdms) = (Elastomer::ECOFLEX_0030, Elastomer::PDMS);
+        assert!(eco.young_modulus_pa < pdms.young_modulus_pa / 10.0);
+    }
+
+    #[test]
+    fn stress_linear_at_small_strain() {
+        let m = Elastomer::ECOFLEX_0030;
+        let eps = 1e-4;
+        let sigma = m.stress_pa(eps);
+        assert!((sigma / (m.young_modulus_pa * eps) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stress_stiffens_at_large_strain() {
+        let m = Elastomer::ECOFLEX_0030;
+        // secant modulus at 40% strain should exceed small-strain modulus
+        let secant = m.stress_pa(0.40) / 0.40;
+        assert!(secant > 1.5 * m.young_modulus_pa);
+    }
+
+    #[test]
+    fn stress_monotone_in_strain() {
+        let m = Elastomer::ECOFLEX_0050;
+        let mut prev = -1.0;
+        for k in 0..100 {
+            let s = m.stress_pa(k as f64 * 0.004);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn tangent_exceeds_secant_when_stiffening() {
+        let m = Elastomer::ECOFLEX_0030;
+        let eps = 0.3;
+        assert!(m.tangent_modulus_pa(eps) > m.stress_pa(eps) / eps);
+    }
+
+    #[test]
+    fn stress_clamps_at_extremes() {
+        let m = Elastomer::ECOFLEX_0030;
+        assert_eq!(m.stress_pa(0.0), 0.0);
+        assert!(m.stress_pa(2.0).is_finite()); // clamped, not exploding
+        assert!(m.stress_pa(-1.0) == 0.0);
+    }
+}

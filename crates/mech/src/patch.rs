@@ -1,0 +1,79 @@
+//! The contact patch: the pair of shorting points the RF layer sees.
+
+/// A contact patch `[left_m, right_m]` on the sensor axis (metres from the
+/// port-1 end), produced by a press.
+///
+/// In RF terms these are the two *shorting points* of paper Fig. 1: signals
+/// entering from port 1 reflect at `left_m`; signals from port 2 reflect at
+/// `right_m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactPatch {
+    /// Position of the shorting point nearer port 1, m.
+    pub left_m: f64,
+    /// Position of the shorting point nearer port 2, m.
+    pub right_m: f64,
+}
+
+impl ContactPatch {
+    /// Creates a patch, normalizing the endpoint order.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            ContactPatch { left_m: a, right_m: b }
+        } else {
+            ContactPatch { left_m: b, right_m: a }
+        }
+    }
+
+    /// Patch width, m.
+    pub fn width_m(&self) -> f64 {
+        self.right_m - self.left_m
+    }
+
+    /// Patch centre, m.
+    pub fn center_m(&self) -> f64 {
+        0.5 * (self.left_m + self.right_m)
+    }
+
+    /// Electrical length seen from port 1 (distance to the first short), m.
+    pub fn port1_length_m(&self) -> f64 {
+        self.left_m
+    }
+
+    /// Electrical length seen from port 2 on a sensor of length `len_m`, m.
+    pub fn port2_length_m(&self, len_m: f64) -> f64 {
+        len_m - self.right_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_order() {
+        let p = ContactPatch::new(0.06, 0.02);
+        assert_eq!(p.left_m, 0.02);
+        assert_eq!(p.right_m, 0.06);
+    }
+
+    #[test]
+    fn width_center() {
+        let p = ContactPatch::new(0.02, 0.06);
+        assert!((p.width_m() - 0.04).abs() < 1e-15);
+        assert!((p.center_m() - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    fn port_lengths() {
+        let p = ContactPatch::new(0.02, 0.06);
+        assert!((p.port1_length_m() - 0.02).abs() < 1e-15);
+        assert!((p.port2_length_m(0.08) - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_point_patch() {
+        let p = ContactPatch::new(0.03, 0.03);
+        assert_eq!(p.width_m(), 0.0);
+        assert_eq!(p.center_m(), 0.03);
+    }
+}

@@ -1,0 +1,234 @@
+//! Force-vs-time press profiles (simulation workloads).
+//!
+//! The paper drives the sensor two ways: a precision actuator ramping force
+//! at fixed locations (§4.2/§5.1) and human fingertips settling onto
+//! staircase force levels with visual feedback (§5.3, Fig. 17). Both
+//! workloads are modelled here. Mechanical settling is slow relative to the
+//! reader's channel-sounding rate (paper §3.3: "mechanical forces ... take
+//! about 0.5–1 seconds to stabilize"), so profiles are smooth functions of
+//! time that the pipeline samples per phase-group.
+
+use rand_like::Tremor;
+
+/// A deterministic force profile `t → (force_n, location_m)`.
+pub trait PressProfile {
+    /// Total duration, s.
+    fn duration_s(&self) -> f64;
+    /// Force (N) at time `t` seconds.
+    fn force_at(&self, t: f64) -> f64;
+    /// Press location (m); constant for the workloads in the paper.
+    fn location_m(&self) -> f64;
+}
+
+/// Actuated-indenter trapezoid: ramp up at a fixed rate, dwell, ramp down.
+#[derive(Debug, Clone, Copy)]
+pub struct ActuatorRamp {
+    /// Peak force, N.
+    pub peak_n: f64,
+    /// Ramp rate, N/s.
+    pub rate_n_per_s: f64,
+    /// Dwell at peak, s.
+    pub dwell_s: f64,
+    /// Press location, m.
+    pub location_m: f64,
+}
+
+impl ActuatorRamp {
+    /// The paper's standard sweep: 0 → 8 N at a gentle rate.
+    pub fn standard(location_m: f64) -> Self {
+        ActuatorRamp { peak_n: 8.0, rate_n_per_s: 2.0, dwell_s: 1.0, location_m }
+    }
+}
+
+impl PressProfile for ActuatorRamp {
+    fn duration_s(&self) -> f64 {
+        2.0 * self.peak_n / self.rate_n_per_s + self.dwell_s
+    }
+
+    fn force_at(&self, t: f64) -> f64 {
+        let ramp = self.peak_n / self.rate_n_per_s;
+        if t < 0.0 {
+            0.0
+        } else if t < ramp {
+            self.rate_n_per_s * t
+        } else if t < ramp + self.dwell_s {
+            self.peak_n
+        } else if t < 2.0 * ramp + self.dwell_s {
+            self.peak_n - self.rate_n_per_s * (t - ramp - self.dwell_s)
+        } else {
+            0.0
+        }
+    }
+
+    fn location_m(&self) -> f64 {
+        self.location_m
+    }
+}
+
+/// Human fingertip staircase: a sequence of force levels held for a dwell
+/// time each, with first-order settling between levels and physiological
+/// tremor on top.
+#[derive(Debug, Clone)]
+pub struct FingertipStaircase {
+    /// Target force levels, N, visited in order.
+    pub levels_n: Vec<f64>,
+    /// Hold time per level, s.
+    pub hold_s: f64,
+    /// Settling time constant between levels, s (≈0.2–0.5 for humans
+    /// tracking a visual cue).
+    pub settle_tau_s: f64,
+    /// Tremor amplitude as a fraction of the current level.
+    pub tremor_frac: f64,
+    /// Press location, m.
+    pub location_m: f64,
+    /// Seed for the deterministic tremor process.
+    pub tremor_seed: u64,
+}
+
+impl FingertipStaircase {
+    /// The paper's §5.3 user study shape: increasing force levels at the
+    /// 60 mm point.
+    pub fn user_study() -> Self {
+        FingertipStaircase {
+            levels_n: vec![1.0, 2.0, 3.5, 5.0, 6.5],
+            hold_s: 2.0,
+            settle_tau_s: 0.3,
+            tremor_frac: 0.03,
+            location_m: 0.060,
+            tremor_seed: 0xF1A6,
+        }
+    }
+}
+
+impl PressProfile for FingertipStaircase {
+    fn duration_s(&self) -> f64 {
+        self.levels_n.len() as f64 * self.hold_s
+    }
+
+    fn force_at(&self, t: f64) -> f64 {
+        if t < 0.0 || self.levels_n.is_empty() {
+            return 0.0;
+        }
+        let idx = ((t / self.hold_s) as usize).min(self.levels_n.len() - 1);
+        let target = self.levels_n[idx];
+        let prev = if idx == 0 { 0.0 } else { self.levels_n[idx - 1] };
+        let t_in = t - idx as f64 * self.hold_s;
+        // first-order settle toward the target
+        let base = target + (prev - target) * (-t_in / self.settle_tau_s).exp();
+        // physiological tremor: deterministic band-limited wobble (~8–12 Hz)
+        let tremor = Tremor::new(self.tremor_seed).sample(t) * self.tremor_frac * target;
+        (base + tremor).max(0.0)
+    }
+
+    fn location_m(&self) -> f64 {
+        self.location_m
+    }
+}
+
+/// Deterministic pseudo-random tremor helper (sum of incommensurate
+/// sinusoids seeded by hash) — keeps `wiforce-mech` free of the `rand`
+/// dependency while giving realistic-looking wobble.
+mod rand_like {
+    /// Band-limited wobble in roughly the 8–12 Hz physiological band.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Tremor {
+        phase1: f64,
+        phase2: f64,
+        phase3: f64,
+    }
+
+    impl Tremor {
+        /// Builds a tremor process from a seed.
+        pub fn new(seed: u64) -> Self {
+            // splitmix-style scramble to decorrelate phases
+            let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut next = || {
+                s ^= s >> 30;
+                s = s.wrapping_mul(0xBF58476D1CE4E5B9);
+                s ^= s >> 27;
+                (s % 10_000) as f64 / 10_000.0 * std::f64::consts::TAU
+            };
+            Tremor { phase1: next(), phase2: next(), phase3: next() }
+        }
+
+        /// Zero-mean unit-ish amplitude wobble at time `t` seconds.
+        pub fn sample(&self, t: f64) -> f64 {
+            use std::f64::consts::TAU;
+            0.5 * (TAU * 8.3 * t + self.phase1).sin()
+                + 0.35 * (TAU * 10.7 * t + self.phase2).sin()
+                + 0.15 * (TAU * 12.1 * t + self.phase3).sin()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_shape() {
+        let r = ActuatorRamp { peak_n: 8.0, rate_n_per_s: 2.0, dwell_s: 1.0, location_m: 0.04 };
+        assert_eq!(r.duration_s(), 9.0);
+        assert_eq!(r.force_at(-1.0), 0.0);
+        assert_eq!(r.force_at(0.0), 0.0);
+        assert_eq!(r.force_at(2.0), 4.0);
+        assert_eq!(r.force_at(4.0), 8.0); // top of ramp
+        assert_eq!(r.force_at(4.5), 8.0); // dwell
+        assert_eq!(r.force_at(7.0), 4.0); // ramping down
+        assert_eq!(r.force_at(9.5), 0.0);
+    }
+
+    #[test]
+    fn ramp_is_continuous() {
+        let r = ActuatorRamp::standard(0.04);
+        let mut prev = r.force_at(0.0);
+        for k in 1..=900 {
+            let t = k as f64 * 0.01 * r.duration_s() / 9.0;
+            let f = r.force_at(t);
+            assert!((f - prev).abs() < 0.1, "jump at t={t}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn staircase_reaches_levels() {
+        let s = FingertipStaircase::user_study();
+        for (i, &lvl) in s.levels_n.iter().enumerate() {
+            // sample late in the hold window when settled
+            let t = (i as f64 + 0.9) * s.hold_s;
+            let f = s.force_at(t);
+            assert!(
+                (f - lvl).abs() < 0.15 * lvl + 0.05,
+                "level {lvl}: got {f} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn staircase_never_negative() {
+        let s = FingertipStaircase::user_study();
+        for k in 0..1000 {
+            let t = k as f64 * s.duration_s() / 1000.0;
+            assert!(s.force_at(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tremor_deterministic_and_zero_meanish() {
+        let s1 = FingertipStaircase::user_study();
+        let s2 = FingertipStaircase::user_study();
+        let mut acc = 0.0;
+        for k in 0..1000 {
+            let t = k as f64 * 0.01;
+            assert_eq!(s1.force_at(t), s2.force_at(t));
+            acc += s1.force_at(t + s1.hold_s * 0.5) - s1.force_at(t + s1.hold_s * 0.5);
+        }
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    fn profiles_expose_location() {
+        assert_eq!(ActuatorRamp::standard(0.055).location_m(), 0.055);
+        assert_eq!(FingertipStaircase::user_study().location_m(), 0.060);
+    }
+}

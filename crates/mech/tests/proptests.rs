@@ -1,0 +1,61 @@
+//! Property-based tests on the mechanics substrate.
+
+use proptest::prelude::*;
+use wiforce_mech::contact::SensorMech;
+use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
+
+fn model() -> AnalyticContactModel {
+    AnalyticContactModel::new(SensorMech::wiforce_prototype(), Indenter::actuator_tip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Above threshold, patches are inside the sensor, contain the press,
+    /// and widen monotonically with force.
+    #[test]
+    fn patch_invariants(f in 0.6f64..7.5, df in 0.1f64..0.5, x0 in 0.012f64..0.068) {
+        let m = model();
+        let p = m.contact_patch(f, x0).expect("above threshold");
+        prop_assert!(p.left_m >= 0.0 && p.right_m <= m.length_m());
+        prop_assert!(p.left_m <= x0 + 1e-12 && x0 <= p.right_m + 1e-12);
+        let p2 = m.contact_patch(f + df, x0).expect("still above threshold");
+        prop_assert!(p2.width_m() + 1e-12 >= p.width_m());
+        prop_assert!(p2.left_m <= p.left_m + 1e-12);
+        prop_assert!(p2.right_m + 1e-12 >= p.right_m);
+    }
+
+    /// Mirror symmetry: pressing at L−x mirrors the patch of pressing at x.
+    #[test]
+    fn patch_mirror_symmetry(f in 1.0f64..7.0, x0 in 0.015f64..0.040) {
+        let m = model();
+        let l = m.length_m();
+        let p = m.contact_patch(f, x0).expect("contact");
+        let q = m.contact_patch(f, l - x0).expect("contact");
+        prop_assert!((p.left_m - (l - q.right_m)).abs() < 1e-9);
+        prop_assert!((p.right_m - (l - q.left_m)).abs() < 1e-9);
+    }
+
+    /// Touch threshold is finite inside the usable range and the patch
+    /// appears right above it.
+    #[test]
+    fn threshold_consistency(x0 in 0.015f64..0.065) {
+        let m = model();
+        let thr = m.touch_threshold_n(x0);
+        prop_assert!(thr.is_finite() && thr > 0.0 && thr < 2.0, "{thr}");
+        prop_assert!(m.contact_patch(thr * 1.05, x0).is_some());
+        prop_assert!(m.contact_patch(thr * 0.95, x0).is_none());
+    }
+
+    /// A wider fingertip indenter never produces a narrower patch than the
+    /// actuator tip at the same press.
+    #[test]
+    fn wider_indenter_wider_patch(f in 1.0f64..7.0, x0 in 0.020f64..0.060) {
+        let tip = model();
+        let finger =
+            AnalyticContactModel::new(SensorMech::wiforce_prototype(), Indenter::fingertip());
+        let pt = tip.contact_patch(f, x0).expect("contact");
+        let pf = finger.contact_patch(f, x0).expect("contact");
+        prop_assert!(pf.width_m() + 1e-12 >= pt.width_m());
+    }
+}

@@ -1,0 +1,85 @@
+//! The channel-sounder abstraction.
+//!
+//! WiForce needs one thing from the physical layer: a periodic vector of
+//! per-frequency channel estimates `H[k, n]`. Both the OFDM reader (what
+//! the paper built) and an FMCW radar front end (what the paper argues
+//! would work equally well) provide it; the sensing algorithm in
+//! `wiforce` is written against this trait.
+
+use rand::RngCore;
+use wiforce_dsp::Complex;
+
+/// A device that periodically estimates the channel at a fixed grid of
+/// frequency offsets around the carrier.
+pub trait ChannelSounder {
+    /// Frequency offsets of the estimate grid relative to the carrier, Hz
+    /// (e.g. OFDM subcarrier offsets), ascending.
+    fn frequency_offsets_hz(&self) -> Vec<f64>;
+
+    /// Time between consecutive channel estimates, s (the paper's `T`).
+    fn snapshot_period_s(&self) -> f64;
+
+    /// Produces one channel-estimate snapshot given the true channel at
+    /// each grid frequency and a per-sample receiver noise level
+    /// (std-dev of complex AWGN relative to unit TX amplitude).
+    ///
+    /// Implementations synthesize their actual waveform, push it through
+    /// the (frequency-domain) channel, add noise and run their estimator —
+    /// so estimation gain/loss is real, not assumed.
+    fn estimate(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Complex>;
+
+    /// Maximum unambiguous modulation ("artificial Doppler") frequency,
+    /// Hz: `1/(2T)` (the paper's Nyquist argument in §4.4).
+    fn max_doppler_hz(&self) -> f64 {
+        0.5 / self.snapshot_period_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A trivial sounder used to test the trait's provided method.
+    struct Dummy;
+
+    impl ChannelSounder for Dummy {
+        fn frequency_offsets_hz(&self) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn snapshot_period_s(&self) -> f64 {
+            57.6e-6
+        }
+        fn estimate(
+            &self,
+            true_channel: &[Complex],
+            _noise_std: f64,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<Complex> {
+            true_channel.to_vec()
+        }
+    }
+
+    #[test]
+    fn nyquist_limit_matches_paper() {
+        // paper §4.4: |f_max| = 1/(2T) ≈ 8.7 kHz
+        let d = Dummy;
+        assert!((d.max_doppler_hz() - 8680.0).abs() < 20.0);
+        // and the chosen 1/4 kHz lines fall comfortably inside
+        assert!(4000.0 < d.max_doppler_hz());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let d: Box<dyn ChannelSounder> = Box::new(Dummy);
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = d.estimate(&[Complex::ONE], 0.0, &mut rng);
+        assert_eq!(est, vec![Complex::ONE]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Sample-stream transmit/receive chain.
+//!
+//! The rest of the crate works at the channel-estimate level; this module
+//! closes the loop at the *sample* level, the way the USRP actually runs
+//! (§4.4): a continuous TX stream of preamble-plus-silence frames, a
+//! receiver that has to *find* the preamble in its sample stream
+//! ([`crate::sync`]), lock the 720-sample frame cadence, and produce one
+//! channel estimate per frame. The estimate-level and stream-level paths
+//! must agree — a test in `wiforce-repro` drives the full force pipeline
+//! through this receiver.
+
+use crate::ofdm::{ascending_to_bins, bins_to_ascending, OfdmSounder};
+use crate::sync::find_preamble;
+use rand::RngCore;
+use wiforce_dsp::fft::{fft, ifft};
+use wiforce_dsp::rng::complex_gaussian;
+use wiforce_dsp::signal::hadamard;
+use wiforce_dsp::Complex;
+
+/// Generates the reader's continuous TX stream: `n_frames` repetitions of
+/// preamble + zero padding.
+pub fn tx_stream(sounder: &OfdmSounder, n_frames: usize) -> Vec<Complex> {
+    let preamble = sounder.preamble_time();
+    let frame = sounder.frame_samples();
+    let mut out = Vec::with_capacity(n_frames * frame);
+    for _ in 0..n_frames {
+        out.extend_from_slice(&preamble);
+        out.resize(out.len() + (frame - preamble.len()), Complex::ZERO);
+    }
+    out
+}
+
+/// Simulates the received sample stream for a sequence of per-frame
+/// channels: each frame's preamble rides through its own (frame-constant)
+/// per-subcarrier channel, AWGN of std `noise_std` covers every sample,
+/// and `lead_in` noise-only samples precede the first frame (the unknown
+/// timing the receiver must acquire).
+pub fn simulate_rx_stream(
+    sounder: &OfdmSounder,
+    channels: &[Vec<Complex>],
+    noise_std: f64,
+    lead_in: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<Complex> {
+    let frame = sounder.frame_samples();
+    let n_sub = sounder.n_subcarriers;
+    let scale = (n_sub as f64).sqrt();
+    let symbols = sounder.preamble_symbols();
+    let mut out = Vec::with_capacity(lead_in + channels.len() * frame);
+    for _ in 0..lead_in {
+        out.push(complex_gaussian(rng, noise_std * noise_std));
+    }
+    for ch in channels {
+        assert_eq!(ch.len(), n_sub, "one channel entry per subcarrier");
+        // received preamble symbol: IFFT(S·H), repeated n_repeats times
+        let rx_freq = hadamard(&symbols, &ascending_to_bins(ch));
+        let rx_sym: Vec<Complex> = ifft(&rx_freq).into_iter().map(|z| z * scale).collect();
+        for _ in 0..sounder.n_repeats {
+            for &x in &rx_sym {
+                out.push(x + complex_gaussian(rng, noise_std * noise_std));
+            }
+        }
+        for _ in 0..sounder.zero_pad {
+            out.push(complex_gaussian(rng, noise_std * noise_std));
+        }
+    }
+    out
+}
+
+/// A locked stream receiver: acquires preamble timing once, then slices
+/// frames at the fixed cadence and estimates the channel per frame.
+#[derive(Debug, Clone)]
+pub struct StreamReceiver {
+    sounder: OfdmSounder,
+    /// Minimum normalized correlation metric for acquisition.
+    pub min_sync_metric: f64,
+}
+
+/// Result of processing a stream.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Sample offset where the first preamble was found.
+    pub sync_offset: usize,
+    /// Correlation quality of the acquisition.
+    pub sync_metric: f64,
+    /// One channel estimate (ascending subcarrier order) per decoded frame.
+    pub estimates: Vec<Vec<Complex>>,
+}
+
+impl StreamReceiver {
+    /// Creates a receiver for the given sounding waveform.
+    pub fn new(sounder: OfdmSounder) -> Self {
+        StreamReceiver { sounder, min_sync_metric: 1e-4 }
+    }
+
+    /// Estimates the channel from one received 320-sample preamble.
+    pub fn estimate_from_preamble(&self, rx_preamble: &[Complex]) -> Vec<Complex> {
+        let n = self.sounder.n_subcarriers;
+        assert_eq!(
+            rx_preamble.len(),
+            n * self.sounder.n_repeats,
+            "need the full received preamble"
+        );
+        let mut avg = vec![Complex::ZERO; n];
+        for rep in rx_preamble.chunks(n) {
+            for (a, &x) in avg.iter_mut().zip(rep) {
+                *a += x;
+            }
+        }
+        let inv = 1.0 / self.sounder.n_repeats as f64;
+        avg.iter_mut().for_each(|z| *z = z.scale(inv));
+        let scale = (n as f64).sqrt();
+        let rx_f: Vec<Complex> = fft(&avg).into_iter().map(|z| z / scale).collect();
+        let s = self.sounder.preamble_symbols();
+        let bins: Vec<Complex> = rx_f.iter().zip(&s).map(|(&r, &sk)| r / sk).collect();
+        bins_to_ascending(&bins)
+    }
+
+    /// Acquires timing and decodes every complete frame in `stream`.
+    ///
+    /// Returns `None` when no preamble clears the sync threshold.
+    pub fn process(&self, stream: &[Complex]) -> Option<StreamResult> {
+        let preamble = self.sounder.preamble_time();
+        let frame = self.sounder.frame_samples();
+        // search exactly one frame period of alignments (any more would
+        // cover the next frame's preamble and the global correlation max
+        // could land there instead of on the first occurrence)
+        let search = stream.len().min(frame + preamble.len() - 1);
+        let sync = find_preamble(&stream[..search], &preamble, self.min_sync_metric)?;
+        let mut estimates = Vec::new();
+        let mut pos = sync.offset;
+        while pos + preamble.len() <= stream.len() {
+            estimates.push(self.estimate_from_preamble(&stream[pos..pos + preamble.len()]));
+            pos += frame;
+        }
+        Some(StreamResult {
+            sync_offset: sync.offset,
+            sync_metric: sync.peak_metric,
+            estimates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn channels(n_frames: usize) -> Vec<Vec<Complex>> {
+        (0..n_frames)
+            .map(|f| {
+                (0..64)
+                    .map(|k| {
+                        Complex::from_polar(
+                            0.5 + 0.001 * f as f64,
+                            0.02 * k as f64 + 0.1 * f as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tx_stream_shape() {
+        let s = OfdmSounder::wiforce();
+        let tx = tx_stream(&s, 3);
+        assert_eq!(tx.len(), 3 * 720);
+        // padding region is silent
+        assert_eq!(tx[320], Complex::ZERO);
+        assert_eq!(tx[719], Complex::ZERO);
+        assert!(tx[0] != Complex::ZERO);
+    }
+
+    #[test]
+    fn receiver_acquires_and_decodes_all_frames() {
+        let s = OfdmSounder::wiforce();
+        let chans = channels(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rx = simulate_rx_stream(&s, &chans, 1e-4, 137, &mut rng);
+        let result = StreamReceiver::new(s).process(&rx).expect("sync");
+        assert_eq!(result.sync_offset, 137);
+        assert_eq!(result.estimates.len(), 5);
+        for (est, truth) in result.estimates.iter().zip(&chans) {
+            for (e, t) in est.iter().zip(truth) {
+                assert!((*e - *t).abs() < 2e-3, "{e:?} vs {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_stream_estimates_exactly() {
+        let s = OfdmSounder::wiforce();
+        let chans = channels(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rx = simulate_rx_stream(&s, &chans, 0.0, 0, &mut rng);
+        let result = StreamReceiver::new(s).process(&rx).expect("sync");
+        assert_eq!(result.sync_offset, 0);
+        for (est, truth) in result.estimates.iter().zip(&chans) {
+            for (e, t) in est.iter().zip(truth) {
+                assert!((*e - *t).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_noise_does_not_sync() {
+        let s = OfdmSounder::wiforce();
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise: Vec<Complex> =
+            (0..2000).map(|_| complex_gaussian(&mut rng, 1e-4)).collect();
+        let mut rx = StreamReceiver::new(s);
+        rx.min_sync_metric = 0.05;
+        assert!(rx.process(&noise).is_none());
+    }
+
+    #[test]
+    fn stream_matches_estimate_level_path() {
+        // the waveform-level receiver and the OfdmSounder::estimate
+        // shortcut must produce identical noiseless channel estimates
+        use crate::sounder::ChannelSounder;
+        let s = OfdmSounder::wiforce();
+        let truth: Vec<Complex> =
+            (0..64).map(|k| Complex::from_polar(1.0, 0.05 * k as f64)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let rx = simulate_rx_stream(&s, std::slice::from_ref(&truth), 0.0, 0, &mut rng);
+        let result = StreamReceiver::new(s).process(&rx).expect("sync");
+        let stream_est = &result.estimates[0];
+        let direct_est = s.estimate(&truth, 0.0, &mut rng);
+        for (a, b) in stream_est.iter().zip(&direct_est) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+}

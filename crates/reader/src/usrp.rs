@@ -1,0 +1,86 @@
+//! SDR front-end description (USRP-N210-style).
+//!
+//! Bookkeeping for the radio the reader runs on: sample rate, carrier,
+//! TX power, and the rate/Nyquist checks that determine which tag clock
+//! frequencies are readable (paper §4.4).
+
+/// Configuration of the software-defined radio hosting the reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsrpConfig {
+    /// Complex sample rate, S/s (paper: 12.5 MS/s).
+    pub sample_rate_hz: f64,
+    /// Carrier frequency, Hz (paper: 900 MHz or 2.4 GHz).
+    pub carrier_hz: f64,
+    /// Transmit power, dBm (paper §5.4: 10 dBm).
+    pub tx_power_dbm: f64,
+    /// Usable receiver dynamic range, dB (paper §5.2: ≈60 dB).
+    pub dynamic_range_db: f64,
+}
+
+impl UsrpConfig {
+    /// The paper's 900 MHz configuration.
+    pub fn n210_900mhz() -> Self {
+        UsrpConfig {
+            sample_rate_hz: 12.5e6,
+            carrier_hz: 0.9e9,
+            tx_power_dbm: 10.0,
+            dynamic_range_db: 60.0,
+        }
+    }
+
+    /// The paper's 2.4 GHz configuration.
+    pub fn n210_2g4() -> Self {
+        UsrpConfig { carrier_hz: 2.4e9, ..Self::n210_900mhz() }
+    }
+
+    /// Checks whether a tag whose highest used modulation line is
+    /// `max_line_hz` can be read with channel estimates every
+    /// `snapshot_period_s` (the §4.4 Nyquist condition `4fs ≤ 1/(2T)`).
+    pub fn supports_tag(&self, max_line_hz: f64, snapshot_period_s: f64) -> bool {
+        max_line_hz <= 0.5 / snapshot_period_s
+    }
+
+    /// The equivalent mover velocity (m/s) that would alias onto a
+    /// modulation line at `line_hz` — paper §3.3's argument that the
+    /// "artificial Doppler" sits far above real motion: `v = c·f_line/f_c`.
+    pub fn equivalent_doppler_velocity(&self, line_hz: f64) -> f64 {
+        wiforce_dsp::C0 * line_hz / self.carrier_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let a = UsrpConfig::n210_900mhz();
+        assert_eq!(a.carrier_hz, 0.9e9);
+        let b = UsrpConfig::n210_2g4();
+        assert_eq!(b.carrier_hz, 2.4e9);
+        assert_eq!(a.sample_rate_hz, b.sample_rate_hz);
+    }
+
+    #[test]
+    fn nyquist_check_matches_paper() {
+        let u = UsrpConfig::n210_900mhz();
+        let t = 57.6e-6;
+        // 1 kHz base ⇒ 4 kHz max line: fine
+        assert!(u.supports_tag(4000.0, t));
+        // a 3 kHz base ⇒ 12 kHz line: exceeds 8.68 kHz
+        assert!(!u.supports_tag(12_000.0, t));
+    }
+
+    #[test]
+    fn artificial_doppler_velocity_is_implausibly_fast() {
+        // paper §3.3: an object would need to move at c·fs/fc to alias
+        // onto the 1 kHz line — ≈333 m/s at 900 MHz, far beyond indoor
+        // motion
+        let u = UsrpConfig::n210_900mhz();
+        let v = u.equivalent_doppler_velocity(1000.0);
+        assert!((330.0..340.0).contains(&v), "{v} m/s");
+        // at 2.4 GHz the equivalent speed shrinks but stays >100 m/s
+        let v2 = UsrpConfig::n210_2g4().equivalent_doppler_velocity(1000.0);
+        assert!(v2 > 100.0);
+    }
+}

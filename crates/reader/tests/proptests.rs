@@ -1,0 +1,50 @@
+//! Property-based tests on the reader substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce_dsp::Complex;
+use wiforce_reader::{ChannelSounder, OfdmSounder};
+
+fn arb_channel() -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((0.05f64..2.0, -3.1f64..3.1), 64..=64)
+        .prop_map(|v| v.into_iter().map(|(r, p)| Complex::from_polar(r, p)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Noiseless OFDM channel estimation is exact for arbitrary channels.
+    #[test]
+    fn noiseless_estimation_exact(truth in arb_channel()) {
+        let s = OfdmSounder::wiforce();
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = s.estimate(&truth, 0.0, &mut rng);
+        for (e, t) in est.iter().zip(&truth) {
+            prop_assert!((*e - *t).abs() < 1e-8);
+        }
+    }
+
+    /// Estimation is unbiased: the average of many noisy estimates
+    /// converges on the truth.
+    #[test]
+    fn estimation_unbiased(seed in 0u64..1000) {
+        let s = OfdmSounder::wiforce();
+        let truth = vec![Complex::from_polar(1.0, 0.5); 64];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = vec![Complex::ZERO; 64];
+        let reps = 60;
+        for _ in 0..reps {
+            for (a, e) in acc.iter_mut().zip(s.estimate(&truth, 0.05, &mut rng)) {
+                *a += e;
+            }
+        }
+        let mean_err: f64 = acc
+            .iter()
+            .zip(&truth)
+            .map(|(a, t)| (a.scale(1.0 / reps as f64) - *t).abs())
+            .sum::<f64>()
+            / 64.0;
+        prop_assert!(mean_err < 0.02, "{mean_err}");
+    }
+}

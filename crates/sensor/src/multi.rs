@@ -1,0 +1,231 @@
+//! Multi-tag deployments: the 2-D continuum extension (paper §7).
+//!
+//! "To extend this sensing to a 2-D continuum, we can deploy multiple
+//! WiForce sensors placed next to each other. These sensors will be
+//! toggling at different frequencies, and hence will show up in separate
+//! doppler bins." The hard part is frequency allocation: each tag occupies
+//! Doppler lines at `{fs, 2fs, 3fs, 4fs, …}` (minus every fourth), and two
+//! tags collide if any of their usable lines (fs and 4fs) lands on a line
+//! of the other. This module allocates non-colliding base frequencies and
+//! lays tags out on a strip grid.
+
+use crate::tag::SensorTag;
+
+/// Error cases for frequency allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// Could not fit the requested number of tags in the band.
+    BandFull {
+        /// Tags that did fit.
+        allocated: usize,
+        /// Tags requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::BandFull { allocated, requested } => write!(
+                f,
+                "only {allocated} of {requested} tags fit the Doppler band without collisions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Harmonic lines a tag with base `fs` occupies up to `max_harmonic`
+/// (25 %-duty pattern: every harmonic except multiples of 4, plus the
+/// doubled clock's lines `2m·fs` except multiples of 8).
+fn occupied_lines(fs: f64, max_harmonic: u32) -> Vec<f64> {
+    let mut lines = Vec::new();
+    for k in 1..=max_harmonic {
+        if k % 4 != 0 {
+            lines.push(k as f64 * fs);
+        }
+        let m = 2 * k;
+        if k % 4 != 0 && (m as f64 * fs) <= max_harmonic as f64 * fs {
+            lines.push(m as f64 * fs);
+        }
+    }
+    lines.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lines.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    lines
+}
+
+/// The two lines a tag is *read* at: `fs` and `4fs`.
+fn read_lines(fs: f64) -> [f64; 2] {
+    [fs, 4.0 * fs]
+}
+
+/// Allocates `n` base frequencies in `[f_min, f_max]` such that no tag's
+/// read lines (`fs`, `4fs`) fall within `guard_hz` of any other tag's
+/// occupied harmonic lines (checked up to the 8th harmonic).
+pub fn allocate_frequencies(
+    n: usize,
+    f_min_hz: f64,
+    f_max_hz: f64,
+    guard_hz: f64,
+) -> Result<Vec<f64>, AllocError> {
+    assert!(f_min_hz > 0.0 && f_max_hz > f_min_hz);
+    let mut chosen: Vec<f64> = Vec::new();
+    let steps = 2000;
+    'candidates: for i in 0..=steps {
+        if chosen.len() == n {
+            break;
+        }
+        let fs = f_min_hz + (f_max_hz - f_min_hz) * i as f64 / steps as f64;
+        for &other in &chosen {
+            let other_lines = occupied_lines(other, 8);
+            for rl in read_lines(fs) {
+                if other_lines.iter().any(|&l| (l - rl).abs() < guard_hz) {
+                    continue 'candidates;
+                }
+            }
+            let my_lines = occupied_lines(fs, 8);
+            for rl in read_lines(other) {
+                if my_lines.iter().any(|&l| (l - rl).abs() < guard_hz) {
+                    continue 'candidates;
+                }
+            }
+        }
+        chosen.push(fs);
+    }
+    if chosen.len() < n {
+        return Err(AllocError::BandFull { allocated: chosen.len(), requested: n });
+    }
+    Ok(chosen)
+}
+
+/// A strip of parallel WiForce tags forming a 2-D sensing surface.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    tags: Vec<SensorTag>,
+    /// Lateral pitch between adjacent strips, m.
+    pitch_m: f64,
+}
+
+impl TagArray {
+    /// Builds `n` prototype tags at `pitch_m` lateral spacing with
+    /// non-colliding clock frequencies in `[f_min, f_max]`.
+    pub fn new_strip(
+        n: usize,
+        pitch_m: f64,
+        f_min_hz: f64,
+        f_max_hz: f64,
+    ) -> Result<Self, AllocError> {
+        let freqs = allocate_frequencies(n, f_min_hz, f_max_hz, 40.0)?;
+        Ok(TagArray {
+            tags: freqs.into_iter().map(SensorTag::wiforce_prototype).collect(),
+            pitch_m,
+        })
+    }
+
+    /// The tags (index = strip number).
+    pub fn tags(&self) -> &[SensorTag] {
+        &self.tags
+    }
+
+    /// Lateral position (m) of strip `i`.
+    pub fn strip_position_m(&self, i: usize) -> f64 {
+        i as f64 * self.pitch_m
+    }
+
+    /// Lateral pitch, m.
+    pub fn pitch_m(&self) -> f64 {
+        self.pitch_m
+    }
+
+    /// Maps per-strip interpolation weights into a lateral coordinate: given
+    /// the per-strip force estimates, returns the force-weighted lateral
+    /// centroid — the §7 scheme for presses landing between strips.
+    pub fn lateral_estimate_m(&self, per_strip_force_n: &[f64]) -> Option<f64> {
+        if per_strip_force_n.len() != self.tags.len() {
+            return None;
+        }
+        let total: f64 = per_strip_force_n.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let weighted: f64 = per_strip_force_n
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| f * self.strip_position_m(i))
+            .sum();
+        Some(weighted / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_noncolliding() {
+        let fs = allocate_frequencies(3, 800.0, 1600.0, 40.0).unwrap();
+        assert_eq!(fs.len(), 3);
+        for i in 0..fs.len() {
+            for j in 0..fs.len() {
+                if i == j {
+                    continue;
+                }
+                for rl in read_lines(fs[i]) {
+                    for l in occupied_lines(fs[j], 8) {
+                        assert!(
+                            (rl - l).abs() >= 40.0,
+                            "tag {i} read line {rl} collides with tag {j} line {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_full_reported() {
+        let err = allocate_frequencies(50, 1000.0, 1050.0, 40.0).unwrap_err();
+        match err {
+            AllocError::BandFull { allocated, requested } => {
+                assert!(allocated < 50);
+                assert_eq!(requested, 50);
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_structure() {
+        let lines = occupied_lines(1000.0, 8);
+        assert!(lines.contains(&1000.0));
+        assert!(lines.contains(&2000.0));
+        assert!(lines.contains(&4000.0)); // from the 2fs clock (m=2·k? k=2)
+        assert!(!lines.contains(&8000.0) || lines.iter().all(|&l| (l - 8000.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn strip_positions() {
+        let arr = TagArray::new_strip(3, 0.012, 800.0, 2000.0).unwrap();
+        assert_eq!(arr.tags().len(), 3);
+        assert_eq!(arr.strip_position_m(0), 0.0);
+        assert!((arr.strip_position_m(2) - 0.024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lateral_centroid_between_strips() {
+        let arr = TagArray::new_strip(3, 0.010, 800.0, 2000.0).unwrap();
+        // press halfway between strip 0 and strip 1: equal forces
+        let y = arr.lateral_estimate_m(&[2.0, 2.0, 0.0]).unwrap();
+        assert!((y - 0.005).abs() < 1e-9);
+        // all force on strip 2
+        let y2 = arr.lateral_estimate_m(&[0.0, 0.0, 3.0]).unwrap();
+        assert!((y2 - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lateral_estimate_guards() {
+        let arr = TagArray::new_strip(2, 0.010, 800.0, 2000.0).unwrap();
+        assert!(arr.lateral_estimate_m(&[0.0, 0.0]).is_none());
+        assert!(arr.lateral_estimate_m(&[1.0]).is_none());
+    }
+}

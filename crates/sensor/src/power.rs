@@ -1,0 +1,139 @@
+//! Tag power budget.
+//!
+//! Paper §4.3: "the entire design with clock, switch was simulated in TSMC
+//! 65 nm technology and reported power consumption under less than 1 µW".
+//! The tag's only active parts are the relaxation oscillator + dividers
+//! generating the two duty-cycled clocks and the switch gate drive; this
+//! module estimates those with standard CMOS scaling so the claim can be
+//! checked and swept (frequency, node).
+
+/// A CMOS technology node's parameters relevant to the clock/switch budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosNode {
+    /// Human-readable name ("65nm").
+    pub name: &'static str,
+    /// Core supply voltage, V.
+    pub vdd_v: f64,
+    /// Effective switched capacitance per switch-drive net, F.
+    pub drive_cap_f: f64,
+    /// Oscillator + divider static power, W.
+    pub oscillator_w: f64,
+    /// Total leakage, W.
+    pub leakage_w: f64,
+}
+
+impl CmosNode {
+    /// TSMC 65 nm (the paper's node): 1.0 V core, sub-µW-class
+    /// always-on oscillator.
+    pub const TSMC65: CmosNode = CmosNode {
+        name: "65nm",
+        vdd_v: 1.0,
+        drive_cap_f: 250e-15,
+        oscillator_w: 120e-9,
+        leakage_w: 40e-9,
+    };
+
+    /// An older 180 nm node for the scaling comparison.
+    pub const N180: CmosNode = CmosNode {
+        name: "180nm",
+        vdd_v: 1.8,
+        drive_cap_f: 900e-15,
+        oscillator_w: 600e-9,
+        leakage_w: 20e-9,
+    };
+
+    /// A newer 28 nm node.
+    pub const N28: CmosNode = CmosNode {
+        name: "28nm",
+        vdd_v: 0.9,
+        drive_cap_f: 120e-15,
+        oscillator_w: 60e-9,
+        leakage_w: 80e-9,
+    };
+}
+
+/// Itemized power estimate for a WiForce tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBudget {
+    /// Dynamic switch-drive power, W.
+    pub switch_drive_w: f64,
+    /// Clock generation (oscillator + dividers), W.
+    pub clock_gen_w: f64,
+    /// Leakage, W.
+    pub leakage_w: f64,
+}
+
+impl PowerBudget {
+    /// Total power, W.
+    pub fn total_w(&self) -> f64 {
+        self.switch_drive_w + self.clock_gen_w + self.leakage_w
+    }
+
+    /// Total power, µW.
+    pub fn total_uw(&self) -> f64 {
+        self.total_w() * 1e6
+    }
+}
+
+/// Estimates the tag's power in `node` for base clock `fs_hz`.
+///
+/// Transition rate: the 25 %-duty clock at `fs` makes 2 transitions per
+/// period and the 75 %-duty clock at `2fs` makes 2 per (half-length)
+/// period, i.e. `2·fs + 4·fs = 6·fs` transitions per second total, each
+/// charging/discharging one drive net: `P = ½·C·V²` per transition.
+pub fn estimate(node: CmosNode, fs_hz: f64) -> PowerBudget {
+    let transitions_per_s = 6.0 * fs_hz;
+    let switch_drive_w = 0.5 * node.drive_cap_f * node.vdd_v * node.vdd_v * transitions_per_s;
+    PowerBudget {
+        switch_drive_w,
+        clock_gen_w: node.oscillator_w,
+        leakage_w: node.leakage_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_under_one_microwatt_at_65nm() {
+        let b = estimate(CmosNode::TSMC65, 1000.0);
+        assert!(b.total_uw() < 1.0, "total {} µW", b.total_uw());
+        assert!(b.total_uw() > 0.01, "suspiciously low: {} µW", b.total_uw());
+    }
+
+    #[test]
+    fn drive_power_linear_in_clock() {
+        let p1 = estimate(CmosNode::TSMC65, 1000.0).switch_drive_w;
+        let p10 = estimate(CmosNode::TSMC65, 10_000.0).switch_drive_w;
+        assert!((p10 / p1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drive_power_negligible_at_khz() {
+        // at 1 kHz the oscillator dominates — the actual modulation is
+        // nearly free, which is the deep reason battery-free operation works
+        let b = estimate(CmosNode::TSMC65, 1000.0);
+        assert!(b.switch_drive_w < 0.1 * b.clock_gen_w);
+    }
+
+    #[test]
+    fn older_node_costs_more() {
+        let old = estimate(CmosNode::N180, 1000.0);
+        let new = estimate(CmosNode::TSMC65, 1000.0);
+        assert!(old.total_w() > new.total_w());
+    }
+
+    #[test]
+    fn budget_sums() {
+        let b = estimate(CmosNode::N28, 2000.0);
+        assert!((b.total_w() - (b.switch_drive_w + b.clock_gen_w + b.leakage_w)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn still_sub_microwatt_at_high_clock() {
+        // even a 50 kHz base clock (50× the prototype) stays under 1 µW
+        let b = estimate(CmosNode::TSMC65, 50_000.0);
+        assert!(b.total_uw() < 1.0, "{} µW", b.total_uw());
+    }
+}

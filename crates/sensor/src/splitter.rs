@@ -1,0 +1,82 @@
+//! Two-way power splitter/combiner.
+//!
+//! Paper §3.2: "to reduce the form factor requirements, instead of having 2
+//! antennas ... we can just have a one antenna design using a splitter.
+//! Since the clocking strategy provides separation in the frequency domain,
+//! we can add the modulated signals from the either ends via a splitter."
+
+use wiforce_dsp::Complex;
+
+/// A Wilkinson-style 2-way splitter used as a reflection combiner: the
+/// antenna wave splits into both branches, reflects off each branch's
+/// network, and recombines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Splitter {
+    /// Excess insertion loss per pass beyond the ideal 3 dB split, dB.
+    pub excess_loss_db: f64,
+    /// Isolation between the two output branches, dB.
+    pub isolation_db: f64,
+}
+
+impl Splitter {
+    /// A decent commercial splitter: 0.4 dB excess loss, 20 dB isolation.
+    pub fn typical() -> Self {
+        Splitter { excess_loss_db: 0.4, isolation_db: 20.0 }
+    }
+
+    /// An ideal lossless splitter.
+    pub fn ideal() -> Self {
+        Splitter { excess_loss_db: 0.0, isolation_db: f64::INFINITY }
+    }
+
+    /// Amplitude factor for one pass through one branch (includes the
+    /// 3 dB split).
+    pub fn branch_amplitude(&self) -> f64 {
+        let split = (0.5f64).sqrt();
+        split * 10f64.powf(-self.excess_loss_db / 20.0)
+    }
+
+    /// Combines the reflection coefficients seen looking into the two
+    /// branches into the reflection seen at the antenna port:
+    /// each branch contributes `(branch_amplitude)²·Γᵢ` (down-and-back).
+    pub fn combine_reflections(&self, gamma1: Complex, gamma2: Complex) -> Complex {
+        let a2 = self.branch_amplitude() * self.branch_amplitude();
+        (gamma1 + gamma2) * a2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_split_is_half_power() {
+        let s = Splitter::ideal();
+        assert!((s.branch_amplitude() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_branches_recombine_fully() {
+        // two identical full reflections through an ideal splitter give
+        // |Γ| = 1 at the antenna (0.5 + 0.5)
+        let s = Splitter::ideal();
+        let g = s.combine_reflections(Complex::ONE, Complex::ONE);
+        assert!((g - Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_branches_cancel() {
+        let s = Splitter::ideal();
+        let g = s.combine_reflections(Complex::ONE, -Complex::ONE);
+        assert!(g.abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_loss_shrinks_reflection() {
+        let lossy = Splitter::typical();
+        let g = lossy.combine_reflections(Complex::ONE, Complex::ZERO);
+        // 0.5 from the split squared, times 0.8 dB total excess (two passes)
+        let expect = 0.5 * 10f64.powf(-0.8 / 20.0);
+        assert!((g.re - expect).abs() < 1e-9, "{} vs {expect}", g.re);
+    }
+}

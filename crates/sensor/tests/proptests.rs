@@ -1,0 +1,50 @@
+//! Property-based tests on the tag machinery.
+
+use proptest::prelude::*;
+use wiforce_sensor::tag::ContactState;
+use wiforce_sensor::{ClockPair, SensorTag};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The duty-cycled scheme keeps the switches exclusive for ANY base
+    /// clock frequency and at any instant.
+    #[test]
+    fn wiforce_clocks_always_exclusive(fs in 100.0f64..10_000.0, t in 0.0f64..1.0) {
+        let pair = ClockPair::wiforce(fs);
+        prop_assert!(!(pair.modulation1(t) && pair.modulation2(t)));
+    }
+
+    /// The tag's antenna reflection stays passive (|Γ| ≤ 1) for any
+    /// contact state and any time.
+    #[test]
+    fn tag_reflection_is_passive(
+        s1 in 0.0f64..0.080,
+        s2 in 0.0f64..0.080,
+        t in 0.0f64..5e-3,
+        f in 0.5e9f64..3.0e9,
+    ) {
+        let tag = SensorTag::wiforce_prototype(1000.0);
+        let c = ContactState { port1_short_m: s1, port2_short_m: s2 };
+        let g_touch = tag.antenna_reflection(f, t, Some(&c));
+        let g_idle = tag.antenna_reflection(f, t, None);
+        prop_assert!(g_touch.abs() <= 1.0 + 1e-9, "{}", g_touch.abs());
+        prop_assert!(g_idle.abs() <= 1.0 + 1e-9, "{}", g_idle.abs());
+    }
+
+    /// Moving port 1's short always changes the reflection during switch
+    /// 1's on-window (no dead zones in the sensing range).
+    #[test]
+    fn port1_short_always_observable(
+        a in 0.008f64..0.036,
+        delta in 0.004f64..0.03,
+    ) {
+        let tag = SensorTag::wiforce_prototype(1000.0);
+        let t_on = 0.1e-3; // switch 1 on
+        let c1 = ContactState { port1_short_m: a, port2_short_m: 0.02 };
+        let c2 = ContactState { port1_short_m: a + delta, port2_short_m: 0.02 };
+        let g1 = tag.antenna_reflection(0.9e9, t_on, Some(&c1));
+        let g2 = tag.antenna_reflection(0.9e9, t_on, Some(&c2));
+        prop_assert!((g1 - g2).abs() > 1e-4, "shorts {a} vs {} indistinguishable", a + delta);
+    }
+}

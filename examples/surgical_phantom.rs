@@ -1,0 +1,65 @@
+//! Surgical scenario (paper §5.2): reading the sensor through a
+//! muscle/fat/skin tissue phantom at 900 MHz.
+//!
+//! Demonstrates the full §5.2 story: the two-way budget through tissue,
+//! why the bare 60 dB-dynamic-range SDR cannot decode the tag, and how
+//! blocking the direct path with a metal plate recovers sensing with only
+//! a small accuracy cost.
+//!
+//! ```sh
+//! cargo run --release --example surgical_phantom
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce::pipeline::Simulation;
+use wiforce_channel::Scene;
+
+fn main() {
+    let carrier = 0.9e9; // 2.4 GHz is strongly absorbed by tissue (§5.2)
+    let model = Simulation::paper_default(carrier).vna_calibration().expect("calibration");
+
+    println!("link budgets at 900 MHz:");
+    let ota = Scene::fig12(carrier);
+    let phantom = Scene::tissue_phantom(carrier, 0.0);
+    println!(
+        "  over the air: two-way backscatter loss {:.0} dB",
+        -20.0 * ota.backscatter_gain(carrier).abs().log10()
+    );
+    println!(
+        "  through phantom (muscle 25 / fat 10 / skin 2 mm): {:.0} dB",
+        -20.0 * phantom.backscatter_gain(carrier).abs().log10()
+    );
+
+    // without the plate: direct path saturates the ADC, tag is invisible
+    let mut sim = Simulation::paper_default(carrier);
+    sim.scene = Scene::tissue_phantom(carrier, 0.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    println!("\npress 4 N at 50 mm, no metal plate:");
+    match sim.measure_press(&model, 4.0, 0.050, &mut rng) {
+        Ok(r) => println!("  unexpectedly decoded: {:.2} N", r.force_n),
+        Err(e) => println!("  {e}"),
+    }
+
+    // with the plate: direct knocked down ~50 dB, sensing recovers. We
+    // press at 50 mm here: at the very end of the continuum (the paper's
+    // 60 mm point) the far port's shorting point is saturated, so press-
+    // to-press mechanical scatter maps almost entirely into force error —
+    // the Fig. 16 reproduction presses at 60 mm per the paper and reports
+    // that (larger) spread.
+    sim.scene = Scene::tissue_phantom(carrier, 50.0);
+    sim.reference_groups = 6;
+    sim.measure_groups = 6;
+    println!("\npresses at 50 mm, metal plate isolating TX/RX:");
+    for (truth, loc_mm) in [(2.0, 50.0), (4.0, 50.0), (6.5, 50.0)] {
+        match sim.measure_press(&model, truth, loc_mm * 1e-3, &mut rng) {
+            Ok(r) => println!(
+                "  applied {truth:.1} N → estimated {:.2} N at {:.1} mm",
+                r.force_n,
+                r.location_m * 1e3
+            ),
+            Err(e) => println!("  applied {truth:.1} N → {e}"),
+        }
+    }
+    println!("\nin-body haptic feedback, no wires through the incision.");
+}

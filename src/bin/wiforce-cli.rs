@@ -1,0 +1,323 @@
+//! `wiforce-cli` — command-line driver for the WiForce reproduction.
+//!
+//! ```text
+//! wiforce-cli press    [--carrier-ghz 2.4] [--force 4.0] [--location-mm 40] [--seed 11]
+//! wiforce-cli sweep    [--carrier-ghz 2.4] [--trials 3]  [--seed 7]
+//! wiforce-cli record   --out capture.wifs [--carrier-ghz 2.4] [--force 4.0]
+//!                      [--location-mm 40] [--groups 4] [--seed 11]
+//! wiforce-cli replay   --in capture.wifs [--carrier-ghz 2.4]
+//! wiforce-cli spectrum --in capture.wifs [--snr-db 10] [--waterfall 1]
+//! wiforce-cli calibrate --out model.wfm [--carrier-ghz 2.4]
+//! ```
+//!
+//! `press` and `replay` accept `--model model.wfm` to reuse a saved
+//! calibration instead of re-deriving it.
+//!
+//! Argument parsing is deliberately dependency-free (`--key value` pairs).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wiforce::estimator::{EstimatorConfig, ForceEstimator};
+use wiforce::pipeline::{Simulation, TagClock};
+use wiforce::record::Recording;
+use wiforce::spectrum::{discover_tags, DopplerSpectrum};
+
+/// Minimal `--key value` argument map.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not an integer")),
+        }
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, String> {
+        self.get(name).map(PathBuf::from).ok_or(format!("missing required --{name}"))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: wiforce-cli <press|sweep|record|replay|spectrum> [--key value ...]\n\
+     \n\
+     press    simulate one calibrated press and print the estimate\n\
+     sweep    run a small Monte-Carlo press sweep and print error medians\n\
+     record   capture a snapshot stream (reference + press) to a .wifs file\n\
+     replay   run the streaming estimator over a .wifs capture\n\
+     spectrum Doppler spectrum + tag discovery of a .wifs capture\n\
+     calibrate derive the sensor model and save it to a .wfm file\n\
+     \n\
+     common flags: --carrier-ghz F  --force N  --location-mm MM  --seed N  --model F.wfm"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "press" => cmd_press(&args),
+        "sweep" => cmd_sweep(&args),
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        "spectrum" => cmd_spectrum(&args),
+        "calibrate" => cmd_calibrate(&args),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sim_from(args: &Args) -> Result<Simulation, String> {
+    let carrier = args.f64_or("carrier-ghz", 2.4)? * 1e9;
+    if !(0.3e9..=6.0e9).contains(&carrier) {
+        return Err("carrier must be between 0.3 and 6 GHz".into());
+    }
+    Ok(Simulation::paper_default(carrier))
+}
+
+/// Loads `--model file.wfm` if given, else calibrates from scratch.
+fn model_from(args: &Args, sim: &Simulation) -> Result<wiforce::SensorModel, String> {
+    match args.get("model") {
+        Some(path) => wiforce::SensorModel::load(std::path::Path::new(path))
+            .map_err(|e| format!("loading model: {e}")),
+        None => sim.vna_calibration().map_err(|e| e.to_string()),
+    }
+}
+
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let out = args.path("out")?;
+    let model = sim.vna_calibration().map_err(|e| e.to_string())?;
+    model.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "calibrated at {:?} mm, saved to {}",
+        model.locations_m().iter().map(|m| (m * 1e3).round()).collect::<Vec<_>>(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_press(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let force = args.f64_or("force", 4.0)?;
+    let loc = args.f64_or("location-mm", 40.0)? * 1e-3;
+    let seed = args.u64_or("seed", 11)?;
+    let model = model_from(args, &sim)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = sim.measure_press(&model, force, loc, &mut rng).map_err(|e| e.to_string())?;
+    println!("applied:   {force:.2} N at {:.1} mm", loc * 1e3);
+    println!(
+        "estimated: {:.2} N at {:.1} mm  (φ1 {:.1}°, φ2 {:.1}°, residual {:.2}°)",
+        r.force_n,
+        r.location_m * 1e3,
+        r.dphi1_rad.to_degrees(),
+        r.dphi2_rad.to_degrees(),
+        r.residual_rad.to_degrees()
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let trials = args.u64_or("trials", 3)? as usize;
+    let seed = args.u64_or("seed", 7)?;
+    let model = sim.vna_calibration().map_err(|e| e.to_string())?;
+    let mut f_errs = Vec::new();
+    let mut l_errs = Vec::new();
+    let mut k = 0u64;
+    for &loc in &[0.020, 0.040, 0.055, 0.060] {
+        for &force in &[1.0, 2.5, 4.0, 5.5, 7.0] {
+            for _ in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k.wrapping_mul(6151)));
+                k += 1;
+                if let Ok(r) = sim.measure_press(&model, force, loc, &mut rng) {
+                    f_errs.push((r.force_n - force).abs());
+                    l_errs.push((r.location_m - loc).abs() * 1e3);
+                }
+            }
+        }
+    }
+    println!("{} presses decoded", f_errs.len());
+    println!("median force error:    {:.2} N", wiforce_dsp::stats::median(&f_errs));
+    println!("median location error: {:.2} mm", wiforce_dsp::stats::median(&l_errs));
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let out = args.path("out")?;
+    let force = args.f64_or("force", 4.0)?;
+    let loc = args.f64_or("location-mm", 40.0)? * 1e-3;
+    let groups = args.u64_or("groups", 4)? as usize;
+    let seed = args.u64_or("seed", 11)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = TagClock::new(&mut rng);
+    // half the capture untouched (reference), half pressed
+    let ref_groups = groups.div_ceil(2);
+    let mut snaps = sim.run_snapshots(None, ref_groups, &mut clock, &mut rng);
+    let contact = sim.jittered_contact(force, loc, &mut rng);
+    snaps.extend(sim.run_snapshots(contact.as_ref(), groups - ref_groups, &mut clock, &mut rng));
+    let rec = Recording::new(sim.group.snapshot_period_s, snaps);
+    rec.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} snapshots × {} subcarriers ({:.1} ms) to {}",
+        rec.len(),
+        rec.n_subcarriers(),
+        rec.duration_s() * 1e3,
+        out.display()
+    );
+    println!("(first {ref_groups} groups untouched, then {force} N at {:.0} mm)", loc * 1e3);
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let input = args.path("in")?;
+    let rec = Recording::load(&input).map_err(|e| e.to_string())?;
+    if (rec.snapshot_period_s - sim.group.snapshot_period_s).abs() > 1e-9 {
+        return Err(format!(
+            "capture period {:.2} µs doesn't match the reader's {:.2} µs",
+            rec.snapshot_period_s * 1e6,
+            sim.group.snapshot_period_s * 1e6
+        ));
+    }
+    let model = model_from(args, &sim)?;
+    let cfg = EstimatorConfig {
+        group: sim.group,
+        reference_groups: 1,
+        ..EstimatorConfig::wiforce(1000.0)
+    };
+    let mut est = ForceEstimator::new(cfg, model);
+    let mut n_readings = 0;
+    for (i, snap) in rec.snapshots.iter().enumerate() {
+        match est.push_snapshot(snap.clone()) {
+            Ok(Some(r)) if r.touched => {
+                n_readings += 1;
+                println!(
+                    "t={:7.1} ms  {:.2} N at {:.1} mm",
+                    (i + 1) as f64 * rec.snapshot_period_s * 1e3,
+                    r.force_n,
+                    r.location_m * 1e3
+                );
+            }
+            Ok(Some(_)) => {
+                n_readings += 1;
+                println!(
+                    "t={:7.1} ms  untouched",
+                    (i + 1) as f64 * rec.snapshot_period_s * 1e3
+                );
+            }
+            Ok(None) => {}
+            Err(e) => println!("t={:7.1} ms  {e}", (i + 1) as f64 * rec.snapshot_period_s * 1e3),
+        }
+    }
+    println!("{n_readings} readings from {} snapshots", rec.len());
+    Ok(())
+}
+
+fn cmd_spectrum(args: &Args) -> Result<(), String> {
+    let input = args.path("in")?;
+    let snr_db = args.f64_or("snr-db", 10.0)?;
+    let rec = Recording::load(&input).map_err(|e| e.to_string())?;
+    if rec.len() < 2 {
+        return Err("capture too short for a spectrum".into());
+    }
+    let spec = DopplerSpectrum::compute(&rec.snapshots, rec.snapshot_period_s);
+    println!(
+        "Doppler spectrum: {} bins, {:.1} Hz resolution, floor {:.3e}",
+        spec.power.len(),
+        spec.resolution_hz(),
+        spec.floor()
+    );
+    let peaks = spec.peaks(snr_db);
+    println!("peaks ≥ {snr_db} dB above floor:");
+    for (f, p) in peaks.iter().take(12) {
+        println!("  {f:8.1} Hz  power {p:.3e}");
+    }
+    let tags = discover_tags(&spec, snr_db);
+    if tags.is_empty() {
+        println!("no WiForce tags discovered");
+    } else {
+        for t in tags {
+            println!(
+                "discovered tag: fs = {:.1} Hz (lines at {:.1} / {:.1} Hz)",
+                t.fs_hz,
+                t.fs_hz,
+                4.0 * t.fs_hz
+            );
+        }
+    }
+
+    if args.u64_or("waterfall", 0)? != 0 {
+        println!("\nwaterfall (per-frame dominant Doppler):");
+        // collapse subcarriers (coherent mean) into one sequence
+        let k = rec.n_subcarriers().max(1) as f64;
+        let seq: Vec<wiforce_dsp::Complex> = rec
+            .snapshots
+            .iter()
+            .map(|snap| snap.iter().copied().sum::<wiforce_dsp::Complex>() / k)
+            .collect();
+        let frame = (rec.len() / 4).clamp(64, 512);
+        let sg = wiforce_dsp::stft::spectrogram(
+            &seq,
+            1.0 / rec.snapshot_period_s,
+            frame,
+            frame / 2,
+        );
+        let envelope = sg.frame_power();
+        for (t, power) in envelope.iter().enumerate() {
+            println!(
+                "  t={:7.1} ms  peak {:7.1} Hz  power {:.3e}",
+                sg.times_s[t] * 1e3,
+                sg.peak_frequency_hz(t),
+                power
+            );
+        }
+    }
+    Ok(())
+}

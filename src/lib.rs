@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the WiForce reproduction.
+//!
+//! This crate exists to host the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. It re-exports the member
+//! crates so examples can use a single dependency root.
+
+pub use wiforce;
+pub use wiforce_channel as channel;
+pub use wiforce_dsp as dsp;
+pub use wiforce_em as em;
+pub use wiforce_mech as mech;
+pub use wiforce_reader as reader;
+pub use wiforce_sensor as sensor;

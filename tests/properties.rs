@@ -1,0 +1,111 @@
+//! Property-based tests over the cross-crate invariants.
+
+use proptest::prelude::*;
+use wiforce::calib::{CalibrationSample, LocationData, SensorModel};
+use wiforce::harmonics::{extract_lines, ExtractionMethod, PhaseGroupConfig};
+use wiforce_dsp::Complex;
+use wiforce_dsp::TAU;
+use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
+use wiforce_mech::contact::SensorMech;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any above-threshold press produces a patch containing the press
+    /// point, within the sensor, wider for more force.
+    #[test]
+    fn contact_patch_invariants(
+        force in 0.5f64..8.0,
+        extra in 0.5f64..3.0,
+        x0 in 0.015f64..0.065,
+    ) {
+        let m = AnalyticContactModel::new(SensorMech::wiforce_prototype(), Indenter::actuator_tip());
+        let p = m.contact_patch(force, x0).expect("above threshold");
+        prop_assert!(p.left_m >= 0.0 && p.right_m <= 0.080);
+        prop_assert!(p.left_m <= x0 && x0 <= p.right_m);
+        let p2 = m.contact_patch(force + extra, x0).expect("still above threshold");
+        prop_assert!(p2.width_m() >= p.width_m() - 1e-12);
+    }
+
+    /// The harmonic extractor recovers arbitrary tone amplitudes exactly
+    /// (orthogonal group) regardless of static clutter.
+    #[test]
+    fn line_extraction_exact(
+        static_mag in 0.0f64..2.0,
+        static_phase in 0.0f64..TAU,
+        a1_mag in 1e-5f64..1e-2,
+        a1_phase in 0.0f64..TAU,
+        a2_mag in 1e-5f64..1e-2,
+        a2_phase in 0.0f64..TAU,
+    ) {
+        let cfg = PhaseGroupConfig::wiforce(1000.0);
+        let s = Complex::from_polar(static_mag, static_phase);
+        let a1 = Complex::from_polar(a1_mag, a1_phase);
+        let a2 = Complex::from_polar(a2_mag, a2_phase);
+        let group: Vec<Vec<Complex>> = (0..cfg.n_snapshots)
+            .map(|n| {
+                let t = n as f64 * cfg.snapshot_period_s;
+                vec![s + a1 * Complex::cis(TAU * cfg.line1_hz * t)
+                    + a2 * Complex::cis(TAU * cfg.line2_hz * t)]
+            })
+            .collect();
+        let lines = extract_lines(&cfg, &group, 0.0);
+        prop_assert!((lines.p1[0] - a1).abs() < 1e-9);
+        prop_assert!((lines.p2[0] - a2).abs() < 1e-9);
+    }
+
+    /// Least-squares extraction matches the orthogonal DFT on orthogonal
+    /// groups (same answer, different algorithm).
+    #[test]
+    fn extraction_methods_agree_when_orthogonal(
+        a1_phase in 0.0f64..TAU,
+        a2_phase in 0.0f64..TAU,
+    ) {
+        let dft_cfg = PhaseGroupConfig::wiforce(1000.0);
+        let ls_cfg = PhaseGroupConfig { method: ExtractionMethod::LeastSquares, ..dft_cfg };
+        let a1 = Complex::from_polar(1e-3, a1_phase);
+        let a2 = Complex::from_polar(2e-3, a2_phase);
+        let group: Vec<Vec<Complex>> = (0..dft_cfg.n_snapshots)
+            .map(|n| {
+                let t = n as f64 * dft_cfg.snapshot_period_s;
+                vec![Complex::from_re(0.3)
+                    + a1 * Complex::cis(TAU * dft_cfg.line1_hz * t)
+                    + a2 * Complex::cis(TAU * dft_cfg.line2_hz * t)]
+            })
+            .collect();
+        let d = extract_lines(&dft_cfg, &group, 0.0);
+        let l = extract_lines(&ls_cfg, &group, 0.0);
+        prop_assert!((d.p1[0] - l.p1[0]).abs() < 1e-9);
+        prop_assert!((d.p2[0] - l.p2[0]).abs() < 1e-9);
+    }
+
+    /// Model fit → predict → invert round-trips on synthetic monotone
+    /// phase surfaces.
+    #[test]
+    fn model_round_trip(force in 1.0f64..7.5, loc_mm in 22.0f64..58.0) {
+        let synth = |f: f64, x: f64| -> (f64, f64) {
+            let w1 = 1.0 - x / 0.080;
+            let w2 = x / 0.080;
+            (0.5 * w1 * f.sqrt() + 0.02 * f, 0.5 * w2 * f.sqrt() + 0.02 * f)
+        };
+        let data: Vec<LocationData> = [0.020, 0.030, 0.040, 0.050, 0.060]
+            .iter()
+            .map(|&x| LocationData {
+                location_m: x,
+                samples: (1..=16)
+                    .map(|i| {
+                        let f = i as f64 * 0.5;
+                        let (p1, p2) = synth(f, x);
+                        CalibrationSample { force_n: f, phi1_rad: p1, phi2_rad: p2 }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let model = SensorModel::fit(&data, 3).expect("fit");
+        let loc = loc_mm * 1e-3;
+        let (p1, p2) = synth(force, loc);
+        let est = model.invert(p1, p2, 0.2).expect("invert");
+        prop_assert!((est.force_n - force).abs() < 0.35, "force {} vs {force}", est.force_n);
+        prop_assert!((est.location_m - loc).abs() < 3e-3, "loc {} vs {loc}", est.location_m);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate transduction chain: mechanics ↔ RF consistency, and
+//! cross-validation of the two contact models.
+
+use wiforce_em::{SensorLine, Termination};
+use wiforce_mech::contact::{ContactSolver, SensorMech};
+use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
+use wiforce_sensor::tag::ContactState;
+use wiforce_sensor::SensorTag;
+
+fn fd() -> ContactSolver {
+    ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), 201)
+}
+
+fn analytic() -> AnalyticContactModel {
+    AnalyticContactModel::new(SensorMech::wiforce_prototype(), Indenter::actuator_tip())
+}
+
+#[test]
+fn analytic_tracks_fd_solver_qualitatively() {
+    // the fast model must agree with the FD solver on ordering and rough
+    // magnitude of the patch across the calibrated press grid
+    let fd = fd();
+    let an = analytic();
+    for &x0 in &[0.025, 0.040, 0.055] {
+        for &f in &[2.0, 5.0, 8.0] {
+            let pf = fd.contact_patch(f, x0).expect("fd contact");
+            let pa = an.contact_patch(f, x0).expect("analytic contact");
+            assert!(
+                (pf.center_m() - pa.center_m()).abs() < 8e-3,
+                "centres diverge at ({f} N, {x0} m): fd {pf:?} vs analytic {pa:?}"
+            );
+            assert!(
+                (pf.width_m() - pa.width_m()).abs() < 12e-3,
+                "widths diverge at ({f} N, {x0} m): fd {pf:?} vs analytic {pa:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_models_agree_on_port_phase_ordering() {
+    // the phases the RF layer derives from either model must rank press
+    // locations identically — this is what makes localization transferable
+    let line = SensorLine::wiforce_prototype();
+    let f_hz = 0.9e9;
+    let rank = |t: &dyn ForceTransducer| -> Vec<f64> {
+        [0.025, 0.040, 0.055]
+            .iter()
+            .map(|&x0| {
+                let p = t.contact_patch(4.0, x0).expect("contact");
+                line.differential_phase(f_hz, p.port1_length_m(), Termination::Open)
+            })
+            .collect()
+    };
+    let rf = rank(&fd());
+    let ra = rank(&analytic());
+    for (a, b) in rf.windows(2).zip(ra.windows(2)) {
+        assert_eq!(
+            a[0] > a[1],
+            b[0] > b[1],
+            "phase ordering differs between models: fd {rf:?} vs analytic {ra:?}"
+        );
+    }
+}
+
+#[test]
+fn patch_to_tag_reflection_chain() {
+    // mechanics → ContactState → tag reflection: a harder press must
+    // change the tag's modulated reflection observably at both ports
+    let solver = fd();
+    let tag = SensorTag::wiforce_prototype(1000.0);
+    let len = solver.length_m();
+    let gamma_port1 = |force: f64| -> wiforce_dsp::Complex {
+        let patch = solver.contact_patch(force, 0.040).expect("contact");
+        let c = ContactState::from_patch(&patch, len);
+        // switch 1 on window
+        tag.antenna_reflection(0.9e9, 0.1e-3, Some(&c))
+    };
+    let g2 = gamma_port1(2.0);
+    let g8 = gamma_port1(8.0);
+    let dphi = (g8 * g2.conj()).arg().abs();
+    assert!(dphi > 0.05, "force change must rotate the tag reflection, got {dphi} rad");
+}
+
+#[test]
+fn thin_trace_sensor_cannot_localize() {
+    // the Fig. 4 negative result end-to-end at the mechanics level: the
+    // thin-trace patch barely responds to force anywhere, so the phase
+    // pair carries no force information
+    let thin = ContactSolver::with_nodes(SensorMech::thin_trace(), Indenter::actuator_tip(), 201);
+    let line = SensorLine::wiforce_prototype();
+    let phase_at = |force: f64| -> f64 {
+        let p = thin.contact_patch(force, 0.040).expect("contact");
+        line.differential_phase(0.9e9, p.port1_length_m(), Termination::Open)
+    };
+    let swing = (phase_at(8.0) - phase_at(1.0)).abs();
+    assert!(
+        swing < 0.02,
+        "thin trace should be force-blind, got {swing} rad of swing"
+    );
+}
+
+#[test]
+fn touch_thresholds_are_consistent() {
+    let fd = fd();
+    let an = analytic();
+    for &x0 in &[0.030, 0.040, 0.050] {
+        let tf = fd.touch_threshold_n(x0);
+        let ta = an.touch_threshold_n(x0);
+        assert!(tf.is_finite() && ta.is_finite());
+        assert!(
+            (tf / ta).max(ta / tf) < 10.0,
+            "thresholds differ wildly at {x0}: fd {tf} vs analytic {ta}"
+        );
+    }
+}

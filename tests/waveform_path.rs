@@ -1,0 +1,77 @@
+//! The deepest integration: raw RF samples in, force estimate out.
+//!
+//! Rather than the pipeline's channel-estimate shortcut, this test builds
+//! the true per-snapshot channels from the scene + tag physics, synthesizes
+//! the actual received *sample stream* (preamble frames through the
+//! channel, with an unknown timing offset), runs the stream receiver
+//! (acquisition → per-frame channel estimation), and feeds the recovered
+//! estimates to the streaming force estimator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce::estimator::{EstimatorConfig, ForceEstimator};
+use wiforce::pipeline::Simulation;
+use wiforce_dsp::Complex;
+use wiforce_reader::stream::{simulate_rx_stream, StreamReceiver};
+use wiforce_reader::OfdmSounder;
+use wiforce_sensor::tag::ContactState;
+
+/// True per-snapshot channels for `n` snapshots under a contact state.
+fn true_channels(sim: &Simulation, contact: Option<&ContactState>, n: usize, t0: f64) -> Vec<Vec<Complex>> {
+    let freqs = sim.subcarrier_freqs_hz();
+    (0..n)
+        .map(|i| {
+            let t = t0 + i as f64 * sim.group.snapshot_period_s;
+            freqs
+                .iter()
+                .map(|&f| sim.scene.channel(f, sim.tag.antenna_reflection(f, t, contact)))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn samples_to_force() {
+    let sim = Simulation::paper_default(2.4e9);
+    let model = sim.vna_calibration().expect("calibration");
+    let sounder = OfdmSounder::wiforce();
+    let n = sim.group.n_snapshots;
+
+    // one untouched group (reference), one pressed group
+    let contact = sim.contact_for(4.0, 0.040);
+    let mut channels = true_channels(&sim, None, n, 0.0);
+    channels.extend(true_channels(
+        &sim,
+        contact.as_ref(),
+        n,
+        n as f64 * sim.group.snapshot_period_s,
+    ));
+
+    // synthesize the RX sample stream with an unknown 213-sample offset
+    let mut rng = StdRng::seed_from_u64(0x5A3);
+    let rx = simulate_rx_stream(&sounder, &channels, 1e-5, 213, &mut rng);
+    assert_eq!(rx.len(), 213 + 2 * n * sounder.frame_samples());
+
+    // acquire + estimate per frame
+    let result = StreamReceiver::new(sounder).process(&rx).expect("acquisition");
+    assert_eq!(result.sync_offset, 213, "timing acquisition");
+    assert_eq!(result.estimates.len(), 2 * n);
+
+    // estimate force from the recovered channel stream
+    let cfg = EstimatorConfig {
+        group: sim.group,
+        reference_groups: 1,
+        ..EstimatorConfig::wiforce(1000.0)
+    };
+    let mut est = ForceEstimator::new(cfg, model);
+    let mut reading = None;
+    for snap in result.estimates {
+        if let Ok(Some(r)) = est.push_snapshot(snap) {
+            reading = Some(r);
+        }
+    }
+    let r = reading.expect("one pressed group of readings");
+    assert!(r.touched);
+    assert!((r.force_n - 4.0).abs() < 1.0, "force {}", r.force_n);
+    assert!((r.location_m - 0.040).abs() < 4e-3, "location {}", r.location_m);
+}

@@ -8,7 +8,9 @@ use wiforce_dsp::polyfit::Polynomial;
 use wiforce_dsp::Complex;
 
 fn signal(n: usize) -> Vec<Complex> {
-    (0..n).map(|i| Complex::cis(i as f64 * 0.37) * 0.5).collect()
+    (0..n)
+        .map(|i| Complex::cis(i as f64 * 0.37) * 0.5)
+        .collect()
 }
 
 fn bench_fft(c: &mut Criterion) {

@@ -8,8 +8,11 @@ use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
 fn bench_fd_solver(c: &mut Criterion) {
     let mut g = c.benchmark_group("contact_fd");
     for nodes in [101usize, 201, 401] {
-        let solver =
-            ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), nodes);
+        let solver = ContactSolver::with_nodes(
+            SensorMech::wiforce_prototype(),
+            Indenter::actuator_tip(),
+            nodes,
+        );
         g.bench_function(format!("solve_{nodes}_nodes"), |b| {
             b.iter(|| solver.contact_patch(black_box(4.0), black_box(0.035)))
         });

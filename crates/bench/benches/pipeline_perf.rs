@@ -26,7 +26,7 @@ fn bench_group_extraction(c: &mut Criterion) {
     let mut clock = TagClock::new(&mut rng);
     let group = sim.run_snapshots(None, 1, &mut clock, &mut rng);
     c.bench_function("phase_group_extract_625x64", |b| {
-        b.iter(|| extract_lines(black_box(&sim.group), black_box(&group), 0.0))
+        b.iter(|| extract_lines(black_box(&sim.group), black_box(group.view()), 0.0))
     });
 }
 
@@ -46,7 +46,10 @@ fn bench_measure_press(c: &mut Criterion) {
     let model = sim.vna_calibration().unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     c.bench_function("measure_press_end_to_end", |b| {
-        b.iter(|| sim.measure_press(black_box(&model), 4.0, 0.040, &mut rng).unwrap())
+        b.iter(|| {
+            sim.measure_press(black_box(&model), 4.0, 0.040, &mut rng)
+                .unwrap()
+        })
     });
 }
 

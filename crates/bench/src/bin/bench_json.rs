@@ -1,0 +1,106 @@
+//! Machine-readable pipeline benchmark: times the end-to-end press
+//! pipeline and the snapshot engine under a counting allocator, then
+//! writes `BENCH_pipeline.json` at the repo root.
+//!
+//! Reported metrics:
+//! - `presses_per_sec` / `ns_per_press` — full `measure_press` round trips
+//!   (sounding, fault injection, harmonic extraction, model inversion);
+//! - `ns_per_group` — one 625×64 phase group synthesized through
+//!   `run_snapshots_into` into a reused [`wiforce_dsp::SnapshotMatrix`];
+//! - `allocs_per_group` — heap allocations per steady-state group (the
+//!   flat snapshot engine's target is 0).
+//!
+//! Pass `--quick` for fewer iterations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce::pipeline::{Simulation, TagClock};
+use wiforce_dsp::SnapshotMatrix;
+
+/// A pass-through allocator that counts every allocation, so the bench
+/// can assert the steady-state snapshot loop is allocation-free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let press_iters = if quick { 5 } else { 25 };
+    let group_iters = if quick { 10 } else { 50 };
+
+    // --- end-to-end presses -------------------------------------------
+    let mut sim = Simulation::paper_default(2.4e9);
+    sim.reference_groups = 1;
+    sim.measure_groups = 1;
+    let model = sim.vna_calibration().expect("calibration");
+    let mut rng = StdRng::seed_from_u64(3);
+    // warm up thread-local FFT plans and scratch buffers
+    sim.measure_press(&model, 4.0, 0.040, &mut rng)
+        .expect("warmup press");
+
+    let t0 = Instant::now();
+    for _ in 0..press_iters {
+        sim.measure_press(&model, 4.0, 0.040, &mut rng)
+            .expect("press");
+    }
+    let press_elapsed = t0.elapsed();
+    let ns_per_press = press_elapsed.as_nanos() as f64 / press_iters as f64;
+    let presses_per_sec = 1e9 / ns_per_press;
+
+    // --- steady-state snapshot groups ---------------------------------
+    let sim = Simulation::paper_default(2.4e9);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut clock = TagClock::new(&mut rng);
+    let mut stream = SnapshotMatrix::default();
+    // warm up: first fill grows the buffer to capacity once
+    sim.run_snapshots_into(None, 1, &mut clock, &mut rng, &mut stream);
+    stream.clear();
+
+    let allocs_before = alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..group_iters {
+        stream.clear();
+        sim.run_snapshots_into(None, 1, &mut clock, &mut rng, &mut stream);
+    }
+    let group_elapsed = t0.elapsed();
+    let allocs = alloc_count() - allocs_before;
+    let ns_per_group = group_elapsed.as_nanos() as f64 / group_iters as f64;
+    let allocs_per_group = allocs as f64 / group_iters as f64;
+
+    let json = format!(
+        "{{\n  \"press_iters\": {press_iters},\n  \"ns_per_press\": {ns_per_press:.0},\n  \
+         \"presses_per_sec\": {presses_per_sec:.2},\n  \"group_iters\": {group_iters},\n  \
+         \"ns_per_group\": {ns_per_group:.0},\n  \"allocs_per_group\": {allocs_per_group:.2}\n}}\n"
+    );
+    let path = wiforce_bench::experiments::repo_root().join("BENCH_pipeline.json");
+    std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

@@ -12,12 +12,23 @@ fn main() {
     let mut all_ok = true;
     let mut write = |section: &str, report: Report| {
         all_ok &= report.all_ok();
-        report.write_section(&path, section).expect("write EXPERIMENTS.md");
+        report
+            .write_section(&path, section)
+            .expect("write EXPERIMENTS.md");
     };
 
-    write("Fig. 4c — transduction: thin trace vs soft beam", exp::fig04::run(quick));
-    write("Fig. 5b — per-port phase-force profiles", exp::fig05::run(quick));
-    write("Fig. 7/8 — clocking and intermodulation", exp::fig07::run(quick));
+    write(
+        "Fig. 4c — transduction: thin trace vs soft beam",
+        exp::fig04::run(quick),
+    );
+    write(
+        "Fig. 5b — per-port phase-force profiles",
+        exp::fig05::run(quick),
+    );
+    write(
+        "Fig. 7/8 — clocking and intermodulation",
+        exp::fig07::run(quick),
+    );
     write("Fig. 10 — sensor S-parameters", exp::fig10::run(quick));
     let (rep13, rep14) = exp::fig13_14::run_figs(quick);
     write("Fig. 13 — force error CDFs", rep13);
@@ -26,12 +37,24 @@ fn main() {
     write("Fig. 17 — fingertip presses", exp::fig17::run(quick));
     write("Fig. 18 — distance sweep", exp::fig18::run(quick));
     write("Fig. 19 — ratio optimization", exp::fig19::run(quick));
-    write("Table 1 — VNA vs model vs wireless", exp::table1::run(quick));
-    write("§4.3 — power budget & §6 battery-free feasibility", exp::power::run(quick));
-    write("§3.3 — Doppler separation vs moving clutter", exp::doppler::run(quick));
+    write(
+        "Table 1 — VNA vs model vs wireless",
+        exp::table1::run(quick),
+    );
+    write(
+        "§4.3 — power budget & §6 battery-free feasibility",
+        exp::power::run(quick),
+    );
+    write(
+        "§3.3 — Doppler separation vs moving clutter",
+        exp::doppler::run(quick),
+    );
     write("Ablations", exp::ablations::run(quick));
     write("Extension — hysteresis loop", exp::hysteresis::run(quick));
 
-    println!("\nall criteria {}", if all_ok { "PASSED" } else { "had FAILURES" });
+    println!(
+        "\nall criteria {}",
+        if all_ok { "PASSED" } else { "had FAILURES" }
+    );
     std::process::exit(if all_ok { 0 } else { 1 });
 }

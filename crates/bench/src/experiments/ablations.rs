@@ -23,7 +23,9 @@ fn phase_std_deg(sim: &Simulation, reads: usize, seed: u64) -> f64 {
     let phases: Vec<f64> = (0..reads)
         .filter_map(|i| {
             let mut rng = StdRng::seed_from_u64(seed + i as u64 * 6151);
-            sim.measure_phases(contact.as_ref(), &mut rng).ok().map(|d| d.dphi1_rad)
+            sim.measure_phases(contact.as_ref(), &mut rng)
+                .ok()
+                .map(|d| d.dphi1_rad)
         })
         .collect();
     circular_std(&phases).to_degrees()
@@ -98,7 +100,9 @@ pub fn run(quick: bool) -> Report {
                 sim.group.n_snapshots = n;
                 sim.group.method = method;
                 let mut rng = StdRng::seed_from_u64(0xAB2 + i as u64 * 6151);
-                sim.measure_phases(contact.as_ref(), &mut rng).ok().map(|d| d.dphi1_rad)
+                sim.measure_phases(contact.as_ref(), &mut rng)
+                    .ok()
+                    .map(|d| d.dphi1_rad)
             };
             if let (Some(a), Some(b)) = (
                 dphi(ExtractionMethod::MeanSubtractedDft),
@@ -113,7 +117,11 @@ pub fn run(quick: bool) -> Report {
     let gap_625 = extraction_gap(625);
     let gap_125 = extraction_gap(125);
     let mut table = TextTable::new(["group length", "latency (ms)", "DFT-vs-LS gap (°)"]);
-    table.row(["N=625 (orthogonal)".to_string(), fmt(36.0, 1), fmt(gap_625, 4)]);
+    table.row([
+        "N=625 (orthogonal)".to_string(),
+        fmt(36.0, 1),
+        fmt(gap_625, 4),
+    ]);
     table.row(["N=125 (leaky)".to_string(), fmt(7.2, 1), fmt(gap_125, 4)]);
     println!("{}", table.render());
     rep.push(ExperimentRecord::new(
@@ -211,7 +219,12 @@ pub fn run(quick: bool) -> Report {
     let err_wireless = {
         let mut rng = StdRng::seed_from_u64(0xAB9);
         let model = sim
-            .wireless_calibration_at(&[0.020, 0.030, 0.040, 0.050, 0.060], 8, if quick { 1 } else { 2 }, &mut rng)
+            .wireless_calibration_at(
+                &[0.020, 0.030, 0.040, 0.050, 0.060],
+                8,
+                if quick { 1 } else { 2 },
+                &mut rng,
+            )
             .expect("wireless calibration");
         let sweep = Sweep {
             locations_m: vec![0.030, 0.050],

@@ -52,8 +52,7 @@ pub fn run(quick: bool) -> Report {
     let reads = if quick { 3 } else { 6 };
     let v_alias = MovingScatterer::speed_for_line(0.9e9, 1000.0);
 
-    let mut table =
-        TextTable::new(["mover speed (m/s)", "Doppler (Hz)", "port-1 phase err (°)"]);
+    let mut table = TextTable::new(["mover speed (m/s)", "Doppler (Hz)", "port-1 phase err (°)"]);
     // negative rate = approaching ⇒ positive Doppler, landing on the
     // +fs bin the reader actually uses
     let speeds = [0.0, 1.0, 5.0, 30.0, -v_alias];
@@ -63,7 +62,11 @@ pub fn run(quick: bool) -> Report {
         table.row([
             fmt(v.abs(), 1),
             fmt(-v * 0.9e9 / wiforce_dsp::C0, 1),
-            if e.is_nan() { "undetected".into() } else { fmt(e, 2) },
+            if e.is_nan() {
+                "undetected".into()
+            } else {
+                fmt(e, 2)
+            },
         ]);
         errs.push(e);
     }

@@ -21,13 +21,20 @@ fn port1_phase_deg(
     x0: f64,
 ) -> Option<f64> {
     let patch = solver.contact_patch(force, x0)?;
-    Some(line.differential_phase(f_hz, patch.port1_length_m(), Termination::Open).to_degrees())
+    Some(
+        line.differential_phase(f_hz, patch.port1_length_m(), Termination::Open)
+            .to_degrees(),
+    )
 }
 
 /// Runs the experiment.
 pub fn run(_quick: bool) -> Report {
     println!("== Fig. 4c: phase-force transduction, thin trace vs soft beam ==\n");
-    let soft = ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), 201);
+    let soft = ContactSolver::with_nodes(
+        SensorMech::wiforce_prototype(),
+        Indenter::actuator_tip(),
+        201,
+    );
     let thin = ContactSolver::with_nodes(SensorMech::thin_trace(), Indenter::actuator_tip(), 201);
     let line = SensorLine::wiforce_prototype();
     let x0 = 0.040;
@@ -46,10 +53,12 @@ pub fn run(_quick: bool) -> Report {
         let base = port1_phase_deg(solver, &line, f_hz, forces[0], x0);
         forces
             .iter()
-            .map(|&f| match (port1_phase_deg(solver, &line, f_hz, f, x0), base) {
-                (Some(p), Some(b)) => Some(p - b),
-                _ => None,
-            })
+            .map(
+                |&f| match (port1_phase_deg(solver, &line, f_hz, f, x0), base) {
+                    (Some(p), Some(b)) => Some(p - b),
+                    _ => None,
+                },
+            )
             .collect()
     };
     let thin900 = series(&thin, 0.9e9);
@@ -73,7 +82,9 @@ pub fn run(_quick: bool) -> Report {
         let vals: Vec<f64> = s.iter().flatten().copied().collect();
         let (lo, hi) = vals
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         hi - lo
     };
     let soft_sw = swing(&soft24);

@@ -29,7 +29,11 @@ fn phases_deg(
 /// Runs the experiment.
 pub fn run(_quick: bool) -> Report {
     println!("== Fig. 5b: port-wise phase-force profiles at 20/40/60 mm (900 MHz VNA) ==\n");
-    let solver = ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), 201);
+    let solver = ContactSolver::with_nodes(
+        SensorMech::wiforce_prototype(),
+        Indenter::actuator_tip(),
+        201,
+    );
     let line = SensorLine::wiforce_prototype();
     let f_hz = 0.9e9;
     let forces: Vec<f64> = (1..=16).map(|i| i as f64 * 0.5).collect();
@@ -52,9 +56,10 @@ pub fn run(_quick: bool) -> Report {
         println!("-- press at {:.0} mm --", x0 * 1e3);
         println!("{}", table.render());
         let swing = |v: &[f64]| {
-            v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-                (lo.min(x), hi.max(x))
-            })
+            v.iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                })
         };
         let (l1, h1) = swing(&p1s);
         let (l2, h2) = swing(&p2s);

@@ -21,7 +21,11 @@ fn line_value(tag: &SensorTag, f_line: f64, contact: Option<&ContactState>) -> C
         .map(|i| tag.antenna_reflection(0.9e9, i as f64 * T_SNAP, contact))
         .collect();
     // subtract mean (static term), then read the line
-    let mean: Complex = series.iter().copied().sum::<Complex>().scale(1.0 / N as f64);
+    let mean: Complex = series
+        .iter()
+        .copied()
+        .sum::<Complex>()
+        .scale(1.0 / N as f64);
     let centered: Vec<Complex> = series.iter().map(|&z| z - mean).collect();
     goertzel(&centered, f_line * T_SNAP).scale(1.0 / N as f64)
 }
@@ -34,16 +38,19 @@ fn line_value(tag: &SensorTag, f_line: f64, contact: Option<&ContactState>) -> C
 /// the fs line, dragging the reference phase away from the clean
 /// reflective-open stub measurement the algorithm assumes.
 fn differential_error_deg(tag: &SensorTag, port1_line: f64) -> f64 {
-    let contact = ContactState { port1_short_m: 0.030, port2_short_m: 0.035 };
+    let contact = ContactState {
+        port1_short_m: 0.030,
+        port2_short_m: 0.035,
+    };
     let reference = line_value(tag, port1_line, None);
     let touched = line_value(tag, port1_line, Some(&contact));
     let measured = (reference * touched.conj()).arg();
-    let ideal = tag.line.differential_phase(
-        0.9e9,
-        contact.port1_short_m,
-        tag.switch2.off_termination(),
-    );
-    wiforce_dsp::phase::wrap_to_pi(measured - ideal).to_degrees().abs()
+    let ideal =
+        tag.line
+            .differential_phase(0.9e9, contact.port1_short_m, tag.switch2.off_termination());
+    wiforce_dsp::phase::wrap_to_pi(measured - ideal)
+        .to_degrees()
+        .abs()
 }
 
 /// Runs the experiment.
@@ -55,7 +62,12 @@ pub fn run(_quick: bool) -> Report {
 
     // spectra at the key lines, no contact
     let mut table = TextTable::new(["line", "WiForce |Γ̃|", "naive |Γ̃|"]);
-    for (name, f) in [("fs", fs), ("2fs", 2.0 * fs), ("3fs", 3.0 * fs), ("4fs", 4.0 * fs)] {
+    for (name, f) in [
+        ("fs", fs),
+        ("2fs", 2.0 * fs),
+        ("3fs", 3.0 * fs),
+        ("4fs", 4.0 * fs),
+    ] {
         table.row([
             name.to_string(),
             fmt(line_value(&wiforce, f, None).abs(), 4),

@@ -15,7 +15,11 @@ pub fn run(_quick: bool) -> Report {
     println!("== Fig. 10: sensor S-parameters, 0.05–3 GHz (bench VNA) ==\n");
     let line = SensorLine::wiforce_prototype();
     let vna = Vna::bench();
-    let sweep = FrequencySweep { start_hz: 0.05e9, stop_hz: 3.0e9, points: 60 };
+    let sweep = FrequencySweep {
+        start_hz: 0.05e9,
+        stop_hz: 3.0e9,
+        points: 60,
+    };
     let result = vna.sweep(sweep, |f| line.rest_sparams(f));
 
     let phases = result.s21_phase_unwrapped();

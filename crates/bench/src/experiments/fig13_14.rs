@@ -31,7 +31,10 @@ pub fn run_both_carriers(quick: bool) -> Vec<CarrierRun> {
             let model = sim.vna_calibration().expect("calibration");
             let sweep = Sweep::paper_eval(trials);
             let results = run_sweep(&sim, &model, &sweep);
-            CarrierRun { carrier_hz: carrier, results }
+            CarrierRun {
+                carrier_hz: carrier,
+                results,
+            }
         })
         .collect()
 }
@@ -65,7 +68,11 @@ pub fn run_figs(quick: bool) -> (Report, Report) {
         print_cdf("location error", &le, "mm");
 
         // per-location medians (the "uniform along the length" claim)
-        let mut table = TextTable::new(["location (mm)", "median force err (N)", "median loc err (mm)"]);
+        let mut table = TextTable::new([
+            "location (mm)",
+            "median force err (N)",
+            "median loc err (mm)",
+        ]);
         let mut per_loc_medians = Vec::new();
         for &loc in &[0.020, 0.040, 0.055, 0.060] {
             let sub: Vec<PressResult> = run
@@ -84,8 +91,15 @@ pub fn run_figs(quick: bool) -> (Report, Report) {
         medians_force.push(fe.median());
         medians_loc.push(le.median());
 
-        let spread = per_loc_medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            / per_loc_medians.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-6);
+        let spread = per_loc_medians
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            / per_loc_medians
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-6);
         rep13.push(ExperimentRecord::new(
             format!("Fig. 13 @ {ghz} GHz"),
             "uniformity along sensor",

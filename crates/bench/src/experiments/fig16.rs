@@ -47,7 +47,11 @@ pub fn run(quick: bool) -> Report {
     let mut table = TextTable::new(["setup", "decoded", "median force err (N)"]);
     table.row([
         "over the air".to_string(),
-        format!("{}/{}", ota_results.iter().filter(|r| r.ok).count(), ota_results.len()),
+        format!(
+            "{}/{}",
+            ota_results.iter().filter(|r| r.ok).count(),
+            ota_results.len()
+        ),
         fmt(ota_median, 3),
     ]);
     table.row([
@@ -63,8 +67,7 @@ pub fn run(quick: bool) -> Report {
     let mut rng = StdRng::seed_from_u64(0xDEAD);
     let contact = no_plate.contact_for(4.0, 0.060);
     let no_plate_result = no_plate.measure_phases(contact.as_ref(), &mut rng);
-    let failed_without_plate =
-        matches!(no_plate_result, Err(WiForceError::TagNotDetected { .. }));
+    let failed_without_plate = matches!(no_plate_result, Err(WiForceError::TagNotDetected { .. }));
     println!(
         "without the metal plate: {}\n",
         match &no_plate_result {
@@ -90,7 +93,11 @@ pub fn run(quick: bool) -> Report {
         "§5.2",
         "decoding without the metal plate",
         "impossible (60 dB ADC dynamic range)",
-        if failed_without_plate { "tag not detected".into() } else { "decoded".to_string() },
+        if failed_without_plate {
+            "tag not detected".into()
+        } else {
+            "decoded".to_string()
+        },
         failed_without_plate,
         "TagNotDetected without blockage",
     ));

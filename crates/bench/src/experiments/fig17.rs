@@ -36,8 +36,17 @@ pub fn run(quick: bool) -> Report {
     let mut rng = StdRng::seed_from_u64(0xF175);
     let mut clock = TagClock::new(&mut rng);
 
-    // 3 reference groups of untouched sensor
-    for s in sim.run_snapshots(None, cfg.reference_groups, &mut clock, &mut rng) {
+    // 3 reference groups of untouched sensor; one snapshot buffer is
+    // reused for every group of the whole staircase
+    let mut stream = wiforce_dsp::SnapshotMatrix::default();
+    sim.run_snapshots_into(
+        None,
+        cfg.reference_groups,
+        &mut clock,
+        &mut rng,
+        &mut stream,
+    );
+    for s in stream.rows() {
         let _ = est.push_snapshot(s).expect("reference groups");
     }
 
@@ -48,7 +57,9 @@ pub fn run(quick: bool) -> Report {
         let t_mid = (g as f64 + 0.5) * group_s;
         let force = profile.force_at(t_mid);
         let contact = sim.jittered_contact(force, profile.location_m(), &mut rng);
-        for s in sim.run_snapshots(contact.as_ref(), 1, &mut clock, &mut rng) {
+        stream.clear();
+        sim.run_snapshots_into(contact.as_ref(), 1, &mut clock, &mut rng, &mut stream);
+        for s in stream.rows() {
             if let Ok(Some(r)) = est.push_snapshot(s) {
                 readings.push((t_mid, force, r));
             }
@@ -71,12 +82,16 @@ pub fn run(quick: bool) -> Report {
         }
     }
     println!("{}", table.render());
-    let mode_bin = hist.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0);
+    let mode_bin = hist
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
     let in_mode = hist[mode_bin] as f64 / touched.len().max(1) as f64;
 
     // per-level force tracking
-    let mut level_table =
-        TextTable::new(["target level (N)", "mean estimate (N)", "error (N)"]);
+    let mut level_table = TextTable::new(["target level (N)", "mean estimate (N)", "error (N)"]);
     let mut level_errors = Vec::new();
     let mut level_means = Vec::new();
     for (i, &level) in profile.levels_n.iter().enumerate() {
@@ -109,7 +124,10 @@ pub fn run(quick: bool) -> Report {
         "Fig. 17a",
         "fingertip press localization",
         "all touches classified at 60 mm (fingertip ≈10 mm wide)",
-        format!("{:.0}% of readings in the {mode_center:.0} mm bin", in_mode * 100.0),
+        format!(
+            "{:.0}% of readings in the {mode_center:.0} mm bin",
+            in_mode * 100.0
+        ),
         (mode_center - 60.0).abs() <= 5.0 && in_mode > 0.7,
         "mode bin within 5 mm of 60 mm, >70 % of readings",
     ));
@@ -119,7 +137,11 @@ pub fn run(quick: bool) -> Report {
         "increasing levels estimated and distinguishable",
         format!(
             "levels {} (worst error {worst_level:.2} N)",
-            if ordered { "strictly ordered" } else { "NOT ordered" }
+            if ordered {
+                "strictly ordered"
+            } else {
+                "NOT ordered"
+            }
         ),
         ordered && worst_level < 1.0 && level_errors.len() >= 4,
         "staircase order preserved, every level within 1 N",

@@ -54,7 +54,11 @@ pub fn run(quick: bool) -> Report {
     }
     println!("{}", table.render());
 
-    let at = |d: f64| stds.iter().find(|(p, _)| (*p - d).abs() < 1e-9).map(|(_, v)| *v);
+    let at = |d: f64| {
+        stds.iter()
+            .find(|(p, _)| (*p - d).abs() < 1e-9)
+            .map(|(_, v)| *v)
+    };
     let best_end = at(1.0).unwrap_or(f64::NAN).min(at(3.0).unwrap_or(f64::NAN));
     let mid = at(2.0).unwrap_or(f64::NAN);
 

@@ -14,7 +14,13 @@ pub fn run(_quick: bool) -> Report {
     let ratios: Vec<f64> = (20..=70).map(|k| k as f64 * 0.1).collect();
     let band: Vec<f64> = (1..=30).map(|k| k as f64 * 0.1e9).collect();
 
-    let mut table = TextTable::new(["w/h ratio", "Z (narrow gnd) Ω", "S11 narrow (dB)", "Z (wide gnd) Ω", "S11 wide (dB)"]);
+    let mut table = TextTable::new([
+        "w/h ratio",
+        "Z (narrow gnd) Ω",
+        "S11 narrow (dB)",
+        "Z (wide gnd) Ω",
+        "S11 wide (dB)",
+    ]);
     let narrow = ratio_sweep(1.0, &ratios, &band, 0.080);
     let wide = ratio_sweep(2.4, &ratios, &band, 0.080);
     for (n, w) in narrow.iter().zip(&wide).step_by(5) {
@@ -30,7 +36,9 @@ pub fn run(_quick: bool) -> Report {
 
     let opt_narrow = optimal_ratio(&narrow);
     let opt_wide = optimal_ratio(&wide);
-    println!("optimal ratio: narrow ground {opt_narrow:.1}:1, wide (2.4×) ground {opt_wide:.1}:1\n");
+    println!(
+        "optimal ratio: narrow ground {opt_narrow:.1}:1, wide (2.4×) ground {opt_wide:.1}:1\n"
+    );
 
     let mut rep = Report::new();
     rep.push(ExperimentRecord::new(

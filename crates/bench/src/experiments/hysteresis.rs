@@ -45,7 +45,11 @@ pub fn run(quick: bool) -> Report {
     for k in 0..steps {
         let frac = k as f64 / (steps - 1) as f64;
         let rising = frac < 0.5;
-        let applied = if rising { 16.0 * frac } else { 16.0 * (1.0 - frac) };
+        let applied = if rising {
+            16.0 * frac
+        } else {
+            16.0 * (1.0 - frac)
+        };
         let t = k as f64 * dwell_s;
         let Some(patch) = mech.press(t, applied, 0.040) else {
             continue;
@@ -58,7 +62,11 @@ pub fn run(quick: bool) -> Report {
         }
     }
 
-    let mut table = TextTable::new(["applied (N)", "estimated rising (N)", "estimated falling (N)"]);
+    let mut table = TextTable::new([
+        "applied (N)",
+        "estimated rising (N)",
+        "estimated falling (N)",
+    ]);
     let mut gaps = Vec::new();
     for level in [2.0, 4.0, 6.0] {
         let near = |rising: bool| -> Option<f64> {

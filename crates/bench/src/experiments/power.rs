@@ -9,8 +9,14 @@ use wiforce_sensor::power::{estimate, CmosNode};
 /// Runs the experiment.
 pub fn run(_quick: bool) -> Report {
     println!("== §4.3: tag power budget ==\n");
-    let mut table =
-        TextTable::new(["node", "fs (kHz)", "switch drive (nW)", "clock gen (nW)", "leakage (nW)", "total (µW)"]);
+    let mut table = TextTable::new([
+        "node",
+        "fs (kHz)",
+        "switch drive (nW)",
+        "clock gen (nW)",
+        "leakage (nW)",
+        "total (µW)",
+    ]);
     let mut total_65_at_1k = f64::NAN;
     for node in [CmosNode::N180, CmosNode::TSMC65, CmosNode::N28] {
         for fs in [1_000.0, 10_000.0, 50_000.0] {
@@ -35,9 +41,10 @@ pub fn run(_quick: bool) -> Report {
     let mut htable = TextTable::new(["rectifier", "feasibility radius (m)"]);
     let budget = estimate(CmosNode::TSMC65, 1_000.0);
     let mut radius_cmos = 0.0;
-    for (name, rect) in
-        [("CMOS rectenna (−20 dBm, 30 %)", Rectifier::cmos_rectenna()), ("Schottky (−15 dBm, 20 %)", Rectifier::schottky())]
-    {
+    for (name, rect) in [
+        ("CMOS rectenna (−20 dBm, 30 %)", Rectifier::cmos_rectenna()),
+        ("Schottky (−15 dBm, 20 %)", Rectifier::schottky()),
+    ] {
         let r = feasibility_radius_m(&budget, &rect, 1.0, 0.9e9, 4.0, 1.6);
         if name.starts_with("CMOS") {
             radius_cmos = r.unwrap_or(0.0);

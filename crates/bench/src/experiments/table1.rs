@@ -20,8 +20,11 @@ pub fn run(quick: bool) -> Report {
         println!("== Table 1 @ {ghz} GHz: VNA vs model vs wireless ==\n");
         let sim = Simulation::paper_default(carrier);
         let model = sim.vna_calibration().expect("calibration");
-        let forces: Vec<f64> =
-            if quick { vec![1.0, 3.0, 5.0, 7.0] } else { (1..=16).map(|i| i as f64 * 0.5).collect() };
+        let forces: Vec<f64> = if quick {
+            vec![1.0, 3.0, 5.0, 7.0]
+        } else {
+            (1..=16).map(|i| i as f64 * 0.5).collect()
+        };
 
         for &loc in &[0.020, 0.040, 0.055, 0.060] {
             let mut table = TextTable::new([
@@ -48,7 +51,9 @@ pub fn run(quick: bool) -> Report {
                 let m2 = v2 + wrap_to_pi(m2u - v2);
                 let mut rng = StdRng::seed_from_u64(0x7AB1 + i as u64 + (loc * 1e6) as u64);
                 let contact = sim.contact_for(f, loc);
-                let w = sim.measure_phases(contact.as_ref(), &mut rng).expect("detectable");
+                let w = sim
+                    .measure_phases(contact.as_ref(), &mut rng)
+                    .expect("detectable");
                 table.row([
                     fmt(f, 1),
                     fmt(v1.to_degrees(), 2),
@@ -83,8 +88,11 @@ pub fn run(quick: bool) -> Report {
             let model_rms = rms(&vna1, &mdl1).max(rms(&vna2, &mdl2));
             let wireless_rms = rms(&vna1, &wls1).max(rms(&vna2, &wls2));
             let held_out = (loc - 0.055).abs() < 1e-9;
-            let id = format!("Table 1 @ {ghz} GHz, {:.0} mm{}", loc * 1e3,
-                if held_out { " (held out)" } else { "" });
+            let id = format!(
+                "Table 1 @ {ghz} GHz, {:.0} mm{}",
+                loc * 1e3,
+                if held_out { " (held out)" } else { "" }
+            );
             rep.push(ExperimentRecord::new(
                 id.clone(),
                 "model-vs-VNA overlay",

@@ -90,48 +90,95 @@ impl Sweep {
 
 /// Runs the sweep in parallel, returning one result per press.
 pub fn run_sweep(sim: &Simulation, model: &SensorModel, sweep: &Sweep) -> Vec<PressResult> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    run_sweep_with_threads(sim, model, sweep, n_threads)
+}
+
+/// Runs the sweep on exactly `n_threads` worker threads.
+///
+/// Workers claim presses one at a time off a shared atomic counter
+/// (work-stealing), so a straggler press never idles the rest of the
+/// pool the way static chunking did. Every press still runs from its own
+/// deterministic seed and results are merged back in press order, so the
+/// output is bit-identical for any thread count.
+pub fn run_sweep_with_threads(
+    sim: &Simulation,
+    model: &SensorModel,
+    sweep: &Sweep,
+    n_threads: usize,
+) -> Vec<PressResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let presses = sweep.presses();
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let chunk = presses.len().div_ceil(n_threads).max(1);
+    let n_threads = n_threads.max(1);
+    let next = AtomicUsize::new(0);
+
+    let run_press = |&(force, loc, seed): &(f64, f64, u64)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match sim.measure_press(model, force, loc, &mut rng) {
+            Ok(reading) => PressResult {
+                true_force_n: force,
+                true_location_m: loc,
+                est_force_n: reading.force_n,
+                est_location_m: reading.location_m,
+                ok: true,
+            },
+            Err(_) => PressResult {
+                true_force_n: force,
+                true_location_m: loc,
+                est_force_n: f64::NAN,
+                est_location_m: f64::NAN,
+                ok: false,
+            },
+        }
+    };
 
     let mut results: Vec<Option<PressResult>> = vec![None; presses.len()];
     std::thread::scope(|scope| {
-        for (slice, work) in results.chunks_mut(chunk).zip(presses.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, &(force, loc, seed)) in slice.iter_mut().zip(work) {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let r = sim.measure_press(model, force, loc, &mut rng);
-                    *slot = Some(match r {
-                        Ok(reading) => PressResult {
-                            true_force_n: force,
-                            true_location_m: loc,
-                            est_force_n: reading.force_n,
-                            est_location_m: reading.location_m,
-                            ok: true,
-                        },
-                        Err(_) => PressResult {
-                            true_force_n: force,
-                            true_location_m: loc,
-                            est_force_n: f64::NAN,
-                            est_location_m: f64::NAN,
-                            ok: false,
-                        },
-                    });
-                }
-            });
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(press) = presses.get(idx) else { break };
+                        done.push((idx, run_press(press)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, r) in handle.join().expect("sweep worker panicked") {
+                results[idx] = Some(r);
+            }
         }
     });
-    results.into_iter().map(|r| r.expect("all presses filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all presses filled"))
+        .collect()
 }
 
 /// Force errors (N) of successful presses.
 pub fn force_errors(results: &[PressResult]) -> Vec<f64> {
-    results.iter().filter(|r| r.ok).map(PressResult::force_error_n).collect()
+    results
+        .iter()
+        .filter(|r| r.ok)
+        .map(PressResult::force_error_n)
+        .collect()
 }
 
 /// Location errors (mm) of successful presses.
 pub fn location_errors_mm(results: &[PressResult]) -> Vec<f64> {
-    results.iter().filter(|r| r.ok).map(|r| r.location_error_m() * 1e3).collect()
+    results
+        .iter()
+        .filter(|r| r.ok)
+        .map(|r| r.location_error_m() * 1e3)
+        .collect()
 }
 
 /// Returns `true` when `--quick` was passed (fig binaries use fewer
@@ -146,7 +193,12 @@ mod tests {
 
     #[test]
     fn sweep_enumeration() {
-        let s = Sweep { locations_m: vec![0.02, 0.04], forces_n: vec![1.0, 2.0], trials: 3, seed: 1 };
+        let s = Sweep {
+            locations_m: vec![0.02, 0.04],
+            forces_n: vec![1.0, 2.0],
+            trials: 3,
+            seed: 1,
+        };
         assert_eq!(s.len(), 12);
         assert!(!s.is_empty());
         let p = s.presses();
@@ -164,7 +216,12 @@ mod tests {
         sim.reference_groups = 1;
         sim.measure_groups = 1;
         let model = sim.vna_calibration().unwrap();
-        let sweep = Sweep { locations_m: vec![0.040], forces_n: vec![4.0], trials: 2, seed: 9 };
+        let sweep = Sweep {
+            locations_m: vec![0.040],
+            forces_n: vec![4.0],
+            trials: 2,
+            seed: 9,
+        };
         let a = run_sweep(&sim, &model, &sweep);
         let b = run_sweep(&sim, &model, &sweep);
         assert_eq!(a.len(), 2);
@@ -175,5 +232,30 @@ mod tests {
         let errs = force_errors(&a);
         assert_eq!(errs.len(), 2);
         assert!(errs.iter().all(|&e| e < 1.5), "{errs:?}");
+    }
+
+    #[test]
+    fn sweep_bit_identical_across_thread_counts() {
+        let mut sim = Simulation::paper_default(2.4e9);
+        sim.reference_groups = 1;
+        sim.measure_groups = 1;
+        let model = sim.vna_calibration().unwrap();
+        let sweep = Sweep {
+            locations_m: vec![0.020, 0.055],
+            forces_n: vec![2.0, 5.0],
+            trials: 2,
+            seed: 42,
+        };
+        let single = run_sweep_with_threads(&sim, &model, &sweep, 1);
+        assert_eq!(single.len(), sweep.len());
+        for n_threads in [2, 3, 7] {
+            let multi = run_sweep_with_threads(&sim, &model, &sweep, n_threads);
+            assert_eq!(multi.len(), single.len());
+            for (a, b) in single.iter().zip(&multi) {
+                assert_eq!(a.ok, b.ok, "{n_threads} threads");
+                assert_eq!(a.est_force_n.to_bits(), b.est_force_n.to_bits());
+                assert_eq!(a.est_location_m.to_bits(), b.est_location_m.to_bits());
+            }
+        }
     }
 }

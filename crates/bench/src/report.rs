@@ -177,7 +177,9 @@ mod tests {
         rep1.push(rec(true));
         rep1.write_section(&path, "Fig. X").unwrap();
         let mut rep2 = Report::new();
-        rep2.push(ExperimentRecord::new("Fig. X", "median", "1.0 N", "2.2 N", false, "c"));
+        rep2.push(ExperimentRecord::new(
+            "Fig. X", "median", "1.0 N", "2.2 N", false, "c",
+        ));
         rep2.write_section(&path, "Fig. X").unwrap();
 
         let content = std::fs::read_to_string(&path).unwrap();

@@ -12,7 +12,10 @@ pub struct TextTable {
 impl TextTable {
     /// Starts a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -62,7 +65,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

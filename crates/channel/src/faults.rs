@@ -58,7 +58,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector for a capture run.
     pub fn new(config: FaultConfig) -> Self {
-        FaultInjector { config, dropped: 0, bursts: 0 }
+        FaultInjector {
+            config,
+            dropped: 0,
+            bursts: 0,
+        }
     }
 
     /// The active configuration.
@@ -156,7 +160,10 @@ mod tests {
 
     #[test]
     fn clock_drift_moves_lines() {
-        let cfg = FaultConfig { tag_clock_ppm: 100.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            tag_clock_ppm: 100.0,
+            ..FaultConfig::none()
+        };
         let f = cfg.drifted_clock_hz(1000.0);
         assert!((f - 1000.1).abs() < 1e-9);
         assert_eq!(FaultConfig::none().drifted_clock_hz(1000.0), 1000.0);

@@ -50,7 +50,11 @@ impl Frontend {
     /// An ideal front end (no noise, no quantization) for debugging and
     /// algorithm-only ablations.
     pub fn ideal() -> Self {
-        Frontend { adc_enob_bits: 0, noise_floor: 0.0, phase_jitter_rad: 0.0 }
+        Frontend {
+            adc_enob_bits: 0,
+            noise_floor: 0.0,
+            phase_jitter_rad: 0.0,
+        }
     }
 
     /// ADC dynamic range, dB.
@@ -67,7 +71,10 @@ impl Frontend {
         estimates: &mut [Complex],
         full_scale: f64,
     ) {
-        let no_noise = Frontend { noise_floor: 0.0, ..*self };
+        let no_noise = Frontend {
+            noise_floor: 0.0,
+            ..*self
+        };
         no_noise.capture(rng, estimates, full_scale, 0.0);
     }
 

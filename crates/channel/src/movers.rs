@@ -62,7 +62,11 @@ mod tests {
 
     #[test]
     fn doppler_formula() {
-        let m = MovingScatterer { distance0_m: 3.0, speed_m_per_s: 1.0, gain: Complex::ONE };
+        let m = MovingScatterer {
+            distance0_m: 3.0,
+            speed_m_per_s: 1.0,
+            gain: Complex::ONE,
+        };
         // 1 m/s at 900 MHz ⇒ 3 Hz
         assert!((m.doppler_hz(0.9e9) - 3.0).abs() < 0.01);
     }
@@ -77,7 +81,11 @@ mod tests {
 
     #[test]
     fn response_rotates_at_doppler_rate() {
-        let m = MovingScatterer { distance0_m: 2.0, speed_m_per_s: 5.0, gain: Complex::ONE };
+        let m = MovingScatterer {
+            distance0_m: 2.0,
+            speed_m_per_s: 5.0,
+            gain: Complex::ONE,
+        };
         let f = 0.9e9;
         let dt = 1e-3;
         let r0 = m.response(f, 0.0);
@@ -89,7 +97,11 @@ mod tests {
 
     #[test]
     fn stationary_scatterer_is_static() {
-        let m = MovingScatterer { distance0_m: 2.0, speed_m_per_s: 0.0, gain: Complex::I };
+        let m = MovingScatterer {
+            distance0_m: 2.0,
+            speed_m_per_s: 0.0,
+            gain: Complex::I,
+        };
         assert_eq!(m.response(1e9, 0.0), m.response(1e9, 5.0));
     }
 }

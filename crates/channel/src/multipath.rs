@@ -49,10 +49,7 @@ impl StaticMultipath {
         let paths = (0..n_paths)
             .map(|_| Path {
                 distance_m: uniform(rng, d_min_m, d_max_m),
-                gain: Complex::from_polar(
-                    uniform(rng, 0.0, max_amplitude),
-                    uniform(rng, 0.0, TAU),
-                ),
+                gain: Complex::from_polar(uniform(rng, 0.0, max_amplitude), uniform(rng, 0.0, TAU)),
             })
             .collect();
         StaticMultipath { paths }

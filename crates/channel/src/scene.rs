@@ -148,7 +148,9 @@ impl Scene {
     /// Composite channel at `f_hz` given the tag's instantaneous
     /// reflection `gamma_tag` — the paper's `H[k,n]` for one `(k, n)`.
     pub fn channel(&self, f_hz: f64, gamma_tag: Complex) -> Complex {
-        self.direct_response(f_hz) + self.multipath.response(f_hz) + self.backscatter_gain(f_hz) * gamma_tag
+        self.direct_response(f_hz)
+            + self.multipath.response(f_hz)
+            + self.backscatter_gain(f_hz) * gamma_tag
     }
 
     /// Static part of the channel (everything except the tag term and any
@@ -222,7 +224,10 @@ mod tests {
         let ph = Scene::tissue_phantom(0.9e9, 45.0);
         let loss_ota = -20.0 * ota.backscatter_gain(0.9e9).abs().log10();
         let loss_ph = -20.0 * ph.backscatter_gain(0.9e9).abs().log10();
-        assert!((35.0..65.0).contains(&loss_ota), "over-the-air {loss_ota} dB");
+        assert!(
+            (35.0..65.0).contains(&loss_ota),
+            "over-the-air {loss_ota} dB"
+        );
         assert!((85.0..135.0).contains(&loss_ph), "phantom {loss_ph} dB");
         assert!(loss_ph > loss_ota + 35.0);
     }

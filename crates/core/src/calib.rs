@@ -66,9 +66,18 @@ impl SensorModel {
             )));
         }
         let mut sorted: Vec<&LocationData> = data.iter().collect();
-        sorted.sort_by(|a, b| a.location_m.partial_cmp(&b.location_m).expect("NaN location"));
-        if sorted.windows(2).any(|w| w[0].location_m >= w[1].location_m) {
-            return Err(WiForceError::Calibration("duplicate calibration locations".into()));
+        sorted.sort_by(|a, b| {
+            a.location_m
+                .partial_cmp(&b.location_m)
+                .expect("NaN location")
+        });
+        if sorted
+            .windows(2)
+            .any(|w| w[0].location_m >= w[1].location_m)
+        {
+            return Err(WiForceError::Calibration(
+                "duplicate calibration locations".into(),
+            ));
         }
 
         let mut force_min = f64::INFINITY;
@@ -92,9 +101,17 @@ impl SensorModel {
                 .map_err(|e| WiForceError::Calibration(e.to_string()))?;
             force_min = force_min.min(forces.iter().cloned().fold(f64::INFINITY, f64::min));
             force_max = force_max.max(forces.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
-            curves.push(LocationCurve { location_m: loc.location_m, poly1, poly2 });
+            curves.push(LocationCurve {
+                location_m: loc.location_m,
+                poly1,
+                poly2,
+            });
         }
-        Ok(SensorModel { curves, force_min_n: force_min, force_max_n: force_max })
+        Ok(SensorModel {
+            curves,
+            force_min_n: force_min,
+            force_max_n: force_max,
+        })
     }
 
     /// Calibration locations, ascending, m.
@@ -143,7 +160,10 @@ mod tests {
         let l = 0.080;
         let w1 = 1.0 - loc / l;
         let w2 = loc / l;
-        (0.3 * w1 * force.sqrt() + 0.01 * force, 0.3 * w2 * force.sqrt() + 0.01 * force)
+        (
+            0.3 * w1 * force.sqrt() + 0.01 * force,
+            0.3 * w2 * force.sqrt() + 0.01 * force,
+        )
     }
 
     fn synth_data() -> Vec<LocationData> {
@@ -155,7 +175,11 @@ mod tests {
                     .map(|i| {
                         let f = i as f64 * 0.5;
                         let (p1, p2) = synth_phases(f, loc);
-                        CalibrationSample { force_n: f, phi1_rad: p1, phi2_rad: p2 }
+                        CalibrationSample {
+                            force_n: f,
+                            phi1_rad: p1,
+                            phi2_rad: p2,
+                        }
                     })
                     .collect(),
             })
@@ -226,7 +250,13 @@ impl SensorModel {
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::io::Write;
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(f, "WFM1 {} {} {}", self.curves.len(), self.force_min_n, self.force_max_n)?;
+        writeln!(
+            f,
+            "WFM1 {} {} {}",
+            self.curves.len(),
+            self.force_min_n,
+            self.force_max_n
+        )?;
         for c in &self.curves {
             write!(f, "{}", c.location_m)?;
             write!(f, " | ")?;
@@ -273,26 +303,39 @@ impl SensorModel {
                 .next()
                 .and_then(|v| v.trim().parse().ok())
                 .ok_or_else(|| bad("bad location"))?;
-            let parse_poly = |chunk: Option<&str>| -> Result<wiforce_dsp::polyfit::Polynomial, Error> {
-                let coeffs: Result<Vec<f64>, _> = chunk
-                    .ok_or_else(|| bad("missing coefficients"))?
-                    .split_whitespace()
-                    .map(|v| v.parse::<f64>())
-                    .collect();
-                let coeffs = coeffs.map_err(|_| bad("bad coefficient"))?;
-                if coeffs.is_empty() {
-                    return Err(bad("empty coefficient set"));
-                }
-                Ok(wiforce_dsp::polyfit::Polynomial::new(coeffs))
-            };
+            let parse_poly =
+                |chunk: Option<&str>| -> Result<wiforce_dsp::polyfit::Polynomial, Error> {
+                    let coeffs: Result<Vec<f64>, _> = chunk
+                        .ok_or_else(|| bad("missing coefficients"))?
+                        .split_whitespace()
+                        .map(|v| v.parse::<f64>())
+                        .collect();
+                    let coeffs = coeffs.map_err(|_| bad("bad coefficient"))?;
+                    if coeffs.is_empty() {
+                        return Err(bad("empty coefficient set"));
+                    }
+                    Ok(wiforce_dsp::polyfit::Polynomial::new(coeffs))
+                };
             let poly1 = parse_poly(parts.next())?;
             let poly2 = parse_poly(parts.next())?;
-            curves.push(LocationCurve { location_m: loc, poly1, poly2 });
+            curves.push(LocationCurve {
+                location_m: loc,
+                poly1,
+                poly2,
+            });
         }
-        if curves.len() < 2 || curves.windows(2).any(|w| w[0].location_m >= w[1].location_m) {
+        if curves.len() < 2
+            || curves
+                .windows(2)
+                .any(|w| w[0].location_m >= w[1].location_m)
+        {
             return Err(bad("model needs ≥2 strictly increasing locations"));
         }
-        Ok(SensorModel { curves, force_min_n, force_max_n })
+        Ok(SensorModel {
+            curves,
+            force_min_n,
+            force_max_n,
+        })
     }
 }
 

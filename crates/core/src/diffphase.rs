@@ -50,8 +50,16 @@ pub struct DiffPhases {
 /// moving *toward* a port (less accumulated phase) yields a positive,
 /// growing differential phase.
 pub fn differential(reference: &GroupLines, current: &GroupLines, avg: Averaging) -> DiffPhases {
-    assert_eq!(reference.p1.len(), current.p1.len(), "subcarrier count mismatch");
-    assert_eq!(reference.p2.len(), current.p2.len(), "subcarrier count mismatch");
+    assert_eq!(
+        reference.p1.len(),
+        current.p1.len(),
+        "subcarrier count mismatch"
+    );
+    assert_eq!(
+        reference.p2.len(),
+        current.p2.len(),
+        "subcarrier count mismatch"
+    );
     DiffPhases {
         dphi1_rad: combine(&reference.p1, &current.p1, avg),
         dphi2_rad: combine(&reference.p2, &current.p2, avg),
@@ -62,12 +70,19 @@ pub fn differential(reference: &GroupLines, current: &GroupLines, avg: Averaging
 fn combine(reference: &[Complex], current: &[Complex], avg: Averaging) -> f64 {
     match avg {
         Averaging::Coherent => {
-            let s: Complex = reference.iter().zip(current).map(|(&r, &c)| r * c.conj()).sum();
+            let s: Complex = reference
+                .iter()
+                .zip(current)
+                .map(|(&r, &c)| r * c.conj())
+                .sum();
             s.arg()
         }
         Averaging::PhaseMean => {
-            let phases: Vec<f64> =
-                reference.iter().zip(current).map(|(&r, &c)| (r * c.conj()).arg()).collect();
+            let phases: Vec<f64> = reference
+                .iter()
+                .zip(current)
+                .map(|(&r, &c)| (r * c.conj()).arg())
+                .collect();
             circular_mean(&phases)
         }
         Averaging::SingleSubcarrier => reference
@@ -84,8 +99,14 @@ mod tests {
 
     fn lines(phases1: &[f64], phases2: &[f64], mag: f64) -> GroupLines {
         GroupLines {
-            p1: phases1.iter().map(|&p| Complex::from_polar(mag, p)).collect(),
-            p2: phases2.iter().map(|&p| Complex::from_polar(mag, p)).collect(),
+            p1: phases1
+                .iter()
+                .map(|&p| Complex::from_polar(mag, p))
+                .collect(),
+            p2: phases2
+                .iter()
+                .map(|&p| Complex::from_polar(mag, p))
+                .collect(),
         }
     }
 
@@ -93,7 +114,11 @@ mod tests {
     fn extracts_clean_phase_difference() {
         let reference = lines(&[0.5; 8], &[1.0; 8], 1e-3);
         let current = lines(&[0.2; 8], &[0.9; 8], 1e-3);
-        for avg in [Averaging::Coherent, Averaging::PhaseMean, Averaging::SingleSubcarrier] {
+        for avg in [
+            Averaging::Coherent,
+            Averaging::PhaseMean,
+            Averaging::SingleSubcarrier,
+        ] {
             let d = differential(&reference, &current, avg);
             assert!((d.dphi1_rad - 0.3).abs() < 1e-12, "{avg:?}");
             assert!((d.dphi2_rad - 0.1).abs() < 1e-12, "{avg:?}");
@@ -105,7 +130,9 @@ mod tests {
         // rotate *both* groups' subcarriers by the same per-subcarrier
         // channel phases: differential unchanged (the paper's core trick)
         let k = 16;
-        let chan: Vec<Complex> = (0..k).map(|i| Complex::from_polar(0.5, i as f64 * 0.4)).collect();
+        let chan: Vec<Complex> = (0..k)
+            .map(|i| Complex::from_polar(0.5, i as f64 * 0.4))
+            .collect();
         let mk = |tag_phase: f64| -> GroupLines {
             GroupLines {
                 p1: chan.iter().map(|&c| c * Complex::cis(tag_phase)).collect(),
@@ -152,11 +179,17 @@ mod tests {
         // one strong clean subcarrier + one weak wrong one: coherent stays
         // near the strong one's answer
         let reference = GroupLines {
-            p1: vec![Complex::from_polar(1.0, 0.0), Complex::from_polar(0.01, 0.0)],
+            p1: vec![
+                Complex::from_polar(1.0, 0.0),
+                Complex::from_polar(0.01, 0.0),
+            ],
             p2: vec![Complex::ONE; 2],
         };
         let current = GroupLines {
-            p1: vec![Complex::from_polar(1.0, -0.2), Complex::from_polar(0.01, 2.0)],
+            p1: vec![
+                Complex::from_polar(1.0, -0.2),
+                Complex::from_polar(0.01, 2.0),
+            ],
             p2: vec![Complex::ONE; 2],
         };
         let d = differential(&reference, &current, Averaging::Coherent);

@@ -11,7 +11,7 @@ use crate::diffphase::{differential, Averaging};
 use crate::harmonics::{extract_lines, GroupLines, PhaseGroupConfig};
 use crate::pipeline::average_lines;
 use crate::WiForceError;
-use wiforce_dsp::Complex;
+use wiforce_dsp::{Complex, SnapshotMatrix};
 
 /// Configuration for the streaming estimator.
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +63,7 @@ pub struct ForceReading {
 pub struct ForceEstimator {
     cfg: EstimatorConfig,
     model: SensorModel,
-    buffer: Vec<Vec<Complex>>,
+    buffer: SnapshotMatrix,
     reference_accum: Vec<GroupLines>,
     reference: Option<GroupLines>,
     groups_seen: usize,
@@ -75,7 +75,7 @@ impl ForceEstimator {
         ForceEstimator {
             cfg,
             model,
-            buffer: Vec::with_capacity(cfg.group.n_snapshots),
+            buffer: SnapshotMatrix::default(),
             reference_accum: Vec::new(),
             reference: None,
             groups_seen: 0,
@@ -94,23 +94,25 @@ impl ForceEstimator {
 
     /// Pushes one channel-estimate snapshot (one per sounding frame).
     ///
+    /// The snapshot is copied into a flat, capacity-reusing group buffer,
+    /// so a steady-state stream performs no per-snapshot allocation.
+    ///
     /// Returns a reading when a phase group completes after the reference
     /// is locked; `Ok(None)` while filling groups or acquiring the
     /// reference.
     pub fn push_snapshot(
         &mut self,
-        snapshot: Vec<Complex>,
+        snapshot: &[Complex],
     ) -> Result<Option<ForceReading>, WiForceError> {
-        self.buffer.push(snapshot);
-        if self.buffer.len() < self.cfg.group.n_snapshots {
+        self.buffer.push_row(snapshot);
+        if self.buffer.n_rows() < self.cfg.group.n_snapshots {
             return Ok(None);
         }
-        let group = std::mem::take(&mut self.buffer);
-        self.buffer = Vec::with_capacity(self.cfg.group.n_snapshots);
         let start_s = self.groups_seen as f64
             * self.cfg.group.n_snapshots as f64
             * self.cfg.group.snapshot_period_s;
-        let lines = extract_lines(&self.cfg.group, &group, start_s);
+        let lines = extract_lines(&self.cfg.group, self.buffer.view(), start_s);
+        self.buffer.clear();
         self.groups_seen += 1;
 
         // acquisition phase: accumulate the reference
@@ -136,7 +138,9 @@ impl ForceEstimator {
                 touched: false,
             }));
         }
-        let est = self.model.invert(d.dphi1_rad, d.dphi2_rad, self.cfg.max_residual_rad)?;
+        let est = self
+            .model
+            .invert(d.dphi1_rad, d.dphi2_rad, self.cfg.max_residual_rad)?;
         Ok(Some(ForceReading {
             force_n: est.force_n,
             location_m: est.location_m,
@@ -186,12 +190,15 @@ mod tests {
     #[test]
     fn locks_reference_then_reports() {
         let sim = Simulation::paper_default(0.9e9);
-        let cfg = EstimatorConfig { reference_groups: 2, ..EstimatorConfig::wiforce(1000.0) };
+        let cfg = EstimatorConfig {
+            reference_groups: 2,
+            ..EstimatorConfig::wiforce(1000.0)
+        };
         let mut est = ForceEstimator::new(cfg, model());
 
         // reference stream: zero phases
         for s in synthetic_snapshots(&cfg.group, 2, 0.0, 0.0) {
-            assert!(est.push_snapshot(s).unwrap().is_none());
+            assert!(est.push_snapshot(&s).unwrap().is_none());
         }
         assert!(est.reference_locked());
 
@@ -199,7 +206,7 @@ mod tests {
         let (p1, p2) = sim.vna_phases(4.0, 0.040);
         let mut readings = Vec::new();
         for s in synthetic_snapshots(&cfg.group, 2, p1, p2) {
-            if let Some(r) = est.push_snapshot(s).unwrap() {
+            if let Some(r) = est.push_snapshot(&s).unwrap() {
                 readings.push(r);
             }
         }
@@ -213,14 +220,17 @@ mod tests {
 
     #[test]
     fn untouched_reports_zero_force() {
-        let cfg = EstimatorConfig { reference_groups: 1, ..EstimatorConfig::wiforce(1000.0) };
+        let cfg = EstimatorConfig {
+            reference_groups: 1,
+            ..EstimatorConfig::wiforce(1000.0)
+        };
         let mut est = ForceEstimator::new(cfg, model());
         for s in synthetic_snapshots(&cfg.group, 1, 0.0, 0.0) {
-            est.push_snapshot(s).unwrap();
+            est.push_snapshot(&s).unwrap();
         }
         let mut out = None;
         for s in synthetic_snapshots(&cfg.group, 1, 0.0, 0.0) {
-            if let Some(r) = est.push_snapshot(s).unwrap() {
+            if let Some(r) = est.push_snapshot(&s).unwrap() {
                 out = Some(r);
             }
         }
@@ -232,10 +242,13 @@ mod tests {
 
     #[test]
     fn groups_counted() {
-        let cfg = EstimatorConfig { reference_groups: 1, ..EstimatorConfig::wiforce(1000.0) };
+        let cfg = EstimatorConfig {
+            reference_groups: 1,
+            ..EstimatorConfig::wiforce(1000.0)
+        };
         let mut est = ForceEstimator::new(cfg, model());
         for s in synthetic_snapshots(&cfg.group, 3, 0.0, 0.0) {
-            let _ = est.push_snapshot(s).unwrap();
+            let _ = est.push_snapshot(&s).unwrap();
         }
         assert_eq!(est.groups_seen(), 3);
     }
@@ -244,7 +257,7 @@ mod tests {
     fn partial_group_returns_none() {
         let cfg = EstimatorConfig::wiforce(1000.0);
         let mut est = ForceEstimator::new(cfg, model());
-        let r = est.push_snapshot(vec![Complex::ZERO; 4]).unwrap();
+        let r = est.push_snapshot(&[Complex::ZERO; 4]).unwrap();
         assert!(r.is_none());
         assert_eq!(est.groups_seen(), 0);
     }
@@ -271,13 +284,13 @@ mod tests {
         // untouched stretch, then a 5 N press at 30 mm
         let mut clock = crate::pipeline::TagClock::new(&mut rng);
         let quiet = sim.run_snapshots(None, 1, &mut clock, &mut rng);
-        for s in quiet {
+        for s in quiet.rows() {
             let _ = est.push_snapshot(s).unwrap();
         }
         let contact = sim.contact_for(5.0, 0.030);
         let pressed = sim.run_snapshots(contact.as_ref(), 1, &mut clock, &mut rng);
         let mut reading = None;
-        for s in pressed {
+        for s in pressed.rows() {
             if let Some(r) = est.push_snapshot(s).unwrap() {
                 reading = Some(r);
             }

@@ -103,8 +103,8 @@ impl GestureRecognizer {
                 if travel < self.cfg.swipe_min_travel_m {
                     track.hold_emitted = true;
                     let force = mean_force(&track.readings);
-                    let level = ((force / self.cfg.level_step_n).ceil() as u8)
-                        .clamp(1, self.cfg.n_levels);
+                    let level =
+                        ((force / self.cfg.level_step_n).ceil() as u8).clamp(1, self.cfg.n_levels);
                     return Some(Gesture::Hold {
                         location_m: mean_location(&track.readings),
                         level,
@@ -185,7 +185,10 @@ mod tests {
         }
         let ev = g.push(&reading(false, f64::NAN, 0.0)).expect("tap");
         match ev {
-            Gesture::Tap { location_m, peak_force_n } => {
+            Gesture::Tap {
+                location_m,
+                peak_force_n,
+            } => {
                 assert!((location_m - 0.040).abs() < 1e-9);
                 assert!((peak_force_n - 2.0).abs() < 1e-9);
             }
@@ -204,7 +207,11 @@ mod tests {
             }
         }
         match hold.expect("hold should fire") {
-            Gesture::Hold { location_m, level, force_n } => {
+            Gesture::Hold {
+                location_m,
+                level,
+                force_n,
+            } => {
                 assert!((location_m - 0.060).abs() < 1e-9);
                 assert_eq!(level, 3); // ceil(4.4 / 1.5) = 3
                 assert!((force_n - 4.4).abs() < 1e-9);

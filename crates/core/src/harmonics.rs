@@ -14,9 +14,9 @@
 //! is still provided (and a least-squares line fit for the adventurous —
 //! see [`ExtractionMethod`]).
 
-use wiforce_dsp::fft::goertzel;
+use wiforce_dsp::fft::goertzel_columns;
 use wiforce_dsp::linalg::Matrix;
-use wiforce_dsp::Complex;
+use wiforce_dsp::{Complex, SnapshotView};
 
 /// How the line values are extracted from a phase group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,30 +84,34 @@ pub struct GroupLines {
 impl GroupLines {
     /// Mean line power (both ports), for detection thresholds.
     pub fn mean_power(&self) -> f64 {
-        let total: f64 = self
-            .p1
-            .iter()
-            .chain(&self.p2)
-            .map(|z| z.norm_sqr())
-            .sum();
+        let total: f64 = self.p1.iter().chain(&self.p2).map(|z| z.norm_sqr()).sum();
         total / (self.p1.len() + self.p2.len()) as f64
     }
 }
 
 /// Extracts the line values from one phase group.
 ///
-/// `group[n][k]` holds the channel estimate of snapshot `n` at subcarrier
-/// `k`; all snapshots must have equal subcarrier counts and there must be
-/// exactly `cfg.n_snapshots` of them. `start_s` is the reader-clock time
+/// `group` is a row-major snapshot view: row `n` holds the channel
+/// estimate of snapshot `n` across all subcarriers, and there must be
+/// exactly `cfg.n_snapshots` rows. `start_s` is the reader-clock time
 /// of the group's first snapshot: the extracted line values are
 /// phase-referenced to absolute time so groups at different times can be
 /// conjugate-multiplied even when the lines are not integer bins of the
 /// group length (for integer bins the reference is a no-op).
-pub fn extract_lines(cfg: &PhaseGroupConfig, group: &[Vec<Complex>], start_s: f64) -> GroupLines {
-    assert_eq!(group.len(), cfg.n_snapshots, "group must hold n_snapshots snapshots");
-    let n = group.len();
-    let k_sub = group.first().map_or(0, Vec::len);
-    assert!(group.iter().all(|s| s.len() == k_sub), "ragged snapshot widths");
+///
+/// The mean-subtracted DFT path walks the flat snapshot storage exactly
+/// once per pass (one pass for the per-subcarrier means, one batched
+/// Goertzel pass for both lines × all subcarriers) instead of gathering
+/// each subcarrier's column — same floating-point results, cache-friendly
+/// access.
+pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f64) -> GroupLines {
+    assert_eq!(
+        group.n_rows(),
+        cfg.n_snapshots,
+        "group must hold n_snapshots snapshots"
+    );
+    let n = group.n_rows();
+    let k_sub = group.n_cols();
 
     let f1_norm = cfg.line1_hz * cfg.snapshot_period_s;
     let f2_norm = cfg.line2_hz * cfg.snapshot_period_s;
@@ -117,22 +121,22 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: &[Vec<Complex>], start_s: f6
 
     match cfg.method {
         ExtractionMethod::MeanSubtractedDft => {
-            let mut p1 = Vec::with_capacity(k_sub);
-            let mut p2 = Vec::with_capacity(k_sub);
-            let mut col = vec![Complex::ZERO; n];
-            for k in 0..k_sub {
-                let mut mean = Complex::ZERO;
-                for (slot, snap) in col.iter_mut().zip(group) {
-                    *slot = snap[k];
-                    mean += snap[k];
+            // pass 1: per-subcarrier means, accumulated in row order (the
+            // same addition order as the former per-column gather)
+            let mut means = vec![Complex::ZERO; k_sub];
+            for row in group.rows() {
+                for (m, &x) in means.iter_mut().zip(row) {
+                    *m += x;
                 }
-                mean = mean.scale(1.0 / n as f64);
-                col.iter_mut().for_each(|z| *z -= mean);
-                // normalize by N so line values approximate the per-snapshot
-                // modulated amplitude times the clock Fourier coefficient
-                p1.push(goertzel(&col, f1_norm).scale(1.0 / n as f64) * ref1);
-                p2.push(goertzel(&col, f2_norm).scale(1.0 / n as f64) * ref2);
             }
+            let inv_n = 1.0 / n as f64;
+            means.iter_mut().for_each(|m| *m = m.scale(inv_n));
+            // pass 2: batched mean-subtracted Goertzel, both lines at once
+            let acc = goertzel_columns(group.as_slice(), k_sub, &[f1_norm, f2_norm], Some(&means));
+            // normalize by N so line values approximate the per-snapshot
+            // modulated amplitude times the clock Fourier coefficient
+            let p1 = acc[0].iter().map(|z| z.scale(inv_n) * ref1).collect();
+            let p2 = acc[1].iter().map(|z| z.scale(inv_n) * ref2).collect();
             GroupLines { p1, p2 }
         }
         ExtractionMethod::LeastSquares => {
@@ -147,12 +151,12 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: &[Vec<Complex>], start_s: f6
 /// Joint LS fit of DC + three tone amplitudes per subcarrier.
 fn extract_least_squares(
     cfg: &PhaseGroupConfig,
-    group: &[Vec<Complex>],
+    group: SnapshotView<'_>,
     f1: f64,
     f2: f64,
 ) -> GroupLines {
-    let n = group.len();
-    let k_sub = group[0].len();
+    let n = group.n_rows();
+    let k_sub = group.n_cols();
     // basis tones: DC, f1, f_shared = 2·f1, f2 (complex exponentials)
     let f_shared = 2.0 * cfg.line1_hz * cfg.snapshot_period_s;
     let freqs = [0.0, f1, f_shared, f2];
@@ -163,13 +167,21 @@ fn extract_least_squares(
     // Hermitian and shared across subcarriers.
     let basis: Vec<Vec<Complex>> = freqs
         .iter()
-        .map(|&f| (0..n).map(|i| Complex::cis(wiforce_dsp::TAU * f * i as f64)).collect())
+        .map(|&f| {
+            (0..n)
+                .map(|i| Complex::cis(wiforce_dsp::TAU * f * i as f64))
+                .collect()
+        })
         .collect();
     // Gram matrix (complex) as 2m×2m real system
     let mut gram = vec![vec![Complex::ZERO; m]; m];
     for a in 0..m {
         for b in 0..m {
-            gram[a][b] = basis[a].iter().zip(&basis[b]).map(|(x, y)| x.conj() * *y).sum();
+            gram[a][b] = basis[a]
+                .iter()
+                .zip(&basis[b])
+                .map(|(x, y)| x.conj() * *y)
+                .sum();
         }
     }
     let real_mat = Matrix::from_fn(2 * m, 2 * m, |r, c| {
@@ -191,7 +203,7 @@ fn extract_least_squares(
         for (j, b) in basis.iter().enumerate() {
             let dot: Complex = b
                 .iter()
-                .zip(group)
+                .zip(group.rows())
                 .map(|(bn, snap)| bn.conj() * snap[k])
                 .sum();
             rhs[2 * j] = dot.re;
@@ -207,7 +219,7 @@ fn extract_least_squares(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wiforce_dsp::TAU;
+    use wiforce_dsp::{SnapshotMatrix, TAU};
 
     fn cfg() -> PhaseGroupConfig {
         PhaseGroupConfig::wiforce(1000.0)
@@ -219,19 +231,18 @@ mod tests {
         statics: &[Complex],
         amp1: Complex,
         amp2: Complex,
-    ) -> Vec<Vec<Complex>> {
-        (0..cfg.n_snapshots)
-            .map(|n| {
-                let t = n as f64 * cfg.snapshot_period_s;
-                statics
-                    .iter()
-                    .map(|&s| {
-                        s + amp1 * Complex::cis(TAU * cfg.line1_hz * t)
-                            + amp2 * Complex::cis(TAU * cfg.line2_hz * t)
-                    })
-                    .collect()
-            })
-            .collect()
+    ) -> SnapshotMatrix {
+        let mut out = SnapshotMatrix::with_capacity(statics.len(), cfg.n_snapshots);
+        for n in 0..cfg.n_snapshots {
+            let t = n as f64 * cfg.snapshot_period_s;
+            let row = out.push_row_default();
+            for (slot, &s) in row.iter_mut().zip(statics) {
+                *slot = s
+                    + amp1 * Complex::cis(TAU * cfg.line1_hz * t)
+                    + amp2 * Complex::cis(TAU * cfg.line2_hz * t);
+            }
+        }
+        out
     }
 
     #[test]
@@ -240,7 +251,10 @@ mod tests {
         assert!(c.lines_are_orthogonal());
         assert!((c.group_duration_s() - 0.036).abs() < 1e-9);
         // and a deliberately bad N is not
-        let bad = PhaseGroupConfig { n_snapshots: 256, ..c };
+        let bad = PhaseGroupConfig {
+            n_snapshots: 256,
+            ..c
+        };
         assert!(!bad.lines_are_orthogonal());
     }
 
@@ -251,7 +265,7 @@ mod tests {
         let a1 = Complex::from_polar(1e-3, 0.7);
         let a2 = Complex::from_polar(2e-3, -1.1);
         let group = synthetic_group(&c, &statics, a1, a2);
-        let lines = extract_lines(&c, &group, 0.0);
+        let lines = extract_lines(&c, group.view(), 0.0);
         for k in 0..4 {
             assert!((lines.p1[k] - a1).abs() < 1e-12, "{:?}", lines.p1[k]);
             assert!((lines.p2[k] - a2).abs() < 1e-12);
@@ -265,7 +279,7 @@ mod tests {
         let statics = vec![Complex::from_polar(1.0, 1.0); 2];
         let a1 = Complex::from_polar(1e-4, 0.2);
         let group = synthetic_group(&c, &statics, a1, Complex::ZERO);
-        let lines = extract_lines(&c, &group, 0.0);
+        let lines = extract_lines(&c, group.view(), 0.0);
         assert!((lines.p1[0] - a1).abs() < 1e-10);
         assert!(lines.p2[0].abs() < 1e-10);
     }
@@ -275,13 +289,14 @@ mod tests {
         // inject a strong tone at 2fs (the shared bin) — with orthogonal N
         // it must not leak into fs or 4fs
         let c = cfg();
-        let group: Vec<Vec<Complex>> = (0..c.n_snapshots)
+        let rows: Vec<Vec<Complex>> = (0..c.n_snapshots)
             .map(|n| {
                 let t = n as f64 * c.snapshot_period_s;
                 vec![Complex::cis(TAU * 2.0 * c.line1_hz * t) * 0.5]
             })
             .collect();
-        let lines = extract_lines(&c, &group, 0.0);
+        let group = SnapshotMatrix::from_rows(&rows);
+        let lines = extract_lines(&c, group.view(), 0.0);
         assert!(lines.p1[0].abs() < 1e-10);
         assert!(lines.p2[0].abs() < 1e-10);
     }
@@ -289,29 +304,38 @@ mod tests {
     #[test]
     fn least_squares_handles_non_orthogonal_n() {
         // N = 256 is non-orthogonal: plain DFT leaks, LS stays exact
-        let base = PhaseGroupConfig { n_snapshots: 256, ..cfg() };
+        let base = PhaseGroupConfig {
+            n_snapshots: 256,
+            ..cfg()
+        };
         let statics = vec![Complex::from_polar(0.5, -0.4)];
         let a1 = Complex::from_polar(1e-3, 0.9);
         let a2 = Complex::from_polar(1e-3, -0.3);
         let group = synthetic_group(&base, &statics, a1, a2);
 
-        let dft = extract_lines(&base, &group, 0.0);
+        let dft = extract_lines(&base, group.view(), 0.0);
         let ls = extract_lines(
-            &PhaseGroupConfig { method: ExtractionMethod::LeastSquares, ..base },
-            &group,
+            &PhaseGroupConfig {
+                method: ExtractionMethod::LeastSquares,
+                ..base
+            },
+            group.view(),
             0.0,
         );
         let dft_err = (dft.p1[0] - a1).abs();
         let ls_err = (ls.p1[0] - a1).abs();
         assert!(ls_err < 1e-9, "LS should be exact, err {ls_err}");
-        assert!(dft_err > 10.0 * ls_err.max(1e-12), "DFT should leak: {dft_err}");
+        assert!(
+            dft_err > 10.0 * ls_err.max(1e-12),
+            "DFT should leak: {dft_err}"
+        );
     }
 
     #[test]
     fn mean_power_reflects_lines() {
         let c = cfg();
         let group = synthetic_group(&c, &[Complex::ZERO], Complex::from_re(1e-3), Complex::ZERO);
-        let lines = extract_lines(&c, &group, 0.0);
+        let lines = extract_lines(&c, group.view(), 0.0);
         assert!((lines.mean_power() - 0.5e-6).abs() < 1e-9);
     }
 
@@ -319,7 +343,8 @@ mod tests {
     #[should_panic(expected = "n_snapshots")]
     fn wrong_group_length_panics() {
         let c = cfg();
-        let _ = extract_lines(&c, &[vec![Complex::ZERO]], 0.0);
+        let short = SnapshotMatrix::from_rows(&[vec![Complex::ZERO]]);
+        let _ = extract_lines(&c, short.view(), 0.0);
     }
 
     #[test]
@@ -327,23 +352,94 @@ mod tests {
         // with N=125 the line is not an integer bin, so a later group sees
         // the tone at a different start phase; the absolute-time reference
         // must remove that so consecutive groups conj-multiply cleanly
-        let c = PhaseGroupConfig { n_snapshots: 125, method: ExtractionMethod::LeastSquares, ..cfg() };
-        let make_group = |g: usize| -> Vec<Vec<Complex>> {
-            (0..c.n_snapshots)
+        let c = PhaseGroupConfig {
+            n_snapshots: 125,
+            method: ExtractionMethod::LeastSquares,
+            ..cfg()
+        };
+        let make_group = |g: usize| -> SnapshotMatrix {
+            let rows: Vec<Vec<Complex>> = (0..c.n_snapshots)
                 .map(|n| {
                     let t = (g * c.n_snapshots + n) as f64 * c.snapshot_period_s;
                     vec![Complex::cis(TAU * c.line1_hz * t + 0.4) * 1e-3]
                 })
-                .collect()
+                .collect();
+            SnapshotMatrix::from_rows(&rows)
         };
-        let g0 = extract_lines(&c, &make_group(0), 0.0);
+        let g0 = extract_lines(&c, make_group(0).view(), 0.0);
         let start2 = 2.0 * c.n_snapshots as f64 * c.snapshot_period_s;
-        let g2 = extract_lines(&c, &make_group(2), start2);
+        let g2 = extract_lines(&c, make_group(2).view(), start2);
         let dphi = (g2.p1[0] * g0.p1[0].conj()).arg();
         assert!(dphi.abs() < 1e-9, "groups should align, got {dphi}");
         // sanity: without the reference the slip would be 2π·f1·2NT mod 2π
-        let g2_bad = extract_lines(&c, &make_group(2), 0.0);
+        let g2_bad = extract_lines(&c, make_group(2).view(), 0.0);
         let slip = (g2_bad.p1[0] * g0.p1[0].conj()).arg();
-        assert!(slip.abs() > 0.5, "uncompensated slip should be large, got {slip}");
+        assert!(
+            slip.abs() > 0.5,
+            "uncompensated slip should be large, got {slip}"
+        );
+    }
+
+    /// The original (pre-`SnapshotMatrix`) extraction: gather each
+    /// subcarrier's column, subtract its mean, run single-bin Goertzels.
+    /// Kept here verbatim as the reference the batched path must match
+    /// bit-for-bit.
+    fn extract_lines_reference(
+        cfg: &PhaseGroupConfig,
+        group: &[Vec<Complex>],
+        start_s: f64,
+    ) -> GroupLines {
+        use wiforce_dsp::fft::goertzel;
+        let n = group.len();
+        let k_sub = group[0].len();
+        let f1_norm = cfg.line1_hz * cfg.snapshot_period_s;
+        let f2_norm = cfg.line2_hz * cfg.snapshot_period_s;
+        let ref1 = Complex::cis(-TAU * cfg.line1_hz * start_s);
+        let ref2 = Complex::cis(-TAU * cfg.line2_hz * start_s);
+        let mut p1 = Vec::with_capacity(k_sub);
+        let mut p2 = Vec::with_capacity(k_sub);
+        let mut col = vec![Complex::ZERO; n];
+        for k in 0..k_sub {
+            let mut mean = Complex::ZERO;
+            for (slot, snap) in col.iter_mut().zip(group) {
+                *slot = snap[k];
+                mean += snap[k];
+            }
+            mean = mean.scale(1.0 / n as f64);
+            col.iter_mut().for_each(|z| *z -= mean);
+            p1.push(goertzel(&col, f1_norm).scale(1.0 / n as f64) * ref1);
+            p2.push(goertzel(&col, f2_norm).scale(1.0 / n as f64) * ref2);
+        }
+        GroupLines { p1, p2 }
+    }
+
+    #[test]
+    fn batched_extraction_is_bit_identical_to_reference() {
+        // a deterministic pseudo-random group (tones + clutter + "noise"
+        // from a hash of the indices), checked bit-for-bit against the
+        // seed implementation — the behavior-preservation guarantee
+        let c = cfg();
+        let k_sub = 7;
+        let rows: Vec<Vec<Complex>> = (0..c.n_snapshots)
+            .map(|n| {
+                let t = n as f64 * c.snapshot_period_s;
+                (0..k_sub)
+                    .map(|k| {
+                        let h = (n.wrapping_mul(2654435761).wrapping_add(k * 40503) & 0xFFFF)
+                            as f64
+                            / 65536.0;
+                        Complex::from_polar(0.3 + 0.1 * k as f64, 1.7 * h)
+                            + Complex::cis(TAU * c.line1_hz * t) * 2e-3
+                            + Complex::cis(TAU * c.line2_hz * t) * 1e-3
+                    })
+                    .collect()
+            })
+            .collect();
+        let start_s = 3.0 * c.group_duration_s();
+        let reference = extract_lines_reference(&c, &rows, start_s);
+        let flat = SnapshotMatrix::from_rows(&rows);
+        let batched = extract_lines(&c, flat.view(), start_s);
+        assert_eq!(batched.p1, reference.p1);
+        assert_eq!(batched.p2, reference.p2);
     }
 }

@@ -102,7 +102,10 @@ impl std::fmt::Display for WiForceError {
                 phi2.to_degrees()
             ),
             WiForceError::TagNotDetected { line_to_floor_db } => {
-                write!(f, "tag modulation line not detected ({line_to_floor_db:.1} dB above floor)")
+                write!(
+                    f,
+                    "tag modulation line not detected ({line_to_floor_db:.1} dB above floor)"
+                )
             }
             WiForceError::Config(msg) => write!(f, "configuration error: {msg}"),
         }

@@ -83,9 +83,16 @@ impl SensorModel {
 
         let residual = (best_c / 2.0).sqrt();
         if residual > max_residual_rad {
-            return Err(WiForceError::OutOfModelRange { phi1: phi1_rad, phi2: phi2_rad });
+            return Err(WiForceError::OutOfModelRange {
+                phi1: phi1_rad,
+                phi2: phi2_rad,
+            });
         }
-        Ok(Estimate { force_n: best_f, location_m: best_x, residual_rad: residual })
+        Ok(Estimate {
+            force_n: best_f,
+            location_m: best_x,
+            residual_rad: residual,
+        })
     }
 }
 
@@ -98,7 +105,10 @@ mod tests {
         let l = 0.080;
         let w1 = 1.0 - loc / l;
         let w2 = loc / l;
-        (0.5 * w1 * force.sqrt() + 0.02 * force, 0.5 * w2 * force.sqrt() + 0.02 * force)
+        (
+            0.5 * w1 * force.sqrt() + 0.02 * force,
+            0.5 * w2 * force.sqrt() + 0.02 * force,
+        )
     }
 
     fn model() -> SensorModel {
@@ -110,7 +120,11 @@ mod tests {
                     .map(|i| {
                         let f = i as f64 * 0.5;
                         let (p1, p2) = synth_phases(f, loc);
-                        CalibrationSample { force_n: f, phi1_rad: p1, phi2_rad: p2 }
+                        CalibrationSample {
+                            force_n: f,
+                            phi1_rad: p1,
+                            phi2_rad: p2,
+                        }
                     })
                     .collect(),
             })
@@ -126,7 +140,11 @@ mod tests {
                 let (p1, p2) = synth_phases(f, loc);
                 let est = m.invert(p1, p2, 0.2).unwrap();
                 assert!((est.force_n - f).abs() < 0.1, "f: {} vs {f}", est.force_n);
-                assert!((est.location_m - loc).abs() < 1.5e-3, "x: {} vs {loc}", est.location_m);
+                assert!(
+                    (est.location_m - loc).abs() < 1.5e-3,
+                    "x: {} vs {loc}",
+                    est.location_m
+                );
             }
         }
     }

@@ -114,13 +114,19 @@ impl ContinuumSurface {
         }
         let total: f64 = strip_forces.iter().sum();
         if total <= 0.0 || x_weight <= 0.0 {
-            return Err(WiForceError::TagNotDetected { line_to_floor_db: 0.0 });
+            return Err(WiForceError::TagNotDetected {
+                line_to_floor_db: 0.0,
+            });
         }
         let y = self
             .array
             .lateral_estimate_m(&strip_forces)
             .expect("length matches and total > 0");
-        Ok(Press2D { x_m: x_weighted / x_weight, y_m: y, force_n: total })
+        Ok(Press2D {
+            x_m: x_weighted / x_weight,
+            y_m: y,
+            force_n: total,
+        })
     }
 }
 

@@ -22,7 +22,7 @@ use rand::Rng;
 use wiforce_channel::faults::{FaultConfig, FaultInjector};
 use wiforce_channel::{Frontend, Scene, StaticMultipath};
 use wiforce_dsp::rng::standard_normal;
-use wiforce_dsp::Complex;
+use wiforce_dsp::{Complex, SnapshotMatrix};
 use wiforce_mech::contact::ContactSolver;
 use wiforce_mech::{AnalyticContactModel, ContactPatch, ForceTransducer, Indenter, SensorMech};
 use wiforce_reader::fmcw::FmcwSounder;
@@ -91,6 +91,19 @@ impl ChannelSounder for Sounder {
             Sounder::Fmcw(s) => s.estimate(true_channel, noise_std, rng),
         }
     }
+
+    fn estimate_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        rng: &mut dyn rand::RngCore,
+        out: &mut [Complex],
+    ) {
+        match self {
+            Sounder::Ofdm(s) => s.estimate_into(true_channel, noise_std, rng, out),
+            Sounder::Fmcw(s) => s.estimate_into(true_channel, noise_std, rng, out),
+        }
+    }
 }
 
 /// A complete simulated experimental setup.
@@ -146,7 +159,7 @@ impl Simulation {
     pub fn paper_default(carrier_hz: f64) -> Self {
         let mut scene = Scene::fig12(carrier_hz);
         // deterministic office clutter, ~30% of the direct amplitude
-        let mut clutter_rng = rand::rngs::StdRng::new_seed_from_u64_compat();
+        let mut clutter_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xC1_C1);
         let direct_amp = scene.direct_response(carrier_hz).abs();
         scene.multipath = StaticMultipath::office(&mut clutter_rng, direct_amp);
         let fs = 1000.0;
@@ -193,8 +206,10 @@ impl Simulation {
 
     /// Replaces the indenter on the analytic transducer (e.g. fingertip).
     pub fn with_indenter(mut self, indenter: Indenter) -> Self {
-        self.transducer =
-            Transducer::Analytic(AnalyticContactModel::new(SensorMech::wiforce_prototype(), indenter));
+        self.transducer = Transducer::Analytic(AnalyticContactModel::new(
+            SensorMech::wiforce_prototype(),
+            indenter,
+        ));
         self
     }
 
@@ -246,20 +261,47 @@ impl Simulation {
         n_groups: usize,
         clock_state: &mut TagClock,
         rng: &mut R,
-    ) -> Vec<Vec<Complex>> {
+    ) -> SnapshotMatrix {
+        let mut out = SnapshotMatrix::default();
+        self.run_snapshots_into(contact, n_groups, clock_state, rng, &mut out);
+        out
+    }
+
+    /// Like [`Self::run_snapshots`], but appends the snapshots to a
+    /// caller-provided matrix, reusing its capacity — the zero-allocation
+    /// streaming path. Each snapshot is estimated straight into its row;
+    /// a dropped preamble repeats the previous row in place (falling back
+    /// to the noiseless truth when the drop hits this call's first
+    /// snapshot, exactly as the allocating path did).
+    pub fn run_snapshots_into<R: Rng>(
+        &self,
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        rng: &mut R,
+        out: &mut SnapshotMatrix,
+    ) {
         let table = self.tag_response_table(contact);
         let freqs = self.subcarrier_freqs_hz();
-        let statics: Vec<Complex> = freqs.iter().map(|&f| self.scene.static_response(f)).collect();
-        let gains: Vec<Complex> = freqs.iter().map(|&f| self.scene.backscatter_gain(f)).collect();
+        let statics: Vec<Complex> = freqs
+            .iter()
+            .map(|&f| self.scene.static_response(f))
+            .collect();
+        let gains: Vec<Complex> = freqs
+            .iter()
+            .map(|&f| self.scene.backscatter_gain(f))
+            .collect();
         let direct_amp = self.scene.direct_response(self.scene.carrier_hz).abs();
         let full_scale = statics.iter().map(|s| s.abs()).fold(0.0_f64, f64::max) * 1.5;
         let n = self.group.n_snapshots;
         let t_snap = self.group.snapshot_period_s;
         let mut injector = FaultInjector::new(self.faults);
 
-        let mut snapshots = Vec::with_capacity(n_groups * n);
+        out.set_width(statics.len());
+        out.reserve_rows(n_groups * n);
+        // the drop-fallback boundary: `prev_est` resets at every call
+        let first_row = out.n_rows();
         let mut truth = vec![Complex::ZERO; statics.len()];
-        let mut prev_est: Option<Vec<Complex>> = None;
         for _g in 0..n_groups {
             // per-group clock wander (mean-reverting random walk)
             clock_state.step_group(self.tag_clock_wander_ppm, rng);
@@ -276,20 +318,22 @@ impl Simulation {
                         *h += self.scene.dynamic_response(freqs[k], t_reader);
                     }
                 }
-                let est = if injector.drops_snapshot(rng) {
+                if injector.drops_snapshot(rng) {
                     // hold the previous estimate on a dropped preamble
-                    prev_est.clone().unwrap_or_else(|| truth.clone())
+                    if out.n_rows() > first_row {
+                        out.push_copy_of_last();
+                    } else {
+                        out.push_row(&truth);
+                    }
                 } else {
-                    let mut e = self.sounder.estimate(&truth, self.frontend.noise_floor, rng);
-                    injector.maybe_burst(rng, &mut e, direct_amp);
-                    self.frontend.process(rng, &mut e, full_scale);
-                    e
-                };
-                prev_est = Some(est.clone());
-                snapshots.push(est);
+                    let row = out.push_row_default();
+                    self.sounder
+                        .estimate_into(&truth, self.frontend.noise_floor, rng, row);
+                    injector.maybe_burst(rng, row, direct_amp);
+                    self.frontend.process(rng, row, full_scale);
+                }
             }
         }
-        snapshots
     }
 
     /// Simulates `n_groups` phase groups for a fixed contact state,
@@ -301,14 +345,32 @@ impl Simulation {
         clock_state: &mut TagClock,
         rng: &mut R,
     ) -> Vec<GroupLines> {
+        self.run_groups_with_cfg(&self.group, contact, n_groups, clock_state, rng)
+    }
+
+    /// [`Self::run_groups`] with an explicit extraction configuration —
+    /// lets [`Self::off_line_floor`] probe off-line bins without cloning
+    /// the whole simulation. `cfg` must share `n_snapshots` and
+    /// `snapshot_period_s` with `self.group` (only the line frequencies
+    /// and method may differ), since the snapshot synthesis itself is
+    /// driven by `self.group`.
+    fn run_groups_with_cfg<R: Rng>(
+        &self,
+        cfg: &PhaseGroupConfig,
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        rng: &mut R,
+    ) -> Vec<GroupLines> {
+        debug_assert_eq!(cfg.n_snapshots, self.group.n_snapshots);
+        debug_assert_eq!(cfg.snapshot_period_s, self.group.snapshot_period_s);
         let first_start = clock_state.reader_time_s();
         let snapshots = self.run_snapshots(contact, n_groups, clock_state, rng);
-        let group_s = self.group.n_snapshots as f64 * self.group.snapshot_period_s;
-        snapshots
-            .chunks(self.group.n_snapshots)
-            .enumerate()
-            .map(|(g, chunk)| {
-                extract_lines(&self.group, chunk, first_start + g as f64 * group_s)
+        let group_s = cfg.n_snapshots as f64 * cfg.snapshot_period_s;
+        (0..n_groups)
+            .map(|g| {
+                let chunk = snapshots.rows_view(g * cfg.n_snapshots, cfg.n_snapshots);
+                extract_lines(cfg, chunk, first_start + g as f64 * group_s)
             })
             .collect()
     }
@@ -343,7 +405,9 @@ impl Simulation {
         let floor = self.off_line_floor(&mut clock.clone(), rng);
         let line_db = 10.0 * (reference.mean_power() / floor.max(1e-300)).log10();
         if line_db < 6.0 {
-            return Err(WiForceError::TagNotDetected { line_to_floor_db: line_db });
+            return Err(WiForceError::TagNotDetected {
+                line_to_floor_db: line_db,
+            });
         }
 
         let mut meass = self.run_groups(contact, self.measure_groups, &mut clock, rng);
@@ -379,8 +443,7 @@ impl Simulation {
             line2_hz: self.group.line1_hz * 2.61,
             ..self.group
         };
-        let sim = Simulation { group: off_cfg, ..self.clone() };
-        let g = sim.run_groups(None, 1, clock, rng);
+        let g = self.run_groups_with_cfg(&off_cfg, None, 1, clock, rng);
         g[0].mean_power()
     }
 
@@ -449,8 +512,9 @@ impl Simulation {
         let data: Vec<LocationData> = locations_m
             .iter()
             .map(|&loc| {
-                let forces: Vec<f64> =
-                    (1..=n_forces).map(|i| 8.0 * i as f64 / n_forces as f64).collect();
+                let forces: Vec<f64> = (1..=n_forces)
+                    .map(|i| 8.0 * i as f64 / n_forces as f64)
+                    .collect();
                 let mut phi1 = Vec::with_capacity(n_forces);
                 let mut phi2 = Vec::with_capacity(n_forces);
                 for &f in &forces {
@@ -496,8 +560,9 @@ impl Simulation {
     ) -> Result<SensorModel, WiForceError> {
         let mut data = Vec::with_capacity(locations_m.len());
         for &loc in locations_m {
-            let forces: Vec<f64> =
-                (1..=n_forces).map(|i| 8.0 * i as f64 / n_forces as f64).collect();
+            let forces: Vec<f64> = (1..=n_forces)
+                .map(|i| 8.0 * i as f64 / n_forces as f64)
+                .collect();
             let mut phi1 = Vec::with_capacity(n_forces);
             let mut phi2 = Vec::with_capacity(n_forces);
             for &f in &forces {
@@ -562,15 +627,18 @@ impl TagClock {
     /// Starts a clock at a random initial phase (the tag and reader are
     /// unsynchronized, §4.4).
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        TagClock { t_tag: rng.gen::<f64>() * 1e-3, t_reader: 0.0, wander_ppm: 0.0 }
+        TagClock {
+            t_tag: rng.gen::<f64>() * 1e-3,
+            t_reader: 0.0,
+            wander_ppm: 0.0,
+        }
     }
 
     /// Updates the per-group wander: mean-reverting random walk with RMS
     /// `sigma_ppm`.
     fn step_group<R: Rng + ?Sized>(&mut self, sigma_ppm: f64, rng: &mut R) {
         if sigma_ppm > 0.0 {
-            self.wander_ppm =
-                0.8 * self.wander_ppm + 0.6 * sigma_ppm * standard_normal(rng);
+            self.wander_ppm = 0.8 * self.wander_ppm + 0.6 * sigma_ppm * standard_normal(rng);
         }
     }
 
@@ -605,7 +673,7 @@ pub fn estimate_line_offset_hz(groups: &[GroupLines], group_s: f64) -> f64 {
     }
     let slope1 = acc1.arg(); // rad per group at fs
     let slope2 = acc2.arg(); // rad per group at 4fs
-    // weight the 4fs line by its 4× sensitivity
+                             // weight the 4fs line by its 4× sensitivity
     let df1 = slope1 / (wiforce_dsp::TAU * group_s);
     let df2 = slope2 / (wiforce_dsp::TAU * group_s) / 4.0;
     0.5 * (df1 + df2)
@@ -657,7 +725,11 @@ fn tag_reflection_for_states(
         if !own_on {
             return own.off_branch_reflection();
         }
-        let far = if other_on { Termination::Matched } else { other.off_termination() };
+        let far = if other_on {
+            Termination::Matched
+        } else {
+            other.off_termination()
+        };
         let il2 = own.on_transmission() * own.on_transmission();
         tag.line.port_reflection(f_hz, short, far) * il2
     };
@@ -672,19 +744,6 @@ fn tag_reflection_for_states(
         gamma += s21 * (2.0 * a2 * tag.switch1.on_transmission() * tag.switch2.on_transmission());
     }
     gamma
-}
-
-/// Helper trait shim: `StdRng::seed_from_u64` without importing
-/// `SeedableRng` at every call site.
-trait SeedCompat {
-    fn new_seed_from_u64_compat() -> rand::rngs::StdRng;
-}
-
-impl SeedCompat for rand::rngs::StdRng {
-    fn new_seed_from_u64_compat() -> rand::rngs::StdRng {
-        use rand::SeedableRng;
-        rand::rngs::StdRng::seed_from_u64(0xC1_C1)
-    }
 }
 
 #[cfg(test)]
@@ -760,8 +819,18 @@ mod tests {
         let contact = sim.contact_for(4.0, 0.040);
         let w = sim.measure_phases(contact.as_ref(), &mut rng).unwrap();
         let tol = 3.0f64.to_radians();
-        assert!((w.dphi1_rad - v1).abs() < tol, "port1 {} vs {}", w.dphi1_rad, v1);
-        assert!((w.dphi2_rad - v2).abs() < tol, "port2 {} vs {}", w.dphi2_rad, v2);
+        assert!(
+            (w.dphi1_rad - v1).abs() < tol,
+            "port1 {} vs {}",
+            w.dphi1_rad,
+            v1
+        );
+        assert!(
+            (w.dphi2_rad - v2).abs() < tol,
+            "port2 {} vs {}",
+            w.dphi2_rad,
+            v2
+        );
     }
 
     #[test]
@@ -809,13 +878,23 @@ mod tests {
         let (v1, _) = sim.vna_phases(4.0, 0.060);
         // through the phantom the line SNR is much lower, so allow a few
         // degrees more than over the air (paper: 0.62 N vs 0.56 N median)
-        assert!((w.dphi1_rad - v1).abs() < 10.0f64.to_radians(), "{} vs {v1}", w.dphi1_rad);
+        assert!(
+            (w.dphi1_rad - v1).abs() < 10.0f64.to_radians(),
+            "{} vs {v1}",
+            w.dphi1_rad
+        );
     }
 
     #[test]
     fn average_lines_averages() {
-        let g1 = GroupLines { p1: vec![Complex::ONE], p2: vec![Complex::ZERO] };
-        let g2 = GroupLines { p1: vec![Complex::I], p2: vec![Complex::ZERO] };
+        let g1 = GroupLines {
+            p1: vec![Complex::ONE],
+            p2: vec![Complex::ZERO],
+        };
+        let g2 = GroupLines {
+            p1: vec![Complex::I],
+            p2: vec![Complex::ZERO],
+        };
         let avg = average_lines(&[g1, g2]);
         assert!((avg.p1[0] - Complex::new(0.5, 0.5)).abs() < 1e-12);
     }

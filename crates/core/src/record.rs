@@ -17,7 +17,7 @@
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use wiforce_dsp::Complex;
+use wiforce_dsp::{Complex, SnapshotMatrix};
 
 const MAGIC: &[u8; 4] = b"WIFS";
 const VERSION: u32 = 1;
@@ -27,19 +27,24 @@ const VERSION: u32 = 1;
 pub struct Recording {
     /// Snapshot period, s.
     pub snapshot_period_s: f64,
-    /// Channel estimates, `snapshots[n][k]`.
-    pub snapshots: Vec<Vec<Complex>>,
+    /// Channel estimates, one snapshot per row (row `n`, subcarrier `k`).
+    /// The flat row-major layout matches the on-disk sample order, so
+    /// save/load move contiguous memory.
+    pub snapshots: SnapshotMatrix,
 }
 
 impl Recording {
     /// Builds a recording from a stream.
-    pub fn new(snapshot_period_s: f64, snapshots: Vec<Vec<Complex>>) -> Self {
-        Recording { snapshot_period_s, snapshots }
+    pub fn new(snapshot_period_s: f64, snapshots: SnapshotMatrix) -> Self {
+        Recording {
+            snapshot_period_s,
+            snapshots,
+        }
     }
 
     /// Number of snapshots.
     pub fn len(&self) -> usize {
-        self.snapshots.len()
+        self.snapshots.n_rows()
     }
 
     /// `true` if the recording holds no snapshots.
@@ -49,7 +54,11 @@ impl Recording {
 
     /// Subcarriers per snapshot (0 if empty).
     pub fn n_subcarriers(&self) -> usize {
-        self.snapshots.first().map_or(0, Vec::len)
+        if self.snapshots.is_empty() {
+            0
+        } else {
+            self.snapshots.n_cols()
+        }
     }
 
     /// Total capture duration, s.
@@ -60,20 +69,15 @@ impl Recording {
     /// Writes to a `.wifs` file.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let k = self.n_subcarriers();
-        if self.snapshots.iter().any(|s| s.len() != k) {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, "ragged snapshot widths"));
-        }
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
         w.write_all(&self.snapshot_period_s.to_le_bytes())?;
         w.write_all(&(k as u32).to_le_bytes())?;
-        w.write_all(&(self.snapshots.len() as u32).to_le_bytes())?;
-        for snap in &self.snapshots {
-            for z in snap {
-                w.write_all(&z.re.to_le_bytes())?;
-                w.write_all(&z.im.to_le_bytes())?;
-            }
+        w.write_all(&(self.len() as u32).to_le_bytes())?;
+        for z in self.snapshots.as_slice() {
+            w.write_all(&z.re.to_le_bytes())?;
+            w.write_all(&z.im.to_le_bytes())?;
         }
         w.flush()
     }
@@ -84,7 +88,10 @@ impl Recording {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a WIFS recording"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a WIFS recording",
+            ));
         }
         let version = read_u32(&mut r)?;
         if version != VERSION {
@@ -95,24 +102,30 @@ impl Recording {
         }
         let period = read_f64(&mut r)?;
         if !(period.is_finite() && period > 0.0) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot period"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad snapshot period",
+            ));
         }
         let k = read_u32(&mut r)? as usize;
         let n = read_u32(&mut r)? as usize;
         if k.checked_mul(n).is_none_or(|cells| cells > 1 << 28) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible dimensions"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible dimensions",
+            ));
         }
-        let mut snapshots = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut snap = Vec::with_capacity(k);
-            for _ in 0..k {
-                let re = read_f64(&mut r)?;
-                let im = read_f64(&mut r)?;
-                snap.push(Complex::new(re, im));
-            }
-            snapshots.push(snap);
+        let mut data = Vec::with_capacity(n * k);
+        for _ in 0..n * k {
+            let re = read_f64(&mut r)?;
+            let im = read_f64(&mut r)?;
+            data.push(Complex::new(re, im));
         }
-        Ok(Recording { snapshot_period_s: period, snapshots })
+        let snapshots = SnapshotMatrix::from_flat(k.max(1), data);
+        Ok(Recording {
+            snapshot_period_s: period,
+            snapshots,
+        })
     }
 }
 
@@ -139,12 +152,14 @@ mod tests {
     }
 
     fn sample() -> Recording {
-        Recording::new(
-            57.6e-6,
-            (0..10)
-                .map(|n| (0..4).map(|k| Complex::new(n as f64, k as f64 * 0.5)).collect())
-                .collect(),
-        )
+        let rows: Vec<Vec<Complex>> = (0..10)
+            .map(|n| {
+                (0..4)
+                    .map(|k| Complex::new(n as f64, k as f64 * 0.5))
+                    .collect()
+            })
+            .collect();
+        Recording::new(57.6e-6, SnapshotMatrix::from_rows(&rows))
     }
 
     #[test]
@@ -177,17 +192,9 @@ mod tests {
     }
 
     #[test]
-    fn rejects_ragged_input() {
-        let path = tmp("ragged.wifs");
-        let mut rec = sample();
-        rec.snapshots[3].pop();
-        assert!(rec.save(&path).is_err());
-    }
-
-    #[test]
     fn empty_recording_ok() {
         let path = tmp("empty.wifs");
-        let rec = Recording::new(1e-3, Vec::new());
+        let rec = Recording::new(1e-3, SnapshotMatrix::default());
         rec.save(&path).unwrap();
         let back = Recording::load(&path).unwrap();
         assert!(back.is_empty());
@@ -208,13 +215,15 @@ mod tests {
         let mut clock = TagClock::new(&mut rng);
         let mut snaps = sim.run_snapshots(None, 1, &mut clock, &mut rng);
         let contact = sim.contact_for(4.0, 0.040);
-        snaps.extend(sim.run_snapshots(contact.as_ref(), 1, &mut clock, &mut rng));
+        sim.run_snapshots_into(contact.as_ref(), 1, &mut clock, &mut rng, &mut snaps);
 
         let path = tmp("replay.wifs");
-        Recording::new(sim.group.snapshot_period_s, snaps.clone()).save(&path).unwrap();
+        Recording::new(sim.group.snapshot_period_s, snaps.clone())
+            .save(&path)
+            .unwrap();
         let rec = Recording::load(&path).unwrap();
 
-        let run = |stream: &[Vec<Complex>]| -> Option<crate::ForceReading> {
+        let run = |stream: &SnapshotMatrix| -> Option<crate::ForceReading> {
             let cfg = EstimatorConfig {
                 group: sim.group,
                 reference_groups: 1,
@@ -222,8 +231,8 @@ mod tests {
             };
             let mut est = ForceEstimator::new(cfg, model.clone());
             let mut out = None;
-            for s in stream {
-                if let Ok(Some(r)) = est.push_snapshot(s.clone()) {
+            for s in stream.rows() {
+                if let Ok(Some(r)) = est.push_snapshot(s) {
                     out = Some(r);
                 }
             }

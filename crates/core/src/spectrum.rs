@@ -9,9 +9,9 @@
 //! discovers WiForce tags by their signature — a pair of lines at `f` and
 //! `4f` with (near-)common support across subcarriers.
 
-use wiforce_dsp::fft::{fft, next_pow2};
+use wiforce_dsp::fft::{next_pow2, with_plan};
 use wiforce_dsp::window::{window, WindowKind};
-use wiforce_dsp::Complex;
+use wiforce_dsp::{Complex, SnapshotView};
 
 /// Doppler spectrum of a channel-estimate stream (power per bin, combined
 /// across subcarriers).
@@ -24,37 +24,39 @@ pub struct DopplerSpectrum {
 }
 
 impl DopplerSpectrum {
-    /// Computes the spectrum of `snapshots[n][k]` taken every
-    /// `snapshot_period_s`. The per-subcarrier mean (static clutter) is
-    /// removed, a Hann window applied (the strong tag lines would
-    /// otherwise bury weaker ones under rectangular-window sidelobes),
-    /// the snapshot axis zero-padded to a power of two, and
-    /// per-subcarrier power spectra summed.
-    pub fn compute(snapshots: &[Vec<Complex>], snapshot_period_s: f64) -> Self {
-        let n = snapshots.len();
+    /// Computes the spectrum of a row-major snapshot stream (row `n`,
+    /// subcarrier `k`) taken every `snapshot_period_s`. The per-subcarrier
+    /// mean (static clutter) is removed, a Hann window applied (the strong
+    /// tag lines would otherwise bury weaker ones under rectangular-window
+    /// sidelobes), the snapshot axis zero-padded to a power of two, and
+    /// per-subcarrier power spectra summed. One planned FFT is reused
+    /// in-place for every subcarrier column.
+    pub fn compute(snapshots: SnapshotView<'_>, snapshot_period_s: f64) -> Self {
+        let n = snapshots.n_rows();
         assert!(n >= 2, "need at least two snapshots");
-        let k_sub = snapshots[0].len();
-        assert!(snapshots.iter().all(|s| s.len() == k_sub), "ragged snapshots");
+        let k_sub = snapshots.n_cols();
 
         let n_fft = next_pow2(n);
         let w = window(WindowKind::Hann, n);
         let mut power = vec![0.0; n_fft / 2];
         let mut col = vec![Complex::ZERO; n_fft];
-        for k in 0..k_sub {
-            let mut mean = Complex::ZERO;
-            for snap in snapshots {
-                mean += snap[k];
+        with_plan(n_fft, |plan| {
+            for k in 0..k_sub {
+                let mut mean = Complex::ZERO;
+                for snap in snapshots.rows() {
+                    mean += snap[k];
+                }
+                mean = mean.scale(1.0 / n as f64);
+                for (i, snap) in snapshots.rows().enumerate() {
+                    col[i] = (snap[k] - mean) * w[i];
+                }
+                col[n..].iter_mut().for_each(|z| *z = Complex::ZERO);
+                plan.forward_inplace(&mut col);
+                for (b, p) in power.iter_mut().enumerate() {
+                    *p += col[b].norm_sqr();
+                }
             }
-            mean = mean.scale(1.0 / n as f64);
-            for (i, snap) in snapshots.iter().enumerate() {
-                col[i] = (snap[k] - mean) * w[i];
-            }
-            col[n..].iter_mut().for_each(|z| *z = Complex::ZERO);
-            let spec = fft(&col);
-            for (b, p) in power.iter_mut().enumerate() {
-                *p += spec[b].norm_sqr();
-            }
-        }
+        });
         let df = 1.0 / (n_fft as f64 * snapshot_period_s);
         let freqs_hz = (0..n_fft / 2).map(|b| b as f64 * df).collect();
         DopplerSpectrum { freqs_hz, power }
@@ -140,7 +142,13 @@ impl Default for DiscoveryConfig {
 /// Discovers WiForce tags in a spectrum with default thresholds except the
 /// given SNR gate.
 pub fn discover_tags(spectrum: &DopplerSpectrum, min_snr_db: f64) -> Vec<DiscoveredTag> {
-    discover_tags_with(spectrum, &DiscoveryConfig { min_snr_db, ..DiscoveryConfig::default() })
+    discover_tags_with(
+        spectrum,
+        &DiscoveryConfig {
+            min_snr_db,
+            ..DiscoveryConfig::default()
+        },
+    )
 }
 
 /// Discovers WiForce tags in a spectrum: candidate peaks at `f ∈ [fs_min,
@@ -148,10 +156,7 @@ pub fn discover_tags(spectrum: &DopplerSpectrum, min_snr_db: f64) -> Vec<Discove
 /// unrelated lines don't count) with comparable power. The partner's
 /// frequency refines the `fs` estimate (4× the precision). Harmonically
 /// related duplicates (a tag's own `2f`/`3f` lines) are suppressed.
-pub fn discover_tags_with(
-    spectrum: &DopplerSpectrum,
-    cfg: &DiscoveryConfig,
-) -> Vec<DiscoveredTag> {
+pub fn discover_tags_with(spectrum: &DopplerSpectrum, cfg: &DiscoveryConfig) -> Vec<DiscoveredTag> {
     let (min_snr_db, fs_min_hz, fs_max_hz) = (cfg.min_snr_db, cfg.fs_min_hz, cfg.fs_max_hz);
     let peaks = spectrum.peaks(min_snr_db);
     let strongest = peaks.first().map_or(0.0, |&(_, p)| p);
@@ -173,7 +178,10 @@ pub fn discover_tags_with(
             .iter()
             .filter(|(pf, _)| (pf - 4.0 * f).abs() < match_tol(4.0 * f))
             .min_by(|a, b| {
-                (a.0 - 4.0 * f).abs().partial_cmp(&(b.0 - 4.0 * f).abs()).expect("NaN")
+                (a.0 - 4.0 * f)
+                    .abs()
+                    .partial_cmp(&(b.0 - 4.0 * f).abs())
+                    .expect("NaN")
             })
         else {
             continue;
@@ -197,7 +205,11 @@ pub fn discover_tags_with(
         if dup {
             continue;
         }
-        tags.push(DiscoveredTag { fs_hz: fs, p1_power: p, p2_power: p2 });
+        tags.push(DiscoveredTag {
+            fs_hz: fs,
+            p1_power: p,
+            p2_power: p2,
+        });
     }
     tags.sort_by(|a, b| a.fs_hz.partial_cmp(&b.fs_hz).expect("NaN fs"));
     tags
@@ -206,29 +218,29 @@ pub fn discover_tags_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wiforce_dsp::TAU;
+    use wiforce_dsp::{SnapshotMatrix, TAU};
 
     const T: f64 = 57.6e-6;
 
     /// Synthesizes snapshots with static clutter + tag tone pairs.
-    fn synth(n: usize, tags: &[(f64, f64)]) -> Vec<Vec<Complex>> {
-        (0..n)
-            .map(|i| {
-                let t = i as f64 * T;
-                let mut v = Complex::from_polar(0.5, 0.3);
-                for &(fs, amp) in tags {
-                    v += Complex::cis(TAU * fs * t) * amp;
-                    v += Complex::cis(TAU * 4.0 * fs * t) * (amp * 0.7);
-                }
-                vec![v, v * Complex::cis(0.4)]
-            })
-            .collect()
+    fn synth(n: usize, tags: &[(f64, f64)]) -> SnapshotMatrix {
+        let mut out = SnapshotMatrix::with_capacity(2, n);
+        for i in 0..n {
+            let t = i as f64 * T;
+            let mut v = Complex::from_polar(0.5, 0.3);
+            for &(fs, amp) in tags {
+                v += Complex::cis(TAU * fs * t) * amp;
+                v += Complex::cis(TAU * 4.0 * fs * t) * (amp * 0.7);
+            }
+            out.push_row(&[v, v * Complex::cis(0.4)]);
+        }
+        out
     }
 
     #[test]
     fn spectrum_finds_tone() {
         let snaps = synth(1024, &[(1000.0, 1e-2)]);
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         let peaks = spec.peaks(10.0);
         assert!(!peaks.is_empty());
         let (f, _) = peaks[0];
@@ -239,14 +251,14 @@ mod tests {
     fn static_clutter_rejected() {
         // clutter alone: no peaks
         let snaps = synth(1024, &[]);
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         assert!(spec.peaks(10.0).is_empty(), "{:?}", spec.peaks(10.0));
     }
 
     #[test]
     fn discovers_single_tag() {
         let snaps = synth(2048, &[(1000.0, 1e-2)]);
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         let tags = discover_tags(&spec, 10.0);
         assert_eq!(tags.len(), 1, "{tags:?}");
         assert!((tags[0].fs_hz - 1000.0).abs() < 2.0 * spec.resolution_hz());
@@ -256,7 +268,7 @@ mod tests {
     #[test]
     fn discovers_multiple_tags() {
         let snaps = synth(4096, &[(800.0, 1e-2), (1300.0, 8e-3)]);
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         let tags = discover_tags(&spec, 10.0);
         assert_eq!(tags.len(), 2, "{tags:?}");
         assert!((tags[0].fs_hz - 800.0).abs() < 3.0 * spec.resolution_hz());
@@ -266,20 +278,20 @@ mod tests {
     #[test]
     fn lone_tone_without_partner_is_not_a_tag() {
         // a tone at 1 kHz with no 4 kHz partner (e.g. a real mover)
-        let snaps: Vec<Vec<Complex>> = (0..2048)
-            .map(|i| {
-                let t = i as f64 * T;
-                vec![Complex::from_polar(0.5, 0.3) + Complex::cis(TAU * 1000.0 * t) * 1e-2]
-            })
-            .collect();
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let mut snaps = SnapshotMatrix::new(1);
+        for i in 0..2048 {
+            let t = i as f64 * T;
+            snaps
+                .push_row(&[Complex::from_polar(0.5, 0.3) + Complex::cis(TAU * 1000.0 * t) * 1e-2]);
+        }
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         assert!(discover_tags(&spec, 10.0).is_empty());
     }
 
     #[test]
     fn resolution_and_floor() {
         let snaps = synth(1024, &[(1000.0, 1e-2)]);
-        let spec = DopplerSpectrum::compute(&snaps, T);
+        let spec = DopplerSpectrum::compute(snaps.view(), T);
         assert!((spec.resolution_hz() - 1.0 / (1024.0 * T)).abs() < 1e-9);
         assert!(spec.floor() < spec.power_at(1000.0));
     }
@@ -287,6 +299,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "two snapshots")]
     fn rejects_tiny_input() {
-        let _ = DopplerSpectrum::compute(&[vec![Complex::ZERO]], T);
+        let tiny = SnapshotMatrix::from_rows(&[vec![Complex::ZERO]]);
+        let _ = DopplerSpectrum::compute(tiny.view(), T);
     }
 }

@@ -25,7 +25,15 @@ struct CvKalman {
 
 impl CvKalman {
     fn new(q_rate: f64, r_meas: f64) -> Self {
-        CvKalman { x0: 0.0, x1: 0.0, p00: 1e3, p01: 0.0, p11: 1e3, q_rate, r_meas }
+        CvKalman {
+            x0: 0.0,
+            x1: 0.0,
+            p00: 1e3,
+            p01: 0.0,
+            p11: 1e3,
+            q_rate,
+            r_meas,
+        }
     }
 
     fn reset(&mut self) {
@@ -66,7 +74,12 @@ struct RwKalman {
 
 impl RwKalman {
     fn new(q: f64, r: f64) -> Self {
-        RwKalman { x: 0.0, p: 1e3, q, r }
+        RwKalman {
+            x: 0.0,
+            p: 1e3,
+            q,
+            r,
+        }
     }
 
     fn reset(&mut self) {
@@ -148,12 +161,20 @@ impl Tracker {
             self.force.reset();
             self.location.reset();
             self.touched = false;
-            return TrackedReading { force_n: 0.0, location_m: f64::NAN, touched: false };
+            return TrackedReading {
+                force_n: 0.0,
+                location_m: f64::NAN,
+                touched: false,
+            };
         }
         self.touched = true;
         let f = self.force.update(self.cfg.dt_s, reading.force_n).max(0.0);
         let x = self.location.update(self.cfg.dt_s, reading.location_m);
-        TrackedReading { force_n: f, location_m: x, touched: true }
+        TrackedReading {
+            force_n: f,
+            location_m: x,
+            touched: true,
+        }
     }
 }
 
@@ -190,13 +211,21 @@ mod tests {
         // a steady 0.05 N-per-reading ramp (≈1.4 N/s): the constant-
         // velocity model follows with bounded lag
         let mut t = Tracker::new(TrackerConfig::wiforce());
-        let mut last = TrackedReading { force_n: 0.0, location_m: 0.0, touched: false };
+        let mut last = TrackedReading {
+            force_n: 0.0,
+            location_m: 0.0,
+            touched: false,
+        };
         let mut truth = 0.0;
         for k in 0..60 {
             truth = 0.05 * k as f64;
             last = t.update(&reading(true, truth, 0.040));
         }
-        assert!((last.force_n - truth).abs() < 0.3, "{} vs {truth}", last.force_n);
+        assert!(
+            (last.force_n - truth).abs() < 0.3,
+            "{} vs {truth}",
+            last.force_n
+        );
     }
 
     #[test]

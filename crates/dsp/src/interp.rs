@@ -124,7 +124,10 @@ pub fn bilinear(
     let v10 = values[i + 1][j];
     let v01 = values[i][j + 1];
     let v11 = values[i + 1][j + 1];
-    Ok(v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty)
+    Ok(v00 * (1.0 - tx) * (1.0 - ty)
+        + v10 * tx * (1.0 - ty)
+        + v01 * (1.0 - tx) * ty
+        + v11 * tx * ty)
 }
 
 #[cfg(test)]
@@ -152,8 +155,14 @@ mod tests {
     #[test]
     fn lerp_errors() {
         assert_eq!(lerp(&[1.0], &[1.0], 0.5), Err(InterpError::TooFewPoints));
-        assert_eq!(lerp(&[1.0, 0.0], &[1.0, 2.0], 0.5), Err(InterpError::NotSorted));
-        assert_eq!(lerp(&[0.0, 1.0], &[1.0], 0.5), Err(InterpError::LengthMismatch));
+        assert_eq!(
+            lerp(&[1.0, 0.0], &[1.0, 2.0], 0.5),
+            Err(InterpError::NotSorted)
+        );
+        assert_eq!(
+            lerp(&[0.0, 1.0], &[1.0], 0.5),
+            Err(InterpError::LengthMismatch)
+        );
     }
 
     #[test]
@@ -177,7 +186,10 @@ mod tests {
             err_cr += (catmull_rom(&xs, &ys, x).unwrap() - f(x)).abs();
             err_l += (lerp(&xs, &ys, x).unwrap() - f(x)).abs();
         }
-        assert!(err_cr < err_l, "catmull-rom {err_cr} should beat lerp {err_l}");
+        assert!(
+            err_cr < err_l,
+            "catmull-rom {err_cr} should beat lerp {err_l}"
+        );
     }
 
     #[test]
@@ -204,6 +216,9 @@ mod tests {
         let xs = [0.0, 1.0];
         let ys = [0.0, 1.0];
         let bad = vec![vec![0.0], vec![1.0]];
-        assert_eq!(bilinear(&xs, &ys, &bad, 0.5, 0.5), Err(InterpError::LengthMismatch));
+        assert_eq!(
+            bilinear(&xs, &ys, &bad, 0.5, 0.5),
+            Err(InterpError::LengthMismatch)
+        );
     }
 }

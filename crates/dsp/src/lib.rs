@@ -24,12 +24,17 @@
 //! * [`stft`] — short-time Fourier transform for Doppler waterfalls.
 //! * [`window`] — spectral windows.
 //! * [`signal`] — convolution / correlation helpers used by preamble sync.
+//! * [`snapshots`] — flat row-major snapshot-stream storage
+//!   ([`snapshots::SnapshotMatrix`]) shared by the whole pipeline.
 //! * [`rng`] — seeded Gaussian / complex-Gaussian sampling (Box–Muller).
+//! * [`fastmath`] — vectorizable polynomial `ln`/`cos` kernels backing the
+//!   bulk noise synthesis.
 //!
 //! Everything is deterministic given caller-provided RNGs and is `f64`
 //! throughout.
 
 pub mod complex;
+pub mod fastmath;
 pub mod fft;
 pub mod interp;
 pub mod linalg;
@@ -37,11 +42,13 @@ pub mod phase;
 pub mod polyfit;
 pub mod rng;
 pub mod signal;
+pub mod snapshots;
 pub mod stats;
 pub mod stft;
 pub mod window;
 
 pub use complex::Complex;
+pub use snapshots::{SnapshotMatrix, SnapshotView};
 
 /// Speed of light in vacuum, m/s.
 pub const C0: f64 = 299_792_458.0;

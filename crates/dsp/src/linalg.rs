@@ -65,7 +65,11 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -89,7 +93,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds an `rows x cols` matrix from a generator `f(r, c)`.
@@ -160,10 +168,16 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.rows;
         if self.cols != n {
-            return Err(LinalgError::ShapeMismatch { expected: (n, n), got: (n, self.cols) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, n),
+                got: (n, self.cols),
+            });
         }
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
         }
         let mut a = self.data.clone();
         let mut x = b.to_vec();
@@ -346,7 +360,10 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -364,8 +381,14 @@ mod tests {
     #[test]
     fn shape_mismatch_reported() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.matvec(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matvec(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -383,7 +406,11 @@ mod tests {
     fn lstsq_minimizes_residual_with_noise() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
         // y = 3x - 2 with deterministic "noise"
-        let b: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 3.0 * x - 2.0 + 0.01 * ((i * 7 % 11) as f64 - 5.0)).collect();
+        let b: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x - 2.0 + 0.01 * ((i * 7 % 11) as f64 - 5.0))
+            .collect();
         let a = Matrix::from_fn(xs.len(), 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
         let sol = a.lstsq(&b, 0.0).unwrap();
         assert!((sol[0] + 2.0).abs() < 0.05);

@@ -67,15 +67,23 @@ impl Polynomial {
     /// abscissae (typical of force sweeps).
     pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitError> {
         if xs.len() != ys.len() {
-            return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+            return Err(FitError::LengthMismatch {
+                xs: xs.len(),
+                ys: ys.len(),
+            });
         }
         if xs.len() < degree + 1 {
-            return Err(FitError::TooFewPoints { need: degree + 1, got: xs.len() });
+            return Err(FitError::TooFewPoints {
+                need: degree + 1,
+                got: xs.len(),
+            });
         }
         // Scale x into [-1, 1] for conditioning, fit, then compose back.
         let (lo, hi) = xs
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
         let span = (hi - lo).max(1e-12);
         let mid = 0.5 * (hi + lo);
         let half = 0.5 * span;

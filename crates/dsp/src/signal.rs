@@ -50,7 +50,9 @@ pub fn peak_index(corr: &[Complex]) -> Option<usize> {
     corr.iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| {
-            a.norm_sqr().partial_cmp(&b.norm_sqr()).expect("NaN in correlation")
+            a.norm_sqr()
+                .partial_cmp(&b.norm_sqr())
+                .expect("NaN in correlation")
         })
         .map(|(i, _)| i)
 }

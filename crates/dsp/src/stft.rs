@@ -31,7 +31,9 @@ pub fn spectrogram(x: &[Complex], fs_hz: f64, frame_len: usize, hop: usize) -> S
     let n_fft = frame_len.next_power_of_two();
     let w = window(WindowKind::Hann, frame_len);
     let n_bins = n_fft / 2;
-    let freqs_hz: Vec<f64> = (0..n_bins).map(|b| b as f64 * fs_hz / n_fft as f64).collect();
+    let freqs_hz: Vec<f64> = (0..n_bins)
+        .map(|b| b as f64 * fs_hz / n_fft as f64)
+        .collect();
 
     let mut rows = Vec::new();
     let mut times_s = Vec::new();
@@ -53,7 +55,11 @@ pub fn spectrogram(x: &[Complex], fs_hz: f64, frame_len: usize, hop: usize) -> S
         times_s.push((start + frame_len / 2) as f64 / fs_hz);
         start += hop;
     }
-    Spectrogram { rows, freqs_hz, times_s }
+    Spectrogram {
+        rows,
+        freqs_hz,
+        times_s,
+    }
 }
 
 impl Spectrogram {

@@ -34,9 +34,7 @@ pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
                 WindowKind::Rect => 1.0,
                 WindowKind::Hann => 0.5 - 0.5 * (TAU * x).cos(),
                 WindowKind::Hamming => 0.54 - 0.46 * (TAU * x).cos(),
-                WindowKind::Blackman => {
-                    0.42 - 0.5 * (TAU * x).cos() + 0.08 * (2.0 * TAU * x).cos()
-                }
+                WindowKind::Blackman => 0.42 - 0.5 * (TAU * x).cos() + 0.08 * (2.0 * TAU * x).cos(),
             }
         })
         .collect()
@@ -74,7 +72,10 @@ mod tests {
         for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
             let w = window(kind, 33);
             for i in 0..w.len() {
-                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "{kind:?} idx {i}");
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} idx {i}"
+                );
             }
         }
     }

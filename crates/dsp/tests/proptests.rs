@@ -1,7 +1,7 @@
 //! Property-based tests over the DSP primitives.
 
 use proptest::prelude::*;
-use wiforce_dsp::fft::{dft_naive, fft, goertzel, ifft};
+use wiforce_dsp::fft::{dft_naive, fft, goertzel, goertzel_columns, ifft, FftPlan};
 use wiforce_dsp::phase::{unwrap, wrap_to_pi};
 use wiforce_dsp::polyfit::Polynomial;
 use wiforce_dsp::stats::{median, percentile};
@@ -42,6 +42,67 @@ proptest! {
         let fs = fft(&scaled);
         for (s, f) in fs.iter().zip(&fx) {
             prop_assert!((*s - *f * a).abs() < 1e-8);
+        }
+    }
+
+    /// A planned FFT matches the O(n²) reference for arbitrary lengths —
+    /// power-of-two sizes exercise the radix-2 tables, everything else the
+    /// cached Bluestein path — and is bit-identical to the free [`fft`].
+    #[test]
+    fn fft_plan_matches_naive(x in arb_signal(48)) {
+        let mut plan = FftPlan::new(x.len());
+        let planned = plan.forward(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in planned.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (x.len() as f64));
+        }
+        let free = fft(&x);
+        for (a, b) in planned.iter().zip(&free) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    /// A planned inverse undoes a planned forward for arbitrary lengths.
+    #[test]
+    fn fft_plan_inverse_inverts(x in arb_signal(64)) {
+        let mut plan = FftPlan::new(x.len());
+        let fwd = plan.forward(&x);
+        let back = plan.inverse(&fwd);
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    /// The batched column Goertzel is bit-identical to gathering each column
+    /// (minus its offset) and running the scalar [`goertzel`] per bin.
+    #[test]
+    fn goertzel_columns_matches_per_column(
+        flat in arb_signal(96),
+        n_cols in 1usize..7,
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+        offset_flag in 0usize..2,
+    ) {
+        let n_rows = flat.len() / n_cols;
+        let data = &flat[..n_rows * n_cols];
+        let offsets: Vec<Complex> =
+            (0..n_cols).map(|k| Complex::new(0.1 * k as f64, -0.05 * k as f64)).collect();
+        let use_offsets = offset_flag == 1;
+        let off = use_offsets.then_some(offsets.as_slice());
+        let batched = goertzel_columns(data, n_cols, &[f1, f2], off);
+        for (j, &f) in [f1, f2].iter().enumerate() {
+            for k in 0..n_cols {
+                let col: Vec<Complex> = (0..n_rows)
+                    .map(|r| {
+                        let x = data[r * n_cols + k];
+                        if use_offsets { x - offsets[k] } else { x }
+                    })
+                    .collect();
+                let scalar = goertzel(&col, f);
+                prop_assert_eq!(batched[j][k].re.to_bits(), scalar.re.to_bits());
+                prop_assert_eq!(batched[j][k].im.to_bits(), scalar.im.to_bits());
+            }
         }
     }
 

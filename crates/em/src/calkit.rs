@@ -32,7 +32,11 @@ pub struct ErrorModel {
 impl ErrorModel {
     /// A perfect instrument (no correction needed).
     pub fn ideal() -> Self {
-        ErrorModel { e00: Complex::ZERO, e11: Complex::ZERO, tracking: Complex::ONE }
+        ErrorModel {
+            e00: Complex::ZERO,
+            e11: Complex::ZERO,
+            tracking: Complex::ONE,
+        }
     }
 
     /// A plausible bench-top instrument before user calibration: −30 dB
@@ -64,8 +68,8 @@ impl ErrorModel {
         let e00 = m_load;
         let a = m_short - e00; // = -T / (1 + e11)
         let b = m_open - e00; // =  T / (1 - e11)
-        // a·(1+e11) = -T ;  b·(1-e11) = T  ⇒  a + a·e11 = -b + b·e11
-        // ⇒ e11 = (a + b) / (b - a)
+                              // a·(1+e11) = -T ;  b·(1-e11) = T  ⇒  a + a·e11 = -b + b·e11
+                              // ⇒ e11 = (a + b) / (b - a)
         let e11 = (a + b) / (b - a);
         let tracking = b * (Complex::ONE - e11);
         ErrorModel { e00, e11, tracking }
@@ -125,7 +129,10 @@ mod tests {
         let truth = line.port_reflection(0.9e9, Some(0.03), Termination::Open);
         let raw = inst.apply(truth);
         let corrected = cal.correct(raw);
-        assert!((raw - truth).abs() > 0.02, "uncalibrated should be visibly wrong");
+        assert!(
+            (raw - truth).abs() > 0.02,
+            "uncalibrated should be visibly wrong"
+        );
         assert!(close(corrected, truth, 1e-10));
     }
 

@@ -206,6 +206,10 @@ mod tests {
             .iter()
             .min_by(|a, b| a.worst_s11_db.partial_cmp(&b.worst_s11_db).unwrap())
             .unwrap();
-        assert!(best.worst_insertion_loss_db < 0.5, "{}", best.worst_insertion_loss_db);
+        assert!(
+            best.worst_insertion_loss_db < 0.5,
+            "{}",
+            best.worst_insertion_loss_db
+        );
     }
 }

@@ -62,7 +62,11 @@ impl Dielectric {
     pub fn complex_permittivity(&self, f_hz: f64) -> Complex {
         let omega = TAU * f_hz;
         let imag = self.rel_permittivity * self.loss_tangent
-            + if omega > 0.0 { self.conductivity_s_per_m / (omega * EPS0) } else { 0.0 };
+            + if omega > 0.0 {
+                self.conductivity_s_per_m / (omega * EPS0)
+            } else {
+                0.0
+            };
         Complex::new(self.rel_permittivity, -imag)
     }
 
@@ -100,9 +104,18 @@ pub struct TissueLayer {
 /// The paper's three-layer phantom: 25 mm muscle, 10 mm fat, 2 mm skin.
 pub fn wiforce_phantom() -> Vec<TissueLayer> {
     vec![
-        TissueLayer { dielectric: Dielectric::MUSCLE, thickness_m: 25e-3 },
-        TissueLayer { dielectric: Dielectric::FAT, thickness_m: 10e-3 },
-        TissueLayer { dielectric: Dielectric::SKIN, thickness_m: 2e-3 },
+        TissueLayer {
+            dielectric: Dielectric::MUSCLE,
+            thickness_m: 25e-3,
+        },
+        TissueLayer {
+            dielectric: Dielectric::FAT,
+            thickness_m: 10e-3,
+        },
+        TissueLayer {
+            dielectric: Dielectric::SKIN,
+            thickness_m: 2e-3,
+        },
     ]
 }
 
@@ -163,7 +176,8 @@ mod tests {
     fn fat_much_more_transparent_than_muscle() {
         let f = 0.9e9;
         assert!(
-            Dielectric::FAT.attenuation_db(f, 0.01) < 0.3 * Dielectric::MUSCLE.attenuation_db(f, 0.01)
+            Dielectric::FAT.attenuation_db(f, 0.01)
+                < 0.3 * Dielectric::MUSCLE.attenuation_db(f, 0.01)
         );
     }
 

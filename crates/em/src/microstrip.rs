@@ -157,7 +157,11 @@ mod tests {
     fn impedance_monotone_decreasing_in_width() {
         let mut prev = f64::INFINITY;
         for w in [1e-3, 2e-3, 4e-3, 8e-3] {
-            let z = Microstrip { trace_width_m: w, ..Microstrip::wiforce_sensor() }.impedance_ohm();
+            let z = Microstrip {
+                trace_width_m: w,
+                ..Microstrip::wiforce_sensor()
+            }
+            .impedance_ohm();
             assert!(z < prev);
             prev = z;
         }

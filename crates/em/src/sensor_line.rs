@@ -213,8 +213,18 @@ mod tests {
         let mut f = 0.05e9;
         while f <= 3.0e9 {
             let s = l.rest_sparams(f);
-            assert!(s.s11_db() < -10.0, "S11 {} dB at {} GHz", s.s11_db(), f / 1e9);
-            assert!(s.s21_db() > -1.0, "S21 {} dB at {} GHz", s.s21_db(), f / 1e9);
+            assert!(
+                s.s11_db() < -10.0,
+                "S11 {} dB at {} GHz",
+                s.s11_db(),
+                f / 1e9
+            );
+            assert!(
+                s.s21_db() > -1.0,
+                "S21 {} dB at {} GHz",
+                s.s21_db(),
+                f / 1e9
+            );
             f += 0.05e9;
         }
     }
@@ -252,9 +262,13 @@ mod tests {
     fn contact_resistance_weakens_short() {
         let mut l = line();
         l.contact_resistance_ohm = 10.0;
-        let weak = l.port_reflection(0.9e9, Some(0.02), Termination::Open).abs();
+        let weak = l
+            .port_reflection(0.9e9, Some(0.02), Termination::Open)
+            .abs();
         l.contact_resistance_ohm = 0.0;
-        let strong = l.port_reflection(0.9e9, Some(0.02), Termination::Open).abs();
+        let strong = l
+            .port_reflection(0.9e9, Some(0.02), Termination::Open)
+            .abs();
         assert!(weak < strong);
     }
 

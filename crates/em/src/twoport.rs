@@ -23,17 +23,32 @@ pub struct Abcd {
 impl Abcd {
     /// Identity (a zero-length thru).
     pub fn identity() -> Self {
-        Abcd { a: Complex::ONE, b: Complex::ZERO, c: Complex::ZERO, d: Complex::ONE }
+        Abcd {
+            a: Complex::ONE,
+            b: Complex::ZERO,
+            c: Complex::ZERO,
+            d: Complex::ONE,
+        }
     }
 
     /// A series impedance `Z`.
     pub fn series(z: Complex) -> Self {
-        Abcd { a: Complex::ONE, b: z, c: Complex::ZERO, d: Complex::ONE }
+        Abcd {
+            a: Complex::ONE,
+            b: z,
+            c: Complex::ZERO,
+            d: Complex::ONE,
+        }
     }
 
     /// A shunt admittance `Y`.
     pub fn shunt(y: Complex) -> Self {
-        Abcd { a: Complex::ONE, b: Complex::ZERO, c: y, d: Complex::ONE }
+        Abcd {
+            a: Complex::ONE,
+            b: Complex::ZERO,
+            c: y,
+            d: Complex::ONE,
+        }
     }
 
     /// A transmission-line segment with characteristic impedance `z0`,
@@ -45,7 +60,12 @@ impl Abcd {
         let em = (-gl).exp();
         let cosh = (ep + em).scale(0.5);
         let sinh = (ep - em).scale(0.5);
-        Abcd { a: cosh, b: z0 * sinh, c: sinh / z0, d: cosh }
+        Abcd {
+            a: cosh,
+            b: z0 * sinh,
+            c: sinh / z0,
+            d: cosh,
+        }
     }
 
     /// An ideal transformer with turns ratio `n` (port1:port2 = n:1).
@@ -188,7 +208,10 @@ mod tests {
         let len = 0.05;
         let s = Abcd::line(z0, Complex::new(0.0, beta), len).to_sparams(50.0);
         // S21 = e^{-jβl}
-        assert!((s.s21.arg() + beta * len).abs() < 1e-9 || (s.s21.arg() + beta * len - TAU).abs() < 1e-9);
+        assert!(
+            (s.s21.arg() + beta * len).abs() < 1e-9
+                || (s.s21.arg() + beta * len - TAU).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -223,7 +246,11 @@ mod tests {
     fn reciprocal_network_det_is_one() {
         let net = Abcd::series(Complex::new(10.0, 5.0))
             .cascade(&Abcd::shunt(Complex::new(0.01, -0.02)))
-            .cascade(&Abcd::line(Complex::from_re(60.0), Complex::new(0.05, 20.0), 0.2));
+            .cascade(&Abcd::line(
+                Complex::from_re(60.0),
+                Complex::new(0.05, 20.0),
+                0.2,
+            ));
         assert!(close(net.det(), Complex::ONE, 1e-9));
         // and S12 == S21 for reciprocal networks
         let s = net.to_sparams(50.0);
@@ -241,12 +268,8 @@ mod tests {
     #[test]
     fn lossy_line_attenuates() {
         let alpha = 2.0; // Np/m
-        let s = Abcd::line(
-            Complex::from_re(50.0),
-            Complex::new(alpha, 100.0),
-            0.1,
-        )
-        .to_sparams(50.0);
+        let s =
+            Abcd::line(Complex::from_re(50.0), Complex::new(alpha, 100.0), 0.1).to_sparams(50.0);
         let il = s.insertion_loss_db();
         // 0.2 Np → 1.737 dB
         assert!((il - 0.2 * 8.686).abs() < 1e-3, "{il}");

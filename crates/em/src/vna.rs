@@ -24,7 +24,11 @@ pub struct FrequencySweep {
 impl FrequencySweep {
     /// The paper's Fig. 10 sweep: 50 MHz – 3 GHz.
     pub fn wiforce_broadband() -> Self {
-        FrequencySweep { start_hz: 0.05e9, stop_hz: 3.0e9, points: 60 }
+        FrequencySweep {
+            start_hz: 0.05e9,
+            stop_hz: 3.0e9,
+            points: 60,
+        }
     }
 
     /// Frequency of point `i`.
@@ -85,12 +89,20 @@ pub struct Vna {
 impl Vna {
     /// An ideal (noise-free) instrument.
     pub fn ideal() -> Self {
-        Vna { mag_noise: 0.0, phase_noise_rad: 0.0, seed: 0 }
+        Vna {
+            mag_noise: 0.0,
+            phase_noise_rad: 0.0,
+            seed: 0,
+        }
     }
 
     /// A realistic bench VNA: −60 dB magnitude floor, 0.1° phase noise.
     pub fn bench() -> Self {
-        Vna { mag_noise: 1e-3, phase_noise_rad: 0.1f64.to_radians(), seed: 0x5A11 }
+        Vna {
+            mag_noise: 1e-3,
+            phase_noise_rad: 0.1f64.to_radians(),
+            seed: 0x5A11,
+        }
     }
 
     /// Measures a DUT over the sweep. The DUT is any `f → SParams` map.
@@ -109,7 +121,10 @@ impl Vna {
                 }
             })
             .collect();
-        SweepResult { freqs_hz: freqs, sparams }
+        SweepResult {
+            freqs_hz: freqs,
+            sparams,
+        }
     }
 
     /// Measures a 1-port reflection at a single frequency.
@@ -142,7 +157,10 @@ mod rand_like {
     impl TraceNoise {
         /// Seeds the stream (seed 0 is remapped to a fixed constant).
         pub fn new(seed: u64) -> Self {
-            TraceNoise { state: if seed == 0 { 0x9E3779B9 } else { seed }, spare: None }
+            TraceNoise {
+                state: if seed == 0 { 0x9E3779B9 } else { seed },
+                spare: None,
+            }
         }
 
         fn next_u64(&mut self) -> u64 {
@@ -180,7 +198,11 @@ mod tests {
 
     #[test]
     fn sweep_frequencies_inclusive() {
-        let s = FrequencySweep { start_hz: 1e9, stop_hz: 2e9, points: 5 };
+        let s = FrequencySweep {
+            start_hz: 1e9,
+            stop_hz: 2e9,
+            points: 5,
+        };
         let f = s.frequencies();
         assert_eq!(f.len(), 5);
         assert_eq!(f[0], 1e9);
@@ -192,7 +214,9 @@ mod tests {
     fn ideal_vna_is_transparent() {
         let line = SensorLine::wiforce_prototype();
         let vna = Vna::ideal();
-        let r = vna.sweep(FrequencySweep::wiforce_broadband(), |f| line.rest_sparams(f));
+        let r = vna.sweep(FrequencySweep::wiforce_broadband(), |f| {
+            line.rest_sparams(f)
+        });
         let direct = line.rest_sparams(r.freqs_hz[10]);
         assert_eq!(r.sparams[10].s21, direct.s21);
     }
@@ -217,7 +241,9 @@ mod tests {
     #[test]
     fn sweep_result_helpers() {
         let line = SensorLine::wiforce_prototype();
-        let r = Vna::ideal().sweep(FrequencySweep::wiforce_broadband(), |f| line.rest_sparams(f));
+        let r = Vna::ideal().sweep(FrequencySweep::wiforce_broadband(), |f| {
+            line.rest_sparams(f)
+        });
         assert!(r.worst_s11_db() < -10.0); // the paper's Fig. 10 claim
         let ph = r.s21_phase_unwrapped();
         // unwrapped phase is decreasing (delay line)
@@ -227,7 +253,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn freq_out_of_range_panics() {
-        let s = FrequencySweep { start_hz: 1e9, stop_hz: 2e9, points: 3 };
+        let s = FrequencySweep {
+            start_hz: 1e9,
+            stop_hz: 2e9,
+            points: 3,
+        };
         let _ = s.freq(3);
     }
 }

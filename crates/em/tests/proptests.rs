@@ -21,7 +21,11 @@ fn arb_network() -> impl Strategy<Value = Abcd> {
         .prop_map(|(rs, xs, gs, bs, z0, alpha, beta, len)| {
             Abcd::series(Complex::new(rs, xs))
                 .cascade(&Abcd::shunt(Complex::new(gs, bs)))
-                .cascade(&Abcd::line(Complex::from_re(z0), Complex::new(alpha, beta), len))
+                .cascade(&Abcd::line(
+                    Complex::from_re(z0),
+                    Complex::new(alpha, beta),
+                    len,
+                ))
         })
 }
 

@@ -164,7 +164,12 @@ impl ContactSolver {
     /// Creates a solver with an explicit node count (≥ 16).
     pub fn with_nodes(mech: SensorMech, indenter: Indenter, n: usize) -> Self {
         assert!(n >= 16, "contact grid too coarse: {n} nodes");
-        ContactSolver { mech, indenter, n, penalty: 1e13 }
+        ContactSolver {
+            mech,
+            indenter,
+            n,
+            penalty: 1e13,
+        }
     }
 
     /// The mechanical configuration being solved.
@@ -304,7 +309,12 @@ impl ContactSolver {
         }
 
         let patch = extract_patch(&x_m, &w, gap);
-        ContactSolution { x_m, deflection_m: w, patch, load_n_per_m: load }
+        ContactSolution {
+            x_m,
+            deflection_m: w,
+            patch,
+            load_n_per_m: load,
+        }
     }
 }
 
@@ -312,8 +322,7 @@ impl ContactSolver {
 /// linear interpolation.
 fn extract_patch(x: &[f64], w: &[f64], gap: f64) -> Option<ContactPatch> {
     let tol = gap * 1e-6;
-    let touching: Vec<usize> =
-        (0..w.len()).filter(|&i| w[i] >= gap - tol).collect();
+    let touching: Vec<usize> = (0..w.len()).filter(|&i| w[i] >= gap - tol).collect();
     let (&first, &last) = (touching.first()?, touching.last()?);
 
     let refine_left = |i: usize| -> f64 {
@@ -356,7 +365,11 @@ mod tests {
     use super::*;
 
     fn prototype_solver() -> ContactSolver {
-        ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), 201)
+        ContactSolver::with_nodes(
+            SensorMech::wiforce_prototype(),
+            Indenter::actuator_tip(),
+            201,
+        )
     }
 
     #[test]
@@ -456,7 +469,10 @@ mod tests {
             soft_shift > 3.0 * thin_shift,
             "soft shift {soft_shift} should dwarf thin shift {thin_shift}"
         );
-        assert!(soft_shift > 2e-3, "soft shift should be millimetres, got {soft_shift}");
+        assert!(
+            soft_shift > 2e-3,
+            "soft shift should be millimetres, got {soft_shift}"
+        );
     }
 
     #[test]

@@ -36,8 +36,8 @@ impl DynamicResponse {
         let area = beam.width_m * beam.thickness_m;
         let rho_a = DENSITY * area;
         let ei = beam.flexural_rigidity();
-        let natural_hz = BETA1 * BETA1 / (std::f64::consts::TAU * beam.length_m.powi(2))
-            * (ei / rho_a).sqrt();
+        let natural_hz =
+            BETA1 * BETA1 / (std::f64::consts::TAU * beam.length_m.powi(2)) * (ei / rho_a).sqrt();
         DynamicResponse {
             natural_hz,
             damping_ratio: 0.4,
@@ -56,8 +56,7 @@ impl DynamicResponse {
         let z = self.damping_ratio.clamp(0.01, 0.99);
         let wd = wn * (1.0 - z * z).sqrt();
         let phase = (1.0 - z * z).sqrt().atan2(z);
-        let modal = 1.0
-            - ((-z * wn * t_s).exp() / (1.0 - z * z).sqrt()) * (wd * t_s + phase).sin();
+        let modal = 1.0 - ((-z * wn * t_s).exp() / (1.0 - z * z).sqrt()) * (wd * t_s + phase).sin();
         let creep = 1.0 - (-t_s / self.creep_tau_s).exp();
         (1.0 - self.creep_fraction) * modal + self.creep_fraction * creep
     }

@@ -35,7 +35,13 @@ impl<T: ForceTransducer> Hysteretic<T> {
     /// Wraps a transducer with Ecoflex-like defaults: 0.4 N play band,
     /// 1.5 s creep.
     pub fn new(inner: T) -> Self {
-        Hysteretic { inner, play_n: 0.4, creep_tau_s: 1.5, effective_n: 0.0, last_t_s: None }
+        Hysteretic {
+            inner,
+            play_n: 0.4,
+            creep_tau_s: 1.5,
+            effective_n: 0.0,
+            last_t_s: None,
+        }
     }
 
     /// Overrides the play-band width (N).
@@ -107,7 +113,7 @@ mod tests {
     #[test]
     fn loading_lags_unloading_leads() {
         let mut h = wrapped().with_creep_tau(1e9); // isolate the play band
-        // fast ramp up to 4 N
+                                                   // fast ramp up to 4 N
         let mut t = 0.0;
         for k in 0..=40 {
             h.effective_force(t, k as f64 * 0.1);
@@ -126,7 +132,10 @@ mod tests {
         }
         let down = h.effective_force(t, 4.0);
         assert!(down > 4.0, "unloading branch should lead: {down}");
-        assert!(down - up > 0.2, "hysteresis loop should open: {up} vs {down}");
+        assert!(
+            down - up > 0.2,
+            "hysteresis loop should open: {up} vs {down}"
+        );
     }
 
     #[test]
@@ -140,7 +149,10 @@ mod tests {
         let fresh = h.effective_force(t, 4.0);
         // hold for many time constants
         let settled = h.effective_force(t + 10.0, 4.0);
-        assert!((settled - 4.0).abs() < 0.02, "creep should settle: {settled}");
+        assert!(
+            (settled - 4.0).abs() < 0.02,
+            "creep should settle: {settled}"
+        );
         assert!((fresh - 4.0).abs() > (settled - 4.0).abs());
     }
 

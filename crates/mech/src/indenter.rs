@@ -104,8 +104,9 @@ mod tests {
             let n = 20_001;
             let h = ind.half_width_m() * 1.2;
             let dx = 2.0 * h / (n - 1) as f64;
-            let integral: f64 =
-                (0..n).map(|i| ind.footprint_weight(-h + i as f64 * dx) * dx).sum();
+            let integral: f64 = (0..n)
+                .map(|i| ind.footprint_weight(-h + i as f64 * dx) * dx)
+                .sum();
             assert!((integral - 1.0).abs() < 1e-3, "{ind:?}: {integral}");
         }
     }

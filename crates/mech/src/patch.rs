@@ -18,9 +18,15 @@ impl ContactPatch {
     /// Creates a patch, normalizing the endpoint order.
     pub fn new(a: f64, b: f64) -> Self {
         if a <= b {
-            ContactPatch { left_m: a, right_m: b }
+            ContactPatch {
+                left_m: a,
+                right_m: b,
+            }
         } else {
-            ContactPatch { left_m: b, right_m: a }
+            ContactPatch {
+                left_m: b,
+                right_m: a,
+            }
         }
     }
 

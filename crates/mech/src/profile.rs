@@ -36,7 +36,12 @@ pub struct ActuatorRamp {
 impl ActuatorRamp {
     /// The paper's standard sweep: 0 → 8 N at a gentle rate.
     pub fn standard(location_m: f64) -> Self {
-        ActuatorRamp { peak_n: 8.0, rate_n_per_s: 2.0, dwell_s: 1.0, location_m }
+        ActuatorRamp {
+            peak_n: 8.0,
+            rate_n_per_s: 2.0,
+            dwell_s: 1.0,
+            location_m,
+        }
     }
 }
 
@@ -111,7 +116,11 @@ impl PressProfile for FingertipStaircase {
         }
         let idx = ((t / self.hold_s) as usize).min(self.levels_n.len() - 1);
         let target = self.levels_n[idx];
-        let prev = if idx == 0 { 0.0 } else { self.levels_n[idx - 1] };
+        let prev = if idx == 0 {
+            0.0
+        } else {
+            self.levels_n[idx - 1]
+        };
         let t_in = t - idx as f64 * self.hold_s;
         // first-order settle toward the target
         let base = target + (prev - target) * (-t_in / self.settle_tau_s).exp();
@@ -148,7 +157,11 @@ mod rand_like {
                 s ^= s >> 27;
                 (s % 10_000) as f64 / 10_000.0 * std::f64::consts::TAU
             };
-            Tremor { phase1: next(), phase2: next(), phase3: next() }
+            Tremor {
+                phase1: next(),
+                phase2: next(),
+                phase3: next(),
+            }
         }
 
         /// Zero-mean unit-ish amplitude wobble at time `t` seconds.
@@ -167,7 +180,12 @@ mod tests {
 
     #[test]
     fn ramp_shape() {
-        let r = ActuatorRamp { peak_n: 8.0, rate_n_per_s: 2.0, dwell_s: 1.0, location_m: 0.04 };
+        let r = ActuatorRamp {
+            peak_n: 8.0,
+            rate_n_per_s: 2.0,
+            dwell_s: 1.0,
+            location_m: 0.04,
+        };
         assert_eq!(r.duration_s(), 9.0);
         assert_eq!(r.force_at(-1.0), 0.0);
         assert_eq!(r.force_at(0.0), 0.0);

@@ -63,13 +63,39 @@ impl ChannelSounder for FmcwSounder {
         noise_std: f64,
         rng: &mut dyn RngCore,
     ) -> Vec<Complex> {
-        assert_eq!(true_channel.len(), self.n_points, "one channel sample per sweep point");
+        assert_eq!(
+            true_channel.len(),
+            self.n_points,
+            "one channel sample per sweep point"
+        );
         // dechirped FMCW measures H at each instantaneous frequency with
         // per-sample noise; the sweep integrates one beat sample per point
         true_channel
             .iter()
             .map(|&h| h + complex_gaussian(rng, noise_std * noise_std))
             .collect()
+    }
+
+    fn estimate_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [Complex],
+    ) {
+        assert_eq!(
+            true_channel.len(),
+            self.n_points,
+            "one channel sample per sweep point"
+        );
+        assert_eq!(
+            out.len(),
+            self.n_points,
+            "output buffer must match the estimate grid"
+        );
+        for (o, &h) in out.iter_mut().zip(true_channel) {
+            *o = h + complex_gaussian(rng, noise_std * noise_std);
+        }
     }
 }
 
@@ -102,6 +128,16 @@ mod tests {
         let truth: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.1)).collect();
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(f.estimate(&truth, 0.0, &mut rng), truth);
+    }
+
+    #[test]
+    fn estimate_into_matches_estimate_bitwise() {
+        let f = FmcwSounder::matched_to_ofdm();
+        let truth: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
+        let expected = f.estimate(&truth, 0.2, &mut StdRng::seed_from_u64(7));
+        let mut out = vec![Complex::ZERO; 64];
+        f.estimate_into(&truth, 0.2, &mut StdRng::seed_from_u64(7), &mut out);
+        assert_eq!(out, expected);
     }
 
     #[test]

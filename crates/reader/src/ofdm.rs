@@ -12,10 +12,38 @@
 
 use crate::sounder::ChannelSounder;
 use rand::RngCore;
-use wiforce_dsp::fft::{fft, ifft};
-use wiforce_dsp::rng::complex_gaussian;
-use wiforce_dsp::signal::hadamard;
+use std::cell::RefCell;
+use wiforce_dsp::fastmath::standard_normals_from_uniforms;
+use wiforce_dsp::fft::{ifft, with_plan};
+use wiforce_dsp::rng::draw_box_muller_uniforms;
 use wiforce_dsp::Complex;
+
+/// Per-thread scratch for the allocation-free OFDM estimation path:
+/// cached preamble symbols (keyed by configuration) and two reusable
+/// frame-sized buffers.
+struct OfdmScratch {
+    key: (usize, u64),
+    symbols: Vec<Complex>,
+    rx_sym: Vec<Complex>,
+    avg: Vec<Complex>,
+    u1s: Vec<f64>,
+    u2s: Vec<f64>,
+    normals: Vec<f64>,
+}
+
+thread_local! {
+    static OFDM_SCRATCH: RefCell<OfdmScratch> = const {
+        RefCell::new(OfdmScratch {
+            key: (0, 0),
+            symbols: Vec::new(),
+            rx_sym: Vec::new(),
+            avg: Vec::new(),
+            u1s: Vec::new(),
+            u2s: Vec::new(),
+            normals: Vec::new(),
+        })
+    };
+}
 
 /// OFDM sounding configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,35 +137,81 @@ impl ChannelSounder for OfdmSounder {
         noise_std: f64,
         rng: &mut dyn RngCore,
     ) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.n_subcarriers];
+        self.estimate_into(true_channel, noise_std, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free estimation: synthesizes and equalizes the frame in
+    /// per-thread scratch buffers with planned in-place FFTs, writing the
+    /// snapshot straight into `out`. Draws the identical RNG sequence (and
+    /// performs the identical floating-point operations) as the paper-path
+    /// [`ChannelSounder::estimate`] above.
+    fn estimate_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [Complex],
+    ) {
         let n = self.n_subcarriers;
         assert_eq!(
             true_channel.len(),
             n,
             "true_channel must have one entry per subcarrier"
         );
-        // reorder ascending-offset channel into FFT bin order
-        let h_bins = ascending_to_bins(true_channel);
-
-        // TX symbol → channel (freq-domain multiply) → time domain
-        let s = self.preamble_symbols();
-        let rx_freq = hadamard(&s, &h_bins);
+        assert_eq!(out.len(), n, "output buffer must match the estimate grid");
+        let half = n / 2;
         let scale = (n as f64).sqrt();
-        let rx_sym: Vec<Complex> = ifft(&rx_freq).into_iter().map(|z| z * scale).collect();
-
-        // receive n_repeats noisy copies and average
-        let mut avg = vec![Complex::ZERO; n];
-        for _ in 0..self.n_repeats {
-            for (a, &x) in avg.iter_mut().zip(&rx_sym) {
-                *a += x + complex_gaussian(rng, noise_std * noise_std);
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            // cache the known preamble symbols for this configuration
+            if scratch.key != (n, self.preamble_seed) || scratch.symbols.len() != n {
+                scratch.symbols = self.preamble_symbols();
+                scratch.key = (n, self.preamble_seed);
             }
-        }
-        let inv = 1.0 / self.n_repeats as f64;
-        avg.iter_mut().for_each(|z| *z = z.scale(inv));
+            let s = &scratch.symbols;
 
-        // LS equalization: FFT and divide by the known symbols
-        let rx_f: Vec<Complex> = fft(&avg).into_iter().map(|z| z / scale).collect();
-        let est_bins: Vec<Complex> = rx_f.iter().zip(&s).map(|(&r, &sk)| r / sk).collect();
-        bins_to_ascending(&est_bins)
+            // TX symbol → channel (freq-domain multiply, in bin order) →
+            // time domain, all in the reusable rx_sym buffer
+            scratch.rx_sym.resize(n, Complex::ZERO);
+            for (i, &h) in true_channel.iter().enumerate() {
+                let bin = (i + n - half) % n;
+                scratch.rx_sym[bin] = s[bin] * h;
+            }
+            with_plan(n, |plan| plan.inverse_inplace(&mut scratch.rx_sym));
+            scratch.rx_sym.iter_mut().for_each(|z| *z = *z * scale);
+
+            // receive n_repeats noisy copies and average: draw the whole
+            // frame's Box-Muller uniforms in stream order, run the batched
+            // (vectorized, bit-identical) transform, then accumulate in the
+            // same per-sample order as the scalar path
+            let n_normals = 2 * self.n_repeats * n;
+            draw_box_muller_uniforms(rng, n_normals, &mut scratch.u1s, &mut scratch.u2s);
+            scratch.normals.clear();
+            scratch.normals.resize(n_normals, 0.0);
+            standard_normals_from_uniforms(&scratch.u1s, &scratch.u2s, &mut scratch.normals);
+            let amp = (noise_std * noise_std / 2.0).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(n, Complex::ZERO);
+            let mut pair = scratch.normals.chunks_exact(2);
+            for _ in 0..self.n_repeats {
+                for (a, &x) in scratch.avg.iter_mut().zip(&scratch.rx_sym) {
+                    let g = pair.next().expect("one normal pair per sample");
+                    *a += x + Complex::new(amp * g[0], amp * g[1]);
+                }
+            }
+            let inv = 1.0 / self.n_repeats as f64;
+            scratch.avg.iter_mut().for_each(|z| *z = z.scale(inv));
+
+            // LS equalization: FFT, divide by the known symbols, and map
+            // bin order back to ascending offsets directly into `out`
+            with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bin = (i + n - half) % n;
+                *slot = (scratch.avg[bin] / scale) / s[bin];
+            }
+        });
     }
 }
 
@@ -224,7 +298,11 @@ mod tests {
             let trials = 50;
             for _ in 0..trials {
                 let est = s.estimate(&truth, noise, &mut rng);
-                acc += est.iter().zip(&truth).map(|(e, t)| (*e - *t).norm_sqr()).sum::<f64>()
+                acc += est
+                    .iter()
+                    .zip(&truth)
+                    .map(|(e, t)| (*e - *t).norm_sqr())
+                    .sum::<f64>()
                     / 64.0;
             }
             (acc / trials as f64).sqrt()
@@ -245,7 +323,11 @@ mod tests {
             let mut acc = 0.0;
             for _ in 0..80 {
                 let est = s.estimate(&truth, 0.05, &mut rng);
-                acc += est.iter().zip(&truth).map(|(e, t)| (*e - *t).norm_sqr()).sum::<f64>()
+                acc += est
+                    .iter()
+                    .zip(&truth)
+                    .map(|(e, t)| (*e - *t).norm_sqr())
+                    .sum::<f64>()
                     / 64.0;
             }
             (acc / 80.0).sqrt()
@@ -265,9 +347,7 @@ mod tests {
         let offsets = s.frequency_offsets_hz();
         let truth: Vec<Complex> = offsets
             .iter()
-            .map(|&df| {
-                Complex::ONE + Complex::from_polar(0.5, -wiforce_dsp::TAU * df * 2e-7)
-            })
+            .map(|&df| Complex::ONE + Complex::from_polar(0.5, -wiforce_dsp::TAU * df * 2e-7))
             .collect();
         let mut rng = StdRng::seed_from_u64(6);
         let est = s.estimate(&truth, 0.001, &mut rng);

@@ -33,6 +33,33 @@ pub trait ChannelSounder {
         rng: &mut dyn RngCore,
     ) -> Vec<Complex>;
 
+    /// Like [`Self::estimate`], but writes the snapshot into a
+    /// caller-provided buffer instead of allocating — the hot path for
+    /// streaming simulation, where the buffer is a row of a
+    /// `wiforce_dsp::snapshots::SnapshotMatrix`.
+    ///
+    /// The default implementation just copies the allocating path;
+    /// performance-sensitive sounders override it with a buffer-reusing
+    /// implementation that draws the *same* RNG sequence.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the estimate grid size.
+    fn estimate_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [Complex],
+    ) {
+        let est = self.estimate(true_channel, noise_std, rng);
+        assert_eq!(
+            out.len(),
+            est.len(),
+            "output buffer must match the estimate grid"
+        );
+        out.copy_from_slice(&est);
+    }
+
     /// Maximum unambiguous modulation ("artificial Doppler") frequency,
     /// Hz: `1/(2T)` (the paper's Nyquist argument in §4.4).
     fn max_doppler_hz(&self) -> f64 {
@@ -81,5 +108,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let est = d.estimate(&[Complex::ONE], 0.0, &mut rng);
         assert_eq!(est, vec![Complex::ONE]);
+    }
+
+    #[test]
+    fn default_estimate_into_matches_estimate() {
+        let d = Dummy;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = [Complex::ZERO; 1];
+        d.estimate_into(&[Complex::I], 0.0, &mut rng, &mut out);
+        assert_eq!(out[0], Complex::I);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn default_estimate_into_checks_length() {
+        let d = Dummy;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = [Complex::ZERO; 3];
+        d.estimate_into(&[Complex::ONE], 0.0, &mut rng, &mut out);
     }
 }

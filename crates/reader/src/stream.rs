@@ -9,13 +9,30 @@
 //! must agree — a test in `wiforce-repro` drives the full force pipeline
 //! through this receiver.
 
-use crate::ofdm::{ascending_to_bins, bins_to_ascending, OfdmSounder};
+use crate::ofdm::{ascending_to_bins, OfdmSounder};
 use crate::sync::find_preamble;
 use rand::RngCore;
-use wiforce_dsp::fft::{fft, ifft};
+use std::cell::RefCell;
+use wiforce_dsp::fft::{ifft, with_plan};
 use wiforce_dsp::rng::complex_gaussian;
 use wiforce_dsp::signal::hadamard;
+use wiforce_dsp::snapshots::SnapshotMatrix;
 use wiforce_dsp::Complex;
+
+/// Per-thread scratch for the allocation-free frame decode path: cached
+/// preamble symbols (keyed by configuration) and a reusable averaging
+/// buffer.
+struct StreamScratch {
+    key: (usize, u64),
+    symbols: Vec<Complex>,
+    avg: Vec<Complex>,
+}
+
+thread_local! {
+    static STREAM_SCRATCH: RefCell<StreamScratch> = const {
+        RefCell::new(StreamScratch { key: (0, 0), symbols: Vec::new(), avg: Vec::new() })
+    };
+}
 
 /// Generates the reader's continuous TX stream: `n_frames` repetitions of
 /// preamble + zero padding.
@@ -83,37 +100,63 @@ pub struct StreamResult {
     pub sync_offset: usize,
     /// Correlation quality of the acquisition.
     pub sync_metric: f64,
-    /// One channel estimate (ascending subcarrier order) per decoded frame.
-    pub estimates: Vec<Vec<Complex>>,
+    /// One channel estimate (ascending subcarrier order) per decoded
+    /// frame, stored as rows of a flat snapshot matrix.
+    pub estimates: SnapshotMatrix,
 }
 
 impl StreamReceiver {
     /// Creates a receiver for the given sounding waveform.
     pub fn new(sounder: OfdmSounder) -> Self {
-        StreamReceiver { sounder, min_sync_metric: 1e-4 }
+        StreamReceiver {
+            sounder,
+            min_sync_metric: 1e-4,
+        }
     }
 
     /// Estimates the channel from one received 320-sample preamble.
     pub fn estimate_from_preamble(&self, rx_preamble: &[Complex]) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.sounder.n_subcarriers];
+        self.estimate_from_preamble_into(rx_preamble, &mut out);
+        out
+    }
+
+    /// Like [`Self::estimate_from_preamble`], but writes the estimate into
+    /// a caller-provided buffer (typically a fresh `SnapshotMatrix` row)
+    /// using per-thread scratch and planned in-place FFTs — no allocation
+    /// per frame.
+    pub fn estimate_from_preamble_into(&self, rx_preamble: &[Complex], out: &mut [Complex]) {
         let n = self.sounder.n_subcarriers;
         assert_eq!(
             rx_preamble.len(),
             n * self.sounder.n_repeats,
             "need the full received preamble"
         );
-        let mut avg = vec![Complex::ZERO; n];
-        for rep in rx_preamble.chunks(n) {
-            for (a, &x) in avg.iter_mut().zip(rep) {
-                *a += x;
+        assert_eq!(out.len(), n, "output buffer must match the subcarrier grid");
+        let half = n / 2;
+        STREAM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            if scratch.key != (n, self.sounder.preamble_seed) || scratch.symbols.len() != n {
+                scratch.symbols = self.sounder.preamble_symbols();
+                scratch.key = (n, self.sounder.preamble_seed);
             }
-        }
-        let inv = 1.0 / self.sounder.n_repeats as f64;
-        avg.iter_mut().for_each(|z| *z = z.scale(inv));
-        let scale = (n as f64).sqrt();
-        let rx_f: Vec<Complex> = fft(&avg).into_iter().map(|z| z / scale).collect();
-        let s = self.sounder.preamble_symbols();
-        let bins: Vec<Complex> = rx_f.iter().zip(&s).map(|(&r, &sk)| r / sk).collect();
-        bins_to_ascending(&bins)
+            scratch.avg.clear();
+            scratch.avg.resize(n, Complex::ZERO);
+            for rep in rx_preamble.chunks(n) {
+                for (a, &x) in scratch.avg.iter_mut().zip(rep) {
+                    *a += x;
+                }
+            }
+            let inv = 1.0 / self.sounder.n_repeats as f64;
+            scratch.avg.iter_mut().for_each(|z| *z = z.scale(inv));
+            let scale = (n as f64).sqrt();
+            with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
+            // equalize and map bin order to ascending offsets into `out`
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bin = (i + n - half) % n;
+                *slot = (scratch.avg[bin] / scale) / scratch.symbols[bin];
+            }
+        });
     }
 
     /// Acquires timing and decodes every complete frame in `stream`.
@@ -127,10 +170,11 @@ impl StreamReceiver {
         // could land there instead of on the first occurrence)
         let search = stream.len().min(frame + preamble.len() - 1);
         let sync = find_preamble(&stream[..search], &preamble, self.min_sync_metric)?;
-        let mut estimates = Vec::new();
+        let mut estimates = SnapshotMatrix::new(self.sounder.n_subcarriers);
         let mut pos = sync.offset;
         while pos + preamble.len() <= stream.len() {
-            estimates.push(self.estimate_from_preamble(&stream[pos..pos + preamble.len()]));
+            let row = estimates.push_row_default();
+            self.estimate_from_preamble_into(&stream[pos..pos + preamble.len()], row);
             pos += frame;
         }
         Some(StreamResult {
@@ -181,8 +225,8 @@ mod tests {
         let rx = simulate_rx_stream(&s, &chans, 1e-4, 137, &mut rng);
         let result = StreamReceiver::new(s).process(&rx).expect("sync");
         assert_eq!(result.sync_offset, 137);
-        assert_eq!(result.estimates.len(), 5);
-        for (est, truth) in result.estimates.iter().zip(&chans) {
+        assert_eq!(result.estimates.n_rows(), 5);
+        for (est, truth) in result.estimates.rows().zip(&chans) {
             for (e, t) in est.iter().zip(truth) {
                 assert!((*e - *t).abs() < 2e-3, "{e:?} vs {t:?}");
             }
@@ -197,7 +241,7 @@ mod tests {
         let rx = simulate_rx_stream(&s, &chans, 0.0, 0, &mut rng);
         let result = StreamReceiver::new(s).process(&rx).expect("sync");
         assert_eq!(result.sync_offset, 0);
-        for (est, truth) in result.estimates.iter().zip(&chans) {
+        for (est, truth) in result.estimates.rows().zip(&chans) {
             for (e, t) in est.iter().zip(truth) {
                 assert!((*e - *t).abs() < 1e-9);
             }
@@ -208,8 +252,9 @@ mod tests {
     fn pure_noise_does_not_sync() {
         let s = OfdmSounder::wiforce();
         let mut rng = StdRng::seed_from_u64(3);
-        let noise: Vec<Complex> =
-            (0..2000).map(|_| complex_gaussian(&mut rng, 1e-4)).collect();
+        let noise: Vec<Complex> = (0..2000)
+            .map(|_| complex_gaussian(&mut rng, 1e-4))
+            .collect();
         let mut rx = StreamReceiver::new(s);
         rx.min_sync_metric = 0.05;
         assert!(rx.process(&noise).is_none());
@@ -221,12 +266,13 @@ mod tests {
         // shortcut must produce identical noiseless channel estimates
         use crate::sounder::ChannelSounder;
         let s = OfdmSounder::wiforce();
-        let truth: Vec<Complex> =
-            (0..64).map(|k| Complex::from_polar(1.0, 0.05 * k as f64)).collect();
+        let truth: Vec<Complex> = (0..64)
+            .map(|k| Complex::from_polar(1.0, 0.05 * k as f64))
+            .collect();
         let mut rng = StdRng::seed_from_u64(4);
         let rx = simulate_rx_stream(&s, std::slice::from_ref(&truth), 0.0, 0, &mut rng);
         let result = StreamReceiver::new(s).process(&rx).expect("sync");
-        let stream_est = &result.estimates[0];
+        let stream_est = result.estimates.row(0);
         let direct_est = s.estimate(&truth, 0.0, &mut rng);
         for (a, b) in stream_est.iter().zip(&direct_est) {
             assert!((*a - *b).abs() < 1e-9);

@@ -39,7 +39,10 @@ pub fn find_preamble(
     if metric < min_metric {
         return None;
     }
-    Some(SyncResult { offset: idx, peak_metric: metric })
+    Some(SyncResult {
+        offset: idx,
+        peak_metric: metric,
+    })
 }
 
 #[cfg(test)]
@@ -53,8 +56,9 @@ mod tests {
     fn embedded_stream(gain: Complex, offset: usize, noise: f64) -> (Vec<Complex>, Vec<Complex>) {
         let pre = OfdmSounder::wiforce().preamble_time();
         let mut rng = StdRng::seed_from_u64(42);
-        let mut stream: Vec<Complex> =
-            (0..1000).map(|_| complex_gaussian(&mut rng, noise * noise)).collect();
+        let mut stream: Vec<Complex> = (0..1000)
+            .map(|_| complex_gaussian(&mut rng, noise * noise))
+            .collect();
         for (i, &p) in pre.iter().enumerate() {
             stream[offset + i] += p * gain;
         }
@@ -80,8 +84,9 @@ mod tests {
     #[test]
     fn rejects_absent_preamble() {
         let mut rng = StdRng::seed_from_u64(7);
-        let stream: Vec<Complex> =
-            (0..1000).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+        let stream: Vec<Complex> = (0..1000)
+            .map(|_| complex_gaussian(&mut rng, 0.01))
+            .collect();
         let pre = OfdmSounder::wiforce().preamble_time();
         assert!(find_preamble(&stream, &pre, 0.5).is_none());
     }

@@ -30,7 +30,10 @@ impl UsrpConfig {
 
     /// The paper's 2.4 GHz configuration.
     pub fn n210_2g4() -> Self {
-        UsrpConfig { carrier_hz: 2.4e9, ..Self::n210_900mhz() }
+        UsrpConfig {
+            carrier_hz: 2.4e9,
+            ..Self::n210_900mhz()
+        }
     }
 
     /// Checks whether a tag whose highest used modulation line is

@@ -7,8 +7,11 @@ use wiforce_dsp::Complex;
 use wiforce_reader::{ChannelSounder, OfdmSounder};
 
 fn arb_channel() -> impl Strategy<Value = Vec<Complex>> {
-    prop::collection::vec((0.05f64..2.0, -3.1f64..3.1), 64..=64)
-        .prop_map(|v| v.into_iter().map(|(r, p)| Complex::from_polar(r, p)).collect())
+    prop::collection::vec((0.05f64..2.0, -3.1f64..3.1), 64..=64).prop_map(|v| {
+        v.into_iter()
+            .map(|(r, p)| Complex::from_polar(r, p))
+            .collect()
+    })
 }
 
 proptest! {

@@ -35,7 +35,11 @@ impl DutyClock {
     pub fn new(freq_hz: f64, duty: f64, offset_s: f64) -> Self {
         assert!(freq_hz > 0.0, "clock frequency must be positive");
         assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1]");
-        DutyClock { period_s: 1.0 / freq_hz, duty, offset_s }
+        DutyClock {
+            period_s: 1.0 / freq_hz,
+            duty,
+            offset_s,
+        }
     }
 
     /// Clock frequency, Hz.
@@ -163,13 +167,22 @@ mod tests {
     use wiforce_dsp::fft::goertzel;
 
     /// Samples a modulation over `periods` of the base clock.
-    fn sample(pair: &ClockPair, which: u8, samples_per_period: usize, periods: usize) -> Vec<Complex> {
+    fn sample(
+        pair: &ClockPair,
+        which: u8,
+        samples_per_period: usize,
+        periods: usize,
+    ) -> Vec<Complex> {
         let t1 = 1.0 / pair.base_freq_hz();
         let n = samples_per_period * periods;
         (0..n)
             .map(|i| {
                 let t = i as f64 * t1 * periods as f64 / n as f64;
-                let on = if which == 1 { pair.modulation1(t) } else { pair.modulation2(t) };
+                let on = if which == 1 {
+                    pair.modulation1(t)
+                } else {
+                    pair.modulation2(t)
+                };
                 Complex::from_re(if on { 1.0 } else { 0.0 })
             })
             .collect()
@@ -282,7 +295,11 @@ mod tests {
         let silent = 0.01;
         // fs: m1 strong, m2 silent
         assert!(line_mag(&m1, 1.0, SPP) > 0.1);
-        assert!(line_mag(&m2, 1.0, SPP) < silent, "{}", line_mag(&m2, 1.0, SPP));
+        assert!(
+            line_mag(&m2, 1.0, SPP) < silent,
+            "{}",
+            line_mag(&m2, 1.0, SPP)
+        );
         // 4fs: m2 strong, m1 silent
         assert!(line_mag(&m2, 4.0, SPP) > 0.1);
         assert!(line_mag(&m1, 4.0, SPP) < silent);

@@ -26,12 +26,18 @@ pub struct Rectifier {
 impl Rectifier {
     /// A good CMOS rectenna: −20 dBm sensitivity, 30 % efficiency.
     pub fn cmos_rectenna() -> Self {
-        Rectifier { sensitivity_w: 1e-5, efficiency: 0.30 }
+        Rectifier {
+            sensitivity_w: 1e-5,
+            efficiency: 0.30,
+        }
     }
 
     /// A conservative discrete Schottky design: −15 dBm, 20 %.
     pub fn schottky() -> Self {
-        Rectifier { sensitivity_w: 3.16e-5, efficiency: 0.20 }
+        Rectifier {
+            sensitivity_w: 3.16e-5,
+            efficiency: 0.20,
+        }
     }
 
     /// Harvested DC power (W) for a given RF input power (W).
@@ -132,14 +138,7 @@ mod tests {
     #[test]
     fn infeasible_with_microwatt_reader() {
         let budget = estimate(CmosNode::TSMC65, 1000.0);
-        let r = feasibility_radius_m(
-            &budget,
-            &Rectifier::schottky(),
-            1e-6,
-            0.9e9,
-            1.0,
-            1.0,
-        );
+        let r = feasibility_radius_m(&budget, &Rectifier::schottky(), 1e-6, 0.9e9, 1.0, 1.0);
         assert!(r.is_none());
     }
 
@@ -179,6 +178,11 @@ mod tests {
             )
             .unwrap_or(0.0)
         };
-        assert!(rad(20.0e6) < rad(5.0e6), "{} !< {}", rad(20.0e6), rad(5.0e6));
+        assert!(
+            rad(20.0e6) < rad(5.0e6),
+            "{} !< {}",
+            rad(20.0e6),
+            rad(5.0e6)
+        );
     }
 }

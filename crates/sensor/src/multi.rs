@@ -26,7 +26,10 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::BandFull { allocated, requested } => write!(
+            AllocError::BandFull {
+                allocated,
+                requested,
+            } => write!(
                 f,
                 "only {allocated} of {requested} tags fit the Doppler band without collisions"
             ),
@@ -94,7 +97,10 @@ pub fn allocate_frequencies(
         chosen.push(fs);
     }
     if chosen.len() < n {
-        return Err(AllocError::BandFull { allocated: chosen.len(), requested: n });
+        return Err(AllocError::BandFull {
+            allocated: chosen.len(),
+            requested: n,
+        });
     }
     Ok(chosen)
 }
@@ -118,7 +124,10 @@ impl TagArray {
     ) -> Result<Self, AllocError> {
         let freqs = allocate_frequencies(n, f_min_hz, f_max_hz, 40.0)?;
         Ok(TagArray {
-            tags: freqs.into_iter().map(SensorTag::wiforce_prototype).collect(),
+            tags: freqs
+                .into_iter()
+                .map(SensorTag::wiforce_prototype)
+                .collect(),
             pitch_m,
         })
     }
@@ -187,7 +196,10 @@ mod tests {
     fn band_full_reported() {
         let err = allocate_frequencies(50, 1000.0, 1050.0, 40.0).unwrap_err();
         match err {
-            AllocError::BandFull { allocated, requested } => {
+            AllocError::BandFull {
+                allocated,
+                requested,
+            } => {
                 assert!(allocated < 50);
                 assert_eq!(requested, 50);
             }

@@ -21,12 +21,18 @@ pub struct Splitter {
 impl Splitter {
     /// A decent commercial splitter: 0.4 dB excess loss, 20 dB isolation.
     pub fn typical() -> Self {
-        Splitter { excess_loss_db: 0.4, isolation_db: 20.0 }
+        Splitter {
+            excess_loss_db: 0.4,
+            isolation_db: 20.0,
+        }
     }
 
     /// An ideal lossless splitter.
     pub fn ideal() -> Self {
-        Splitter { excess_loss_db: 0.0, isolation_db: f64::INFINITY }
+        Splitter {
+            excess_loss_db: 0.0,
+            isolation_db: f64::INFINITY,
+        }
     }
 
     /// Amplitude factor for one pass through one branch (includes the

@@ -6,8 +6,8 @@
 //! a contact force would be unreliable as the signals would get absorbed."
 //! The prototype uses the Analog Devices HMC544AE.
 
-use wiforce_em::Termination;
 use wiforce_dsp::Complex;
+use wiforce_em::Termination;
 
 /// Off-state behaviour of an RF switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn reflective_terminates_open_absorptive_matched() {
         assert_eq!(RfSwitch::hmc544ae().off_termination(), Termination::Open);
-        assert_eq!(RfSwitch::absorptive().off_termination(), Termination::Matched);
+        assert_eq!(
+            RfSwitch::absorptive().off_termination(),
+            Termination::Matched
+        );
     }
 
     #[test]

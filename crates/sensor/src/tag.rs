@@ -135,8 +135,8 @@ impl SensorTag {
         if on1 && on2 && contact.is_none() {
             let s21 = self.line.rest_sparams(f_hz).s21;
             let a2 = self.splitter.branch_amplitude() * self.splitter.branch_amplitude();
-            let through = s21
-                * (2.0 * a2 * self.switch1.on_transmission() * self.switch2.on_transmission());
+            let through =
+                s21 * (2.0 * a2 * self.switch1.on_transmission() * self.switch2.on_transmission());
             gamma += through;
         }
         gamma
@@ -172,7 +172,10 @@ mod tests {
     }
 
     fn contact() -> ContactState {
-        ContactState { port1_short_m: 0.030, port2_short_m: 0.035 }
+        ContactState {
+            port1_short_m: 0.030,
+            port2_short_m: 0.035,
+        }
     }
 
     /// Magnitude of the reflection series' spectral line at `f_line` Hz.
@@ -212,8 +215,14 @@ mod tests {
         // moving port 1's short changes the fs-line phase, not the 4fs one
         let t = tag();
         let times = snapshot_times(4096);
-        let c1 = ContactState { port1_short_m: 0.030, port2_short_m: 0.035 };
-        let c2 = ContactState { port1_short_m: 0.020, port2_short_m: 0.035 };
+        let c1 = ContactState {
+            port1_short_m: 0.030,
+            port2_short_m: 0.035,
+        };
+        let c2 = ContactState {
+            port1_short_m: 0.020,
+            port2_short_m: 0.035,
+        };
         let s1 = t.reflection_series(0.9e9, &times, Some(&c1));
         let s2 = t.reflection_series(0.9e9, &times, Some(&c2));
         let d_fs = (line_at(&s2, 1000.0, 60e-6) * line_at(&s1, 1000.0, 60e-6).conj()).arg();
@@ -226,8 +235,14 @@ mod tests {
     fn four_fs_line_phase_tracks_port2_short() {
         let t = tag();
         let times = snapshot_times(4096);
-        let c1 = ContactState { port1_short_m: 0.030, port2_short_m: 0.035 };
-        let c2 = ContactState { port1_short_m: 0.030, port2_short_m: 0.025 };
+        let c1 = ContactState {
+            port1_short_m: 0.030,
+            port2_short_m: 0.035,
+        };
+        let c2 = ContactState {
+            port1_short_m: 0.030,
+            port2_short_m: 0.025,
+        };
         let s1 = t.reflection_series(0.9e9, &times, Some(&c1));
         let s2 = t.reflection_series(0.9e9, &times, Some(&c2));
         let d_fs = (line_at(&s2, 1000.0, 60e-6) * line_at(&s1, 1000.0, 60e-6).conj()).arg();
@@ -266,7 +281,10 @@ mod tests {
             .filter(|(_, &t)| naive.clocks.modulation1(t) && naive.clocks.modulation2(t))
             .map(|(i, _)| i)
             .collect();
-        assert!(!both_on.is_empty(), "naive scheme must have both-on instants");
+        assert!(
+            !both_on.is_empty(),
+            "naive scheme must have both-on instants"
+        );
         let wf_both_on = times
             .iter()
             .filter(|&&t| wf.clocks.modulation1(t) && wf.clocks.modulation2(t))

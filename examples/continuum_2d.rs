@@ -25,10 +25,10 @@ fn main() {
         "press (x, y)", "estimate (x, y)", "force est (N)"
     );
     for (force, x_mm, y_mm) in [
-        (5.0, 30.0, 0.0),   // on strip 0
-        (5.0, 45.0, 12.0),  // on strip 1
-        (6.0, 55.0, 18.0),  // between strips 1 and 2
-        (4.0, 25.0, 6.0),   // between strips 0 and 1
+        (5.0, 30.0, 0.0),  // on strip 0
+        (5.0, 45.0, 12.0), // on strip 1
+        (6.0, 55.0, 18.0), // between strips 1 and 2
+        (4.0, 25.0, 6.0),  // between strips 0 and 1
     ] {
         match surface.measure_press(force, x_mm * 1e-3, y_mm * 1e-3, &mut rng) {
             Ok(p) => println!(

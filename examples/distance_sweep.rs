@@ -12,7 +12,9 @@ use wiforce_channel::Scene;
 
 fn main() {
     let carrier = 0.9e9;
-    let model = Simulation::paper_default(carrier).vna_calibration().expect("calibration");
+    let model = Simulation::paper_default(carrier)
+        .vna_calibration()
+        .expect("calibration");
     println!("TX at 0 m, RX at 4 m, 10 dBm TX at 900 MHz; pressing 4 N at 40 mm\n");
     println!(
         "{:>10}  {:>14}  {:>9}  {:>11}",

@@ -16,7 +16,11 @@ use wiforce_mech::Indenter;
 
 fn bar(force_n: f64) -> String {
     let blocks = (force_n / 8.0 * 30.0).round().max(0.0) as usize;
-    format!("[{}{}]", "#".repeat(blocks.min(30)), " ".repeat(30 - blocks.min(30)))
+    format!(
+        "[{}{}]",
+        "#".repeat(blocks.min(30)),
+        " ".repeat(30 - blocks.min(30))
+    )
 }
 
 fn main() {
@@ -29,17 +33,31 @@ fn main() {
         ..FingertipStaircase::user_study()
     };
 
-    let cfg = EstimatorConfig { group: sim.group, ..EstimatorConfig::wiforce(1000.0) };
+    let cfg = EstimatorConfig {
+        group: sim.group,
+        ..EstimatorConfig::wiforce(1000.0)
+    };
     let mut est = ForceEstimator::new(cfg, model);
     let mut rng = StdRng::seed_from_u64(7);
     let mut clock = TagClock::new(&mut rng);
 
-    // acquire the no-touch reference
-    for s in sim.run_snapshots(None, cfg.reference_groups, &mut clock, &mut rng) {
+    // acquire the no-touch reference; one snapshot buffer serves the run
+    let mut stream = wiforce_dsp::SnapshotMatrix::default();
+    sim.run_snapshots_into(
+        None,
+        cfg.reference_groups,
+        &mut clock,
+        &mut rng,
+        &mut stream,
+    );
+    for s in stream.rows() {
         let _ = est.push_snapshot(s).expect("reference");
     }
     println!("reference locked — press away!\n");
-    println!("{:>6}  {:>9}  {:>9}  volume", "t (s)", "truth (N)", "est (N)");
+    println!(
+        "{:>6}  {:>9}  {:>9}  volume",
+        "t (s)", "truth (N)", "est (N)"
+    );
 
     let group_s = cfg.group.group_duration_s();
     let n_groups = (profile.duration_s() / group_s) as usize;
@@ -47,7 +65,9 @@ fn main() {
         let t = (g as f64 + 0.5) * group_s;
         let force = profile.force_at(t);
         let contact = sim.jittered_contact(force, profile.location_m(), &mut rng);
-        for s in sim.run_snapshots(contact.as_ref(), 1, &mut clock, &mut rng) {
+        stream.clear();
+        sim.run_snapshots_into(contact.as_ref(), 1, &mut clock, &mut rng, &mut stream);
+        for s in stream.rows() {
             if let Ok(Some(r)) = est.push_snapshot(s) {
                 // print every 4th group to keep the output readable
                 if g % 4 == 0 {

@@ -17,7 +17,11 @@ fn main() {
     let model = sim.vna_calibration().expect("calibration");
     println!(
         "calibrated at {:?} mm, force range {:?} N",
-        model.locations_m().iter().map(|m| m * 1e3).collect::<Vec<_>>(),
+        model
+            .locations_m()
+            .iter()
+            .map(|m| m * 1e3)
+            .collect::<Vec<_>>(),
         model.force_range_n()
     );
 

@@ -17,7 +17,9 @@ use wiforce_channel::Scene;
 
 fn main() {
     let carrier = 0.9e9; // 2.4 GHz is strongly absorbed by tissue (§5.2)
-    let model = Simulation::paper_default(carrier).vna_calibration().expect("calibration");
+    let model = Simulation::paper_default(carrier)
+        .vna_calibration()
+        .expect("calibration");
 
     println!("link budgets at 900 MHz:");
     let ota = Scene::fig12(carrier);

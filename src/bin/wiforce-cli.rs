@@ -46,25 +46,34 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: '{v}' is not a number")),
         }
     }
 
     fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not an integer")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: '{v}' is not an integer")),
         }
     }
 
     fn path(&self, name: &str) -> Result<PathBuf, String> {
-        self.get(name).map(PathBuf::from).ok_or(format!("missing required --{name}"))
+        self.get(name)
+            .map(PathBuf::from)
+            .ok_or(format!("missing required --{name}"))
     }
 }
 
@@ -136,7 +145,11 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
     model.save(&out).map_err(|e| e.to_string())?;
     println!(
         "calibrated at {:?} mm, saved to {}",
-        model.locations_m().iter().map(|m| (m * 1e3).round()).collect::<Vec<_>>(),
+        model
+            .locations_m()
+            .iter()
+            .map(|m| (m * 1e3).round())
+            .collect::<Vec<_>>(),
         out.display()
     );
     Ok(())
@@ -149,7 +162,9 @@ fn cmd_press(args: &Args) -> Result<(), String> {
     let seed = args.u64_or("seed", 11)?;
     let model = model_from(args, &sim)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let r = sim.measure_press(&model, force, loc, &mut rng).map_err(|e| e.to_string())?;
+    let r = sim
+        .measure_press(&model, force, loc, &mut rng)
+        .map_err(|e| e.to_string())?;
     println!("applied:   {force:.2} N at {:.1} mm", loc * 1e3);
     println!(
         "estimated: {:.2} N at {:.1} mm  (φ1 {:.1}°, φ2 {:.1}°, residual {:.2}°)",
@@ -183,8 +198,14 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         }
     }
     println!("{} presses decoded", f_errs.len());
-    println!("median force error:    {:.2} N", wiforce_dsp::stats::median(&f_errs));
-    println!("median location error: {:.2} mm", wiforce_dsp::stats::median(&l_errs));
+    println!(
+        "median force error:    {:.2} N",
+        wiforce_dsp::stats::median(&f_errs)
+    );
+    println!(
+        "median location error: {:.2} mm",
+        wiforce_dsp::stats::median(&l_errs)
+    );
     Ok(())
 }
 
@@ -201,7 +222,13 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     let ref_groups = groups.div_ceil(2);
     let mut snaps = sim.run_snapshots(None, ref_groups, &mut clock, &mut rng);
     let contact = sim.jittered_contact(force, loc, &mut rng);
-    snaps.extend(sim.run_snapshots(contact.as_ref(), groups - ref_groups, &mut clock, &mut rng));
+    sim.run_snapshots_into(
+        contact.as_ref(),
+        groups - ref_groups,
+        &mut clock,
+        &mut rng,
+        &mut snaps,
+    );
     let rec = Recording::new(sim.group.snapshot_period_s, snaps);
     rec.save(&out).map_err(|e| e.to_string())?;
     println!(
@@ -211,7 +238,10 @@ fn cmd_record(args: &Args) -> Result<(), String> {
         rec.duration_s() * 1e3,
         out.display()
     );
-    println!("(first {ref_groups} groups untouched, then {force} N at {:.0} mm)", loc * 1e3);
+    println!(
+        "(first {ref_groups} groups untouched, then {force} N at {:.0} mm)",
+        loc * 1e3
+    );
     Ok(())
 }
 
@@ -234,8 +264,8 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     };
     let mut est = ForceEstimator::new(cfg, model);
     let mut n_readings = 0;
-    for (i, snap) in rec.snapshots.iter().enumerate() {
-        match est.push_snapshot(snap.clone()) {
+    for (i, snap) in rec.snapshots.rows().enumerate() {
+        match est.push_snapshot(snap) {
             Ok(Some(r)) if r.touched => {
                 n_readings += 1;
                 println!(
@@ -253,7 +283,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
                 );
             }
             Ok(None) => {}
-            Err(e) => println!("t={:7.1} ms  {e}", (i + 1) as f64 * rec.snapshot_period_s * 1e3),
+            Err(e) => println!(
+                "t={:7.1} ms  {e}",
+                (i + 1) as f64 * rec.snapshot_period_s * 1e3
+            ),
         }
     }
     println!("{n_readings} readings from {} snapshots", rec.len());
@@ -267,7 +300,7 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
     if rec.len() < 2 {
         return Err("capture too short for a spectrum".into());
     }
-    let spec = DopplerSpectrum::compute(&rec.snapshots, rec.snapshot_period_s);
+    let spec = DopplerSpectrum::compute(rec.snapshots.view(), rec.snapshot_period_s);
     println!(
         "Doppler spectrum: {} bins, {:.1} Hz resolution, floor {:.3e}",
         spec.power.len(),
@@ -299,16 +332,12 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         let k = rec.n_subcarriers().max(1) as f64;
         let seq: Vec<wiforce_dsp::Complex> = rec
             .snapshots
-            .iter()
+            .rows()
             .map(|snap| snap.iter().copied().sum::<wiforce_dsp::Complex>() / k)
             .collect();
         let frame = (rec.len() / 4).clamp(64, 512);
-        let sg = wiforce_dsp::stft::spectrogram(
-            &seq,
-            1.0 / rec.snapshot_period_s,
-            frame,
-            frame / 2,
-        );
+        let sg =
+            wiforce_dsp::stft::spectrogram(&seq, 1.0 / rec.snapshot_period_s, frame, frame / 2);
         let envelope = sg.frame_power();
         for (t, power) in envelope.iter().enumerate() {
             println!(

@@ -19,7 +19,9 @@ fn grid_errors(sim: &Simulation, seed: u64) -> (f64, f64) {
         for &force in &[2.0, 4.0, 6.0] {
             let mut rng = StdRng::seed_from_u64(seed + k * 7877);
             k += 1;
-            let r = sim.measure_press(&model, force, loc, &mut rng).expect("press readable");
+            let r = sim
+                .measure_press(&model, force, loc, &mut rng)
+                .expect("press readable");
             f_errs.push((r.force_n - force).abs());
             l_errs.push((r.location_m - loc).abs() * 1e3);
         }
@@ -67,7 +69,9 @@ fn fd_mechanics_pipeline_estimates() {
     sim.measure_groups = 1;
     let model = sim.vna_calibration().expect("calibration");
     let mut rng = StdRng::seed_from_u64(5);
-    let r = sim.measure_press(&model, 4.0, 0.040, &mut rng).expect("press");
+    let r = sim
+        .measure_press(&model, 4.0, 0.040, &mut rng)
+        .expect("press");
     assert!((r.force_n - 4.0).abs() < 1.2, "force {}", r.force_n);
     assert!((r.location_m - 0.040).abs() < 5e-3, "loc {}", r.location_m);
 }
@@ -98,7 +102,9 @@ fn deeper_presses_move_phases_monotonically() {
     for (i, force) in [1.0, 3.0, 5.0, 7.0].iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(7 + i as u64);
         let contact = sim.contact_for(*force, 0.040);
-        let d = sim.measure_phases(contact.as_ref(), &mut rng).expect("detectable");
+        let d = sim
+            .measure_phases(contact.as_ref(), &mut rng)
+            .expect("detectable");
         assert!(d.dphi1_rad < prev, "{} !< {prev} at {force} N", d.dphi1_rad);
         prev = d.dphi1_rad;
     }
@@ -124,7 +130,9 @@ fn clock_tracking_rescues_drifting_tag() {
             let mut rng = StdRng::seed_from_u64(0xC10C + seed);
             if let Ok(d) = sim.measure_phases(contact.as_ref(), &mut rng) {
                 errs.push(
-                    wiforce_dsp::phase::wrap_to_pi(d.dphi1_rad - v1).to_degrees().abs(),
+                    wiforce_dsp::phase::wrap_to_pi(d.dphi1_rad - v1)
+                        .to_degrees()
+                        .abs(),
                 );
             }
         }
@@ -152,7 +160,7 @@ fn tag_discovery_on_real_stream() {
     let mut clock = TagClock::new(&mut rng);
     let contact = sim.contact_for(4.0, 0.040);
     let snaps = sim.run_snapshots(contact.as_ref(), 2, &mut clock, &mut rng);
-    let spec = DopplerSpectrum::compute(&snaps, sim.group.snapshot_period_s);
+    let spec = DopplerSpectrum::compute(snaps.view(), sim.group.snapshot_period_s);
     let tags = discover_tags(&spec, 10.0);
     assert_eq!(tags.len(), 1, "should find exactly the one tag: {tags:?}");
     assert!(

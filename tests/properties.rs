@@ -4,9 +4,9 @@ use proptest::prelude::*;
 use wiforce::calib::{CalibrationSample, LocationData, SensorModel};
 use wiforce::harmonics::{extract_lines, ExtractionMethod, PhaseGroupConfig};
 use wiforce_dsp::Complex;
-use wiforce_dsp::TAU;
-use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
+use wiforce_dsp::{SnapshotMatrix, TAU};
 use wiforce_mech::contact::SensorMech;
+use wiforce_mech::{AnalyticContactModel, ForceTransducer, Indenter};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
@@ -42,14 +42,15 @@ proptest! {
         let s = Complex::from_polar(static_mag, static_phase);
         let a1 = Complex::from_polar(a1_mag, a1_phase);
         let a2 = Complex::from_polar(a2_mag, a2_phase);
-        let group: Vec<Vec<Complex>> = (0..cfg.n_snapshots)
+        let rows: Vec<Vec<Complex>> = (0..cfg.n_snapshots)
             .map(|n| {
                 let t = n as f64 * cfg.snapshot_period_s;
                 vec![s + a1 * Complex::cis(TAU * cfg.line1_hz * t)
                     + a2 * Complex::cis(TAU * cfg.line2_hz * t)]
             })
             .collect();
-        let lines = extract_lines(&cfg, &group, 0.0);
+        let group = SnapshotMatrix::from_rows(&rows);
+        let lines = extract_lines(&cfg, group.view(), 0.0);
         prop_assert!((lines.p1[0] - a1).abs() < 1e-9);
         prop_assert!((lines.p2[0] - a2).abs() < 1e-9);
     }
@@ -65,7 +66,7 @@ proptest! {
         let ls_cfg = PhaseGroupConfig { method: ExtractionMethod::LeastSquares, ..dft_cfg };
         let a1 = Complex::from_polar(1e-3, a1_phase);
         let a2 = Complex::from_polar(2e-3, a2_phase);
-        let group: Vec<Vec<Complex>> = (0..dft_cfg.n_snapshots)
+        let rows: Vec<Vec<Complex>> = (0..dft_cfg.n_snapshots)
             .map(|n| {
                 let t = n as f64 * dft_cfg.snapshot_period_s;
                 vec![Complex::from_re(0.3)
@@ -73,8 +74,9 @@ proptest! {
                     + a2 * Complex::cis(TAU * dft_cfg.line2_hz * t)]
             })
             .collect();
-        let d = extract_lines(&dft_cfg, &group, 0.0);
-        let l = extract_lines(&ls_cfg, &group, 0.0);
+        let group = SnapshotMatrix::from_rows(&rows);
+        let d = extract_lines(&dft_cfg, group.view(), 0.0);
+        let l = extract_lines(&ls_cfg, group.view(), 0.0);
         prop_assert!((d.p1[0] - l.p1[0]).abs() < 1e-9);
         prop_assert!((d.p2[0] - l.p2[0]).abs() < 1e-9);
     }

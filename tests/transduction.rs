@@ -8,7 +8,11 @@ use wiforce_sensor::tag::ContactState;
 use wiforce_sensor::SensorTag;
 
 fn fd() -> ContactSolver {
-    ContactSolver::with_nodes(SensorMech::wiforce_prototype(), Indenter::actuator_tip(), 201)
+    ContactSolver::with_nodes(
+        SensorMech::wiforce_prototype(),
+        Indenter::actuator_tip(),
+        201,
+    )
 }
 
 fn analytic() -> AnalyticContactModel {
@@ -79,7 +83,10 @@ fn patch_to_tag_reflection_chain() {
     let g2 = gamma_port1(2.0);
     let g8 = gamma_port1(8.0);
     let dphi = (g8 * g2.conj()).arg().abs();
-    assert!(dphi > 0.05, "force change must rotate the tag reflection, got {dphi} rad");
+    assert!(
+        dphi > 0.05,
+        "force change must rotate the tag reflection, got {dphi} rad"
+    );
 }
 
 #[test]

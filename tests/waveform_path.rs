@@ -17,14 +17,22 @@ use wiforce_reader::OfdmSounder;
 use wiforce_sensor::tag::ContactState;
 
 /// True per-snapshot channels for `n` snapshots under a contact state.
-fn true_channels(sim: &Simulation, contact: Option<&ContactState>, n: usize, t0: f64) -> Vec<Vec<Complex>> {
+fn true_channels(
+    sim: &Simulation,
+    contact: Option<&ContactState>,
+    n: usize,
+    t0: f64,
+) -> Vec<Vec<Complex>> {
     let freqs = sim.subcarrier_freqs_hz();
     (0..n)
         .map(|i| {
             let t = t0 + i as f64 * sim.group.snapshot_period_s;
             freqs
                 .iter()
-                .map(|&f| sim.scene.channel(f, sim.tag.antenna_reflection(f, t, contact)))
+                .map(|&f| {
+                    sim.scene
+                        .channel(f, sim.tag.antenna_reflection(f, t, contact))
+                })
                 .collect()
         })
         .collect()
@@ -53,9 +61,11 @@ fn samples_to_force() {
     assert_eq!(rx.len(), 213 + 2 * n * sounder.frame_samples());
 
     // acquire + estimate per frame
-    let result = StreamReceiver::new(sounder).process(&rx).expect("acquisition");
+    let result = StreamReceiver::new(sounder)
+        .process(&rx)
+        .expect("acquisition");
     assert_eq!(result.sync_offset, 213, "timing acquisition");
-    assert_eq!(result.estimates.len(), 2 * n);
+    assert_eq!(result.estimates.n_rows(), 2 * n);
 
     // estimate force from the recovered channel stream
     let cfg = EstimatorConfig {
@@ -65,7 +75,7 @@ fn samples_to_force() {
     };
     let mut est = ForceEstimator::new(cfg, model);
     let mut reading = None;
-    for snap in result.estimates {
+    for snap in result.estimates.rows() {
         if let Ok(Some(r)) = est.push_snapshot(snap) {
             reading = Some(r);
         }
@@ -73,5 +83,9 @@ fn samples_to_force() {
     let r = reading.expect("one pressed group of readings");
     assert!(r.touched);
     assert!((r.force_n - 4.0).abs() < 1.0, "force {}", r.force_n);
-    assert!((r.location_m - 0.040).abs() < 4e-3, "location {}", r.location_m);
+    assert!(
+        (r.location_m - 0.040).abs() < 4e-3,
+        "location {}",
+        r.location_m
+    );
 }

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal wall-clock benchmark harness with the
+//! same API surface it uses from upstream `criterion 0.5`:
+//!
+//! - [`Criterion`] with `default()` / `sample_size()` / `bench_function()`
+//!   / `benchmark_group()`
+//! - [`Bencher::iter`]
+//! - [`black_box`] (re-export of `std::hint::black_box`)
+//! - [`criterion_group!`] / [`criterion_main!`]
+//!
+//! Instead of upstream's statistical machinery it runs a short warm-up to
+//! calibrate an iteration count, takes `sample_size` timed samples, and
+//! prints the median / min / max time per iteration.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(500);
+/// Warm-up budget used to calibrate the per-sample iteration count.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (IDs are prefixed with the group name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Overrides the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn time_iters<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: None,
+    };
+    f(&mut b);
+    b.elapsed
+        .expect("benchmark closure must call Bencher::iter")
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warm-up and calibration: find an iteration count that makes one
+    // sample take roughly TARGET_MEASURE / sample_size.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let t = time_iters(&mut f, iters);
+        if t >= WARMUP || iters >= 1 << 30 {
+            break t.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    let per_sample = TARGET_MEASURE.as_secs_f64() / sample_size as f64;
+    let sample_iters = ((per_sample / per_iter.max(1e-12)) as u64).max(1);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_iters(&mut f, sample_iters).as_secs_f64() / sample_iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]  ({sample_iters} iters x {sample_size} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_target(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..32u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn bench_harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        quick_target(&mut c);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(format!("inner_{}", 1), |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = macro_benches;
+        config = Criterion::default().sample_size(2);
+        targets = quick_target
+    }
+
+    #[test]
+    fn macro_expansion_compiles() {
+        // Just reference the generated fn; running it is covered above.
+        let _: fn() = macro_benches;
+    }
+}

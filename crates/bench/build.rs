@@ -1,0 +1,22 @@
+//! Embeds the git revision into the bench binaries so BENCH_pipeline.json
+//! records which commit produced it. Honors an externally supplied
+//! `GIT_REV` (CI sets it from the checkout SHA), falls back to asking git,
+//! and finally to "unknown" so offline/tarball builds still work.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-env-changed=GIT_REV");
+    let rev = std::env::var("GIT_REV").ok().or_else(|| {
+        Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    });
+    let rev = rev
+        .filter(|r| !r.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=GIT_REV={rev}");
+}

@@ -4,11 +4,16 @@
 //!
 //! Reported metrics:
 //! - `presses_per_sec` / `ns_per_press` — full `measure_press` round trips
-//!   (sounding, fault injection, harmonic extraction, model inversion);
+//!   (sounding, fault injection, harmonic extraction, model inversion)
+//!   with the telemetry recorder disabled;
+//! - `ns_per_press_telemetry_on` / `telemetry_overhead_pct` — the same
+//!   loop with the recorder enabled, quantifying the cost of spans,
+//!   counters, and histograms on the hot path;
 //! - `ns_per_group` — one 625×64 phase group synthesized through
 //!   `run_snapshots_into` into a reused [`wiforce_dsp::SnapshotMatrix`];
 //! - `allocs_per_group` — heap allocations per steady-state group (the
-//!   flat snapshot engine's target is 0).
+//!   flat snapshot engine's target is 0);
+//! - `schema_version` / `git_rev` — artifact provenance for CI checks.
 //!
 //! Pass `--quick` for fewer iterations.
 
@@ -20,6 +25,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wiforce::pipeline::{Simulation, TagClock};
 use wiforce_dsp::SnapshotMatrix;
+use wiforce_telemetry::json::JsonWriter;
+
+/// Version of the BENCH_pipeline.json layout, bumped on breaking changes.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// A pass-through allocator that counts every allocation, so the bench
 /// can assert the steady-state snapshot loop is allocation-free.
@@ -50,12 +59,26 @@ fn alloc_count() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Times `press_iters` presses, returning ns per press.
+fn time_presses(
+    sim: &Simulation,
+    model: &wiforce::calib::SensorModel,
+    rng: &mut StdRng,
+    press_iters: usize,
+) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..press_iters {
+        sim.measure_press(model, 4.0, 0.040, rng).expect("press");
+    }
+    t0.elapsed().as_nanos() as f64 / press_iters as f64
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let press_iters = if quick { 5 } else { 25 };
     let group_iters = if quick { 10 } else { 50 };
 
-    // --- end-to-end presses -------------------------------------------
+    // --- end-to-end presses, telemetry off ----------------------------
     let mut sim = Simulation::paper_default(2.4e9);
     sim.reference_groups = 1;
     sim.measure_groups = 1;
@@ -65,14 +88,16 @@ fn main() {
     sim.measure_press(&model, 4.0, 0.040, &mut rng)
         .expect("warmup press");
 
-    let t0 = Instant::now();
-    for _ in 0..press_iters {
-        sim.measure_press(&model, 4.0, 0.040, &mut rng)
-            .expect("press");
-    }
-    let press_elapsed = t0.elapsed();
-    let ns_per_press = press_elapsed.as_nanos() as f64 / press_iters as f64;
+    let ns_per_press = time_presses(&sim, &model, &mut rng, press_iters);
     let presses_per_sec = 1e9 / ns_per_press;
+
+    // --- same loop, telemetry on --------------------------------------
+    wiforce_telemetry::set_enabled(true);
+    wiforce_telemetry::reset();
+    let ns_per_press_on = time_presses(&sim, &model, &mut rng, press_iters);
+    wiforce_telemetry::set_enabled(false);
+    let telemetry = wiforce_telemetry::take();
+    let overhead_pct = 100.0 * (ns_per_press_on - ns_per_press) / ns_per_press;
 
     // --- steady-state snapshot groups ---------------------------------
     let sim = Simulation::paper_default(2.4e9);
@@ -94,11 +119,31 @@ fn main() {
     let ns_per_group = group_elapsed.as_nanos() as f64 / group_iters as f64;
     let allocs_per_group = allocs as f64 / group_iters as f64;
 
-    let json = format!(
-        "{{\n  \"press_iters\": {press_iters},\n  \"ns_per_press\": {ns_per_press:.0},\n  \
-         \"presses_per_sec\": {presses_per_sec:.2},\n  \"group_iters\": {group_iters},\n  \
-         \"ns_per_group\": {ns_per_group:.0},\n  \"allocs_per_group\": {allocs_per_group:.2}\n}}\n"
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.integer("schema_version", u64::from(BENCH_SCHEMA_VERSION));
+    w.string("git_rev", env!("GIT_REV"));
+    w.integer("press_iters", press_iters as u64);
+    w.number("ns_per_press", ns_per_press.round());
+    w.number("presses_per_sec", (presses_per_sec * 100.0).round() / 100.0);
+    w.number("ns_per_press_telemetry_on", ns_per_press_on.round());
+    w.number(
+        "telemetry_overhead_pct",
+        (overhead_pct * 100.0).round() / 100.0,
     );
+    w.integer(
+        "telemetry_spans_recorded",
+        telemetry.spans.values().map(|s| s.count).sum::<u64>(),
+    );
+    w.integer("group_iters", group_iters as u64);
+    w.number("ns_per_group", ns_per_group.round());
+    w.number(
+        "allocs_per_group",
+        (allocs_per_group * 100.0).round() / 100.0,
+    );
+    w.end_object();
+    let json = w.finish();
+
     let path = wiforce_bench::experiments::repo_root().join("BENCH_pipeline.json");
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
     println!("{json}");

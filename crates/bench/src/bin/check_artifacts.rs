@@ -1,0 +1,152 @@
+//! CI artifact validator: parses `BENCH_pipeline.json` and/or a
+//! `PipelineHealth` report with the telemetry crate's own JSON parser and
+//! asserts the structure CI (and downstream dashboards) rely on — no
+//! `jq`, no serde.
+//!
+//! ```text
+//! check_artifacts --bench BENCH_pipeline.json --health health.json
+//! ```
+//!
+//! Either flag may be omitted; at least one is required. Exits non-zero
+//! with a list of violations when a file fails validation.
+
+use wiforce_telemetry::json::{parse, Value};
+
+/// Collects human-readable violations for one document.
+struct Checker<'a> {
+    file: &'a str,
+    errors: Vec<String>,
+}
+
+impl<'a> Checker<'a> {
+    fn new(file: &'a str) -> Self {
+        Checker {
+            file,
+            errors: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.errors.push(format!("{}: {msg}", self.file));
+    }
+
+    /// Requires `key` to be a finite number, optionally `> 0`.
+    fn number(&mut self, root: &Value, key: &str, positive: bool) {
+        match root.get(key).and_then(Value::as_f64) {
+            None => self.fail(format!("missing numeric key '{key}'")),
+            Some(v) if !v.is_finite() => self.fail(format!("'{key}' is not finite")),
+            Some(v) if positive && v <= 0.0 => self.fail(format!("'{key}' = {v}, expected > 0")),
+            Some(_) => {}
+        }
+    }
+
+    /// Requires `key` to be a non-empty string.
+    fn string(&mut self, root: &Value, key: &str) {
+        match root.get(key).and_then(Value::as_str) {
+            None => self.fail(format!("missing string key '{key}'")),
+            Some("") => self.fail(format!("'{key}' is empty")),
+            Some(_) => {}
+        }
+    }
+}
+
+fn check_bench(file: &str, root: &Value) -> Vec<String> {
+    let mut c = Checker::new(file);
+    c.number(root, "schema_version", true);
+    c.string(root, "git_rev");
+    c.number(root, "press_iters", true);
+    c.number(root, "ns_per_press", true);
+    c.number(root, "presses_per_sec", true);
+    c.number(root, "ns_per_press_telemetry_on", true);
+    c.number(root, "telemetry_overhead_pct", false);
+    c.number(root, "ns_per_group", true);
+    c.number(root, "allocs_per_group", false);
+    c.errors
+}
+
+fn check_health(file: &str, root: &Value) -> Vec<String> {
+    let mut c = Checker::new(file);
+    c.number(root, "schema_version", true);
+
+    // yield and lock state must be present (null only when the relevant
+    // subsystem never ran; the CLI `health` command runs them all)
+    for key in ["snapshot_yield", "estimator_reference_locked"] {
+        if root.get(key).is_none() {
+            c.fail(format!("missing key '{key}'"));
+        }
+    }
+
+    // per-stage latency percentiles
+    match root.get("stages").and_then(Value::as_array) {
+        None => c.fail("missing 'stages' array".into()),
+        Some([]) => c.fail("'stages' is empty — no spans were recorded".into()),
+        Some(stages) => {
+            for stage in stages {
+                c.string(stage, "name");
+                for key in ["count", "p50_ns", "p95_ns", "max_ns", "total_ns"] {
+                    c.number(stage, key, false);
+                }
+            }
+        }
+    }
+
+    // counters and gauges objects
+    for key in ["counters", "gauges"] {
+        if !matches!(root.get(key), Some(Value::Obj(_))) {
+            c.fail(format!("missing object key '{key}'"));
+        }
+    }
+    if root.get("observations").and_then(Value::as_array).is_none() {
+        c.fail("missing 'observations' array".into());
+    }
+    c.errors
+}
+
+/// Runs a check over the parsed file, accumulating violations.
+fn check_file(
+    path: &str,
+    errors: &mut Vec<String>,
+    check: impl FnOnce(&str, &Value) -> Vec<String>,
+) {
+    match std::fs::read_to_string(path) {
+        Err(e) => errors.push(format!("{path}: unreadable: {e}")),
+        Ok(text) => match parse(&text) {
+            Err(e) => errors.push(format!("{path}: invalid JSON: {e}")),
+            Ok(root) => errors.extend(check(path, &root)),
+        },
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let bench = arg("--bench");
+    let health = arg("--health");
+    if bench.is_none() && health.is_none() {
+        eprintln!("usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json]");
+        std::process::exit(2);
+    }
+
+    let mut errors = Vec::new();
+    if let Some(path) = &bench {
+        check_file(path, &mut errors, check_bench);
+    }
+    if let Some(path) = &health {
+        check_file(path, &mut errors, check_health);
+    }
+
+    if errors.is_empty() {
+        for path in [bench, health].into_iter().flatten() {
+            println!("{path}: OK");
+        }
+    } else {
+        for e in &errors {
+            eprintln!("FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,11 +1,28 @@
 //! Runs every reproduced experiment and rewrites the paper-vs-measured
-//! sections of EXPERIMENTS.md. Pass `--quick` for a fast smoke run.
+//! sections of EXPERIMENTS.md. Pass `--quick` for a fast smoke run, and
+//! `--health-json <path>` to run with telemetry enabled and write the
+//! merged [`wiforce_telemetry::PipelineHealth`] report of the whole
+//! reproduction (sweep workers' telemetry is folded back in press-index
+//! order, so the report is identical for any thread count).
 
 use wiforce_bench::experiments as exp;
 use wiforce_bench::Report;
 
+/// Value of `--health-json <path>`, if present.
+fn health_json_arg() -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--health-json")
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
 fn main() {
     let quick = wiforce_bench::montecarlo::quick_mode();
+    let health_out = health_json_arg();
+    if health_out.is_some() {
+        wiforce_telemetry::reset();
+        wiforce_telemetry::set_enabled(true);
+    }
     let path = exp::repo_root().join("EXPERIMENTS.md");
     println!("writing results to {}\n", path.display());
 
@@ -51,6 +68,13 @@ fn main() {
     );
     write("Ablations", exp::ablations::run(quick));
     write("Extension — hysteresis loop", exp::hysteresis::run(quick));
+
+    if let Some(out) = health_out {
+        wiforce_telemetry::set_enabled(false);
+        let report = wiforce_telemetry::PipelineHealth::collect();
+        std::fs::write(&out, report.to_json()).expect("write health report");
+        println!("wrote health report to {out}");
+    }
 
     println!(
         "\nall criteria {}",

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wiforce::calib::SensorModel;
 use wiforce::pipeline::Simulation;
+use wiforce_telemetry::TelemetrySnapshot;
 
 /// One press result.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +111,30 @@ pub fn run_sweep_with_threads(
     sweep: &Sweep,
     n_threads: usize,
 ) -> Vec<PressResult> {
+    let (results, telemetry) = run_sweep_with_threads_telemetry(sim, model, sweep, n_threads);
+    // fold the workers' (index-order merged) telemetry into the caller's
+    // recorder so sweeps inside a larger telemetry session aren't lost
+    wiforce_telemetry::absorb(&telemetry);
+    results
+}
+
+/// Like [`run_sweep_with_threads`], but also returns the merged telemetry
+/// of the whole sweep.
+///
+/// When the telemetry recorder is enabled, each press runs against a
+/// fresh per-thread recorder and its snapshot is captured alongside the
+/// press result; after the workers join, the snapshots are merged in
+/// press-index order — exactly like the result merge — so counters,
+/// gauges, and observation histograms are identical for any thread count
+/// (span *durations* are wall-clock and excluded from that guarantee; see
+/// [`TelemetrySnapshot::deterministic_eq`]). With telemetry disabled the
+/// merged snapshot is empty and the per-press capture costs nothing.
+pub fn run_sweep_with_threads_telemetry(
+    sim: &Simulation,
+    model: &SensorModel,
+    sweep: &Sweep,
+    n_threads: usize,
+) -> (Vec<PressResult>, TelemetrySnapshot) {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let presses = sweep.presses();
@@ -136,7 +161,9 @@ pub fn run_sweep_with_threads(
         }
     };
 
-    let mut results: Vec<Option<PressResult>> = vec![None; presses.len()];
+    let telemetry_on = wiforce_telemetry::enabled();
+    let mut results: Vec<Option<(PressResult, Option<TelemetrySnapshot>)>> =
+        vec![None; presses.len()];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|_| {
@@ -145,7 +172,14 @@ pub fn run_sweep_with_threads(
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(press) = presses.get(idx) else { break };
-                        done.push((idx, run_press(press)));
+                        let snap = if telemetry_on {
+                            wiforce_telemetry::reset();
+                            let r = run_press(press);
+                            (r, Some(wiforce_telemetry::take()))
+                        } else {
+                            (run_press(press), None)
+                        };
+                        done.push((idx, snap));
                     }
                     done
                 })
@@ -157,10 +191,18 @@ pub fn run_sweep_with_threads(
             }
         }
     });
-    results
+    let mut merged = TelemetrySnapshot::default();
+    let results = results
         .into_iter()
-        .map(|r| r.expect("all presses filled"))
-        .collect()
+        .map(|r| {
+            let (press, snap) = r.expect("all presses filled");
+            if let Some(snap) = snap {
+                merged.merge_from(&snap);
+            }
+            press
+        })
+        .collect();
+    (results, merged)
 }
 
 /// Force errors (N) of successful presses.

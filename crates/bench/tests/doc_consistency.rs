@@ -1,0 +1,129 @@
+//! Documentation drift guard: the `--bin` names the docs tell readers to
+//! run, the experiment-module wiring, and the section headers `repro_all`
+//! maintains in EXPERIMENTS.md must all match what's actually in the
+//! tree. These rotted silently before (a renamed fig bin left stale
+//! commands in DESIGN.md), so CI checks them.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use wiforce_bench::experiments::repo_root;
+
+/// Every `--bin <name>` token in the text.
+fn bin_references(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, _) in text.match_indices("--bin") {
+        let rest = text[i + "--bin".len()..].trim_start_matches([' ', '`']);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+            .collect();
+        if !name.is_empty() {
+            out.insert(name);
+        }
+    }
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Stems of the `.rs` files directly inside `dir`.
+fn rs_stems(dir: &Path) -> BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("dir entry").path();
+            (path.extension()? == "rs").then(|| path.file_stem()?.to_str().map(String::from))?
+        })
+        .collect()
+}
+
+#[test]
+fn documented_bins_exist() {
+    let root = repo_root();
+    let mut available = rs_stems(&root.join("crates/bench/src/bin"));
+    // the workspace-level CLI is also referenced with --bin
+    available.insert("wiforce-cli".into());
+
+    for doc in ["DESIGN.md", "README.md", "EXPERIMENTS.md"] {
+        let text = read(&root.join(doc));
+        for name in bin_references(&text) {
+            assert!(
+                available.contains(&name),
+                "{doc} tells readers to run `--bin {name}`, but no such binary exists \
+                 (available: {available:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_modules_match_files() {
+    let root = repo_root();
+    let dir = root.join("crates/bench/src/experiments");
+    let mod_rs = read(&dir.join("mod.rs"));
+    let declared: BTreeSet<String> = mod_rs
+        .lines()
+        .filter_map(|l| {
+            l.trim()
+                .strip_prefix("pub mod ")
+                .and_then(|r| r.strip_suffix(';'))
+                .map(String::from)
+        })
+        .collect();
+    let mut files = rs_stems(&dir);
+    files.remove("mod");
+
+    assert_eq!(
+        declared, files,
+        "experiments/mod.rs declarations and experiments/*.rs files diverge"
+    );
+}
+
+#[test]
+fn repro_all_sections_match_experiments_md() {
+    let root = repo_root();
+    let repro = read(&root.join("crates/bench/src/bin/repro_all.rs"));
+    // every double-quoted literal in repro_all.rs (titles are plain
+    // strings with no escapes)
+    let mut literals = BTreeSet::new();
+    let mut rest = repro.as_str();
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        literals.insert(&tail[..end]);
+        rest = &tail[end + 1..];
+    }
+
+    let experiments = read(&root.join("EXPERIMENTS.md"));
+    let headers: Vec<&str> = experiments
+        .lines()
+        .filter_map(|l| l.strip_prefix("## "))
+        .map(str::trim)
+        .collect();
+    assert!(!headers.is_empty(), "EXPERIMENTS.md has no sections");
+
+    for header in &headers {
+        assert!(
+            literals.contains(header),
+            "EXPERIMENTS.md section '{header}' is not written by repro_all — \
+             stale section or renamed title"
+        );
+    }
+    // and every experiment repro_all writes has a section in the file
+    for title in literals {
+        let looks_like_title = title.starts_with("Fig. ")
+            || title.starts_with("Table ")
+            || title.starts_with('§')
+            || title == "Ablations"
+            || title.starts_with("Extension");
+        if looks_like_title {
+            assert!(
+                headers.contains(&title),
+                "repro_all writes section '{title}' but EXPERIMENTS.md lacks it — \
+                 run `cargo run -p wiforce-bench --bin repro_all`"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The sweep's telemetry merge must share the result merge's guarantee:
+//! identical at any thread count. Span durations are wall-clock, so the
+//! comparison is [`TelemetrySnapshot::deterministic_eq`] — counters,
+//! gauges, observation histograms, and span counts.
+
+use wiforce::pipeline::Simulation;
+use wiforce_bench::montecarlo::{run_sweep_with_threads_telemetry, Sweep};
+
+#[test]
+fn sweep_health_merge_identical_across_thread_counts() {
+    let mut sim = Simulation::paper_default(2.4e9);
+    sim.reference_groups = 1;
+    sim.measure_groups = 1;
+    let model = sim.vna_calibration().expect("calibration");
+    let sweep = Sweep {
+        locations_m: vec![0.020, 0.055],
+        forces_n: vec![2.0, 5.0],
+        trials: 2,
+        seed: 42,
+    };
+
+    wiforce_telemetry::reset();
+    wiforce_telemetry::set_enabled(true);
+    let (r1, t1) = run_sweep_with_threads_telemetry(&sim, &model, &sweep, 1);
+    let (r4, t4) = run_sweep_with_threads_telemetry(&sim, &model, &sweep, 4);
+    wiforce_telemetry::set_enabled(false);
+    wiforce_telemetry::reset();
+
+    // the press results keep their existing bit-identity guarantee
+    assert_eq!(r1.len(), sweep.len());
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.est_force_n.to_bits(), b.est_force_n.to_bits());
+        assert_eq!(a.est_location_m.to_bits(), b.est_location_m.to_bits());
+    }
+
+    // and the merged telemetry matches on its deterministic subset
+    assert!(
+        t1.deterministic_eq(&t4),
+        "telemetry merge diverged across thread counts:\n1 thread: {t1:?}\n4 threads: {t4:?}"
+    );
+    assert_eq!(
+        t1.counters.get("pipeline.presses").copied(),
+        Some(sweep.len() as u64)
+    );
+    assert!(t1.gauges.contains_key("pipeline.line_to_floor_db"));
+    assert!(t1.counters.contains_key("pipeline.snapshots_total"));
+
+    // a health report built from the merge carries the acceptance keys
+    let health = wiforce_telemetry::PipelineHealth::from_snapshot(&t1);
+    assert!(health.snapshot_yield.is_some());
+    assert!(health.counter("faults.snapshots_dropped").is_some());
+    assert!(!health.stages.is_empty());
+}

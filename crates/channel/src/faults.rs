@@ -76,6 +76,7 @@ impl FaultInjector {
             && uniform(rng, 0.0, 1.0) < self.config.snapshot_drop_prob
         {
             self.dropped += 1;
+            wiforce_telemetry::counter!("faults.snapshots_dropped", 1);
             true
         } else {
             false
@@ -91,6 +92,7 @@ impl FaultInjector {
     ) {
         if self.config.burst_prob > 0.0 && uniform(rng, 0.0, 1.0) < self.config.burst_prob {
             self.bursts += 1;
+            wiforce_telemetry::counter!("faults.bursts_injected", 1);
             let var = (self.config.burst_rel_amp * direct_amp).powi(2);
             for h in estimates.iter_mut() {
                 *h += complex_gaussian(rng, var);
@@ -156,6 +158,36 @@ mod tests {
         assert_eq!(inj.burst_count(), 1);
         let p: f64 = est.iter().map(|z| z.norm_sqr()).sum::<f64>() / est.len() as f64;
         assert!((p - 0.25).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn fault_events_recorded_in_telemetry() {
+        // the drop/burst counts must reach the telemetry recorder, not
+        // just the injector's own fields
+        wiforce_telemetry::reset();
+        wiforce_telemetry::set_enabled(true);
+        let mut inj = FaultInjector::new(FaultConfig {
+            snapshot_drop_prob: 0.5,
+            burst_prob: 1.0,
+            burst_rel_amp: 0.1,
+            ..FaultConfig::none()
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut est = vec![Complex::ZERO; 4];
+        for _ in 0..100 {
+            let _ = inj.drops_snapshot(&mut rng);
+        }
+        inj.maybe_burst(&mut rng, &mut est, 1.0);
+        wiforce_telemetry::set_enabled(false);
+        let snap = wiforce_telemetry::take();
+        assert_eq!(
+            snap.counters.get("faults.snapshots_dropped").copied(),
+            Some(inj.dropped_count() as u64)
+        );
+        assert_eq!(
+            snap.counters.get("faults.bursts_injected").copied(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub struct ForceEstimator {
 impl ForceEstimator {
     /// Creates an estimator with a calibrated model.
     pub fn new(cfg: EstimatorConfig, model: SensorModel) -> Self {
+        wiforce_telemetry::gauge!("estimator.reference_locked", 0.0);
         ForceEstimator {
             cfg,
             model,
@@ -104,16 +105,20 @@ impl ForceEstimator {
         &mut self,
         snapshot: &[Complex],
     ) -> Result<Option<ForceReading>, WiForceError> {
+        wiforce_telemetry::counter!("estimator.snapshots_pushed", 1);
         self.buffer.push_row(snapshot);
         if self.buffer.n_rows() < self.cfg.group.n_snapshots {
             return Ok(None);
         }
+        let _span = wiforce_telemetry::span!("estimator.group");
         let start_s = self.groups_seen as f64
             * self.cfg.group.n_snapshots as f64
             * self.cfg.group.snapshot_period_s;
         let lines = extract_lines(&self.cfg.group, self.buffer.view(), start_s);
         self.buffer.clear();
         self.groups_seen += 1;
+        wiforce_telemetry::counter!("estimator.groups", 1);
+        wiforce_telemetry::gauge!("estimator.groups_seen", self.groups_seen as f64);
 
         // acquisition phase: accumulate the reference
         if self.reference.is_none() {
@@ -121,6 +126,8 @@ impl ForceEstimator {
             if self.reference_accum.len() >= self.cfg.reference_groups {
                 self.reference = Some(average_lines(&self.reference_accum));
                 self.reference_accum.clear();
+                wiforce_telemetry::counter!("estimator.reference_locks", 1);
+                wiforce_telemetry::gauge!("estimator.reference_locked", 1.0);
             }
             return Ok(None);
         }
@@ -128,7 +135,9 @@ impl ForceEstimator {
         let reference = self.reference.as_ref().expect("locked above");
         let d = differential(reference, &lines, self.cfg.averaging);
         let magnitude = d.dphi1_rad.abs().max(d.dphi2_rad.abs());
+        wiforce_telemetry::observe!("estimator.group_phase_mag_rad", magnitude);
         if magnitude < self.cfg.touch_threshold_rad {
+            wiforce_telemetry::counter!("estimator.readings_untouched", 1);
             return Ok(Some(ForceReading {
                 force_n: 0.0,
                 location_m: f64::NAN,
@@ -140,7 +149,9 @@ impl ForceEstimator {
         }
         let est = self
             .model
-            .invert(d.dphi1_rad, d.dphi2_rad, self.cfg.max_residual_rad)?;
+            .invert(d.dphi1_rad, d.dphi2_rad, self.cfg.max_residual_rad)
+            .inspect_err(|_| wiforce_telemetry::counter!("estimator.inversion_failures", 1))?;
+        wiforce_telemetry::counter!("estimator.readings_touched", 1);
         Ok(Some(ForceReading {
             force_n: est.force_n,
             location_m: est.location_m,

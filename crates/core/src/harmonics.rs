@@ -110,6 +110,7 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f
         cfg.n_snapshots,
         "group must hold n_snapshots snapshots"
     );
+    let _span = wiforce_telemetry::span!("harmonics.extract_lines");
     let n = group.n_rows();
     let k_sub = group.n_cols();
 
@@ -119,7 +120,7 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f
     let ref1 = Complex::cis(-wiforce_dsp::TAU * cfg.line1_hz * start_s);
     let ref2 = Complex::cis(-wiforce_dsp::TAU * cfg.line2_hz * start_s);
 
-    match cfg.method {
+    let lines = match cfg.method {
         ExtractionMethod::MeanSubtractedDft => {
             // pass 1: per-subcarrier means, accumulated in row order (the
             // same addition order as the former per-column gather)
@@ -132,6 +133,7 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f
             let inv_n = 1.0 / n as f64;
             means.iter_mut().for_each(|m| *m = m.scale(inv_n));
             // pass 2: batched mean-subtracted Goertzel, both lines at once
+            wiforce_telemetry::counter!("harmonics.goertzel_groups", 1);
             let acc = goertzel_columns(group.as_slice(), k_sub, &[f1_norm, f2_norm], Some(&means));
             // normalize by N so line values approximate the per-snapshot
             // modulated amplitude times the clock Fourier coefficient
@@ -140,12 +142,26 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f
             GroupLines { p1, p2 }
         }
         ExtractionMethod::LeastSquares => {
+            wiforce_telemetry::counter!("harmonics.least_squares_groups", 1);
             let mut lines = extract_least_squares(cfg, group, f1_norm, f2_norm);
             lines.p1.iter_mut().for_each(|z| *z *= ref1);
             lines.p2.iter_mut().for_each(|z| *z *= ref2);
             lines
         }
+    };
+    if wiforce_telemetry::enabled() {
+        // per-line signal power: the quality gauge behind the paper's
+        // Fig. 4/7 line-SNR discussion (see DESIGN.md "Observability")
+        let mean_pow =
+            |p: &[Complex]| p.iter().map(|z| z.norm_sqr()).sum::<f64>() / p.len().max(1) as f64;
+        let p1 = mean_pow(&lines.p1);
+        let p2 = mean_pow(&lines.p2);
+        wiforce_telemetry::gauge!("harmonics.line1_mean_power", p1);
+        wiforce_telemetry::gauge!("harmonics.line2_mean_power", p2);
+        wiforce_telemetry::observe!("harmonics.line1_power", p1);
+        wiforce_telemetry::observe!("harmonics.line2_power", p2);
     }
+    lines
 }
 
 /// Joint LS fit of DC + three tone amplitudes per subcarrier.

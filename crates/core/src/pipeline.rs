@@ -281,16 +281,25 @@ impl Simulation {
         rng: &mut R,
         out: &mut SnapshotMatrix,
     ) {
-        let table = self.tag_response_table(contact);
+        let _span = wiforce_telemetry::span!("pipeline.run_snapshots");
+        let table = {
+            let _s = wiforce_telemetry::span!("pipeline.em_transduction");
+            self.tag_response_table(contact)
+        };
         let freqs = self.subcarrier_freqs_hz();
-        let statics: Vec<Complex> = freqs
-            .iter()
-            .map(|&f| self.scene.static_response(f))
-            .collect();
-        let gains: Vec<Complex> = freqs
-            .iter()
-            .map(|&f| self.scene.backscatter_gain(f))
-            .collect();
+        let (statics, gains): (Vec<Complex>, Vec<Complex>) = {
+            let _s = wiforce_telemetry::span!("pipeline.channel_setup");
+            (
+                freqs
+                    .iter()
+                    .map(|&f| self.scene.static_response(f))
+                    .collect(),
+                freqs
+                    .iter()
+                    .map(|&f| self.scene.backscatter_gain(f))
+                    .collect(),
+            )
+        };
         let direct_amp = self.scene.direct_response(self.scene.carrier_hz).abs();
         let full_scale = statics.iter().map(|s| s.abs()).fold(0.0_f64, f64::max) * 1.5;
         let n = self.group.n_snapshots;
@@ -312,10 +321,13 @@ impl Simulation {
                 let on2 = self.tag.clocks.modulation2(t_tag);
                 let state_idx = on1 as usize | ((on2 as usize) << 1);
                 let has_movers = !self.scene.movers.is_empty();
-                for (k, h) in truth.iter_mut().enumerate() {
-                    *h = statics[k] + gains[k] * table[k][state_idx];
-                    if has_movers {
-                        *h += self.scene.dynamic_response(freqs[k], t_reader);
+                {
+                    let _s = wiforce_telemetry::span!("pipeline.channel_eval");
+                    for (k, h) in truth.iter_mut().enumerate() {
+                        *h = statics[k] + gains[k] * table[k][state_idx];
+                        if has_movers {
+                            *h += self.scene.dynamic_response(freqs[k], t_reader);
+                        }
                     }
                 }
                 if injector.drops_snapshot(rng) {
@@ -327,12 +339,36 @@ impl Simulation {
                     }
                 } else {
                     let row = out.push_row_default();
-                    self.sounder
-                        .estimate_into(&truth, self.frontend.noise_floor, rng, row);
+                    {
+                        let _s = wiforce_telemetry::span!("pipeline.sounder");
+                        self.sounder
+                            .estimate_into(&truth, self.frontend.noise_floor, rng, row);
+                    }
+                    let _s = wiforce_telemetry::span!("pipeline.frontend");
                     injector.maybe_burst(rng, row, direct_amp);
                     self.frontend.process(rng, row, full_scale);
                 }
             }
+        }
+        if wiforce_telemetry::enabled() {
+            let total = (n_groups * n) as u64;
+            wiforce_telemetry::counter!("pipeline.snapshots_total", total);
+            // declare the fault counters so reports always carry them even
+            // on clean runs; the injector adds the actual events as they
+            // fire, so adding 0 here never double-counts
+            wiforce_telemetry::counter!("faults.snapshots_dropped", 0);
+            wiforce_telemetry::counter!("faults.bursts_injected", 0);
+            // effective snapshot yield under fault injection (the dropped
+            // counter itself is recorded by the injector as it fires)
+            let yielded = total.saturating_sub(injector.dropped_count() as u64);
+            wiforce_telemetry::gauge!(
+                "pipeline.snapshot_yield",
+                if total == 0 {
+                    1.0
+                } else {
+                    yielded as f64 / total as f64
+                }
+            );
         }
     }
 
@@ -382,6 +418,7 @@ impl Simulation {
         contact: Option<&ContactState>,
         rng: &mut R,
     ) -> Result<DiffPhases, WiForceError> {
+        let _span = wiforce_telemetry::span!("pipeline.measure_phases");
         let mut clock = TagClock::new(rng);
         let mut refs = self.run_groups(None, self.reference_groups, &mut clock, rng);
 
@@ -404,7 +441,9 @@ impl Simulation {
         // quantization/noise floor, measured at an off-line bin
         let floor = self.off_line_floor(&mut clock.clone(), rng);
         let line_db = 10.0 * (reference.mean_power() / floor.max(1e-300)).log10();
+        wiforce_telemetry::gauge!("pipeline.line_to_floor_db", line_db);
         if line_db < 6.0 {
+            wiforce_telemetry::counter!("pipeline.tag_not_detected", 1);
             return Err(WiForceError::TagNotDetected {
                 line_to_floor_db: line_db,
             });
@@ -455,6 +494,7 @@ impl Simulation {
         location_m: f64,
         rng: &mut R,
     ) -> Option<ContactState> {
+        let _span = wiforce_telemetry::span!("pipeline.mech_solve");
         let mut c = self.contact_for(force_n, location_m)?;
         let len = self.transducer.length_m();
         // common patch-position shift (moves port-1 length up, port-2 down)
@@ -482,9 +522,14 @@ impl Simulation {
         location_m: f64,
         rng: &mut R,
     ) -> Result<ForceReading, WiForceError> {
+        let _span = wiforce_telemetry::span!("pipeline.measure_press");
+        wiforce_telemetry::counter!("pipeline.presses", 1);
         let contact = self.jittered_contact(force_n, location_m, rng);
         let phases = self.measure_phases(contact.as_ref(), rng)?;
-        let est = model.invert(phases.dphi1_rad, phases.dphi2_rad, 0.35)?;
+        let est = {
+            let _s = wiforce_telemetry::span!("pipeline.model_invert");
+            model.invert(phases.dphi1_rad, phases.dphi2_rad, 0.35)?
+        };
         Ok(ForceReading {
             force_n: est.force_n,
             location_m: est.location_m,

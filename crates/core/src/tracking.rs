@@ -156,6 +156,21 @@ impl Tracker {
 
     /// Consumes one raw reading, returning the smoothed state.
     pub fn update(&mut self, reading: &ForceReading) -> TrackedReading {
+        if wiforce_telemetry::enabled() && reading.touched {
+            // innovation = measurement minus the filter's one-step
+            // prediction; large values flag model/measurement mismatch
+            let f_pred = self.force.x0 + self.force.x1 * self.cfg.dt_s;
+            wiforce_telemetry::observe!(
+                "tracker.force_innovation_n",
+                (reading.force_n - f_pred).abs()
+            );
+            if reading.location_m.is_finite() {
+                wiforce_telemetry::observe!(
+                    "tracker.location_innovation_m",
+                    (reading.location_m - self.location.x).abs()
+                );
+            }
+        }
         if !reading.touched {
             // release: reset so the next touch doesn't inherit stale state
             self.force.reset();

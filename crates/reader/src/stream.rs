@@ -163,13 +163,19 @@ impl StreamReceiver {
     ///
     /// Returns `None` when no preamble clears the sync threshold.
     pub fn process(&self, stream: &[Complex]) -> Option<StreamResult> {
+        let _span = wiforce_telemetry::span!("stream.process");
         let preamble = self.sounder.preamble_time();
         let frame = self.sounder.frame_samples();
         // search exactly one frame period of alignments (any more would
         // cover the next frame's preamble and the global correlation max
         // could land there instead of on the first occurrence)
         let search = stream.len().min(frame + preamble.len() - 1);
-        let sync = find_preamble(&stream[..search], &preamble, self.min_sync_metric)?;
+        let Some(sync) = find_preamble(&stream[..search], &preamble, self.min_sync_metric) else {
+            wiforce_telemetry::counter!("stream.sync_failures", 1);
+            return None;
+        };
+        wiforce_telemetry::counter!("stream.sync_acquisitions", 1);
+        wiforce_telemetry::gauge!("stream.sync_metric", sync.peak_metric);
         let mut estimates = SnapshotMatrix::new(self.sounder.n_subcarriers);
         let mut pos = sync.offset;
         while pos + preamble.len() <= stream.len() {
@@ -177,6 +183,7 @@ impl StreamReceiver {
             self.estimate_from_preamble_into(&stream[pos..pos + preamble.len()], row);
             pos += frame;
         }
+        wiforce_telemetry::counter!("stream.frames_decoded", estimates.n_rows() as u64);
         Some(StreamResult {
             sync_offset: sync.offset,
             sync_metric: sync.peak_metric,

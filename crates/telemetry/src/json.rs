@@ -1,0 +1,431 @@
+//! Minimal dependency-free JSON: a writer used by [`crate::PipelineHealth`]
+//! (same hand-rolled style as the `bench_json` binary) and a matching
+//! small parser used to validate emitted artifacts in tests and CI.
+//!
+//! The writer covers exactly what the telemetry reports need — objects,
+//! arrays, strings, bools, and finite numbers (non-finite values are
+//! written as `null`). The parser accepts standard JSON; it exists so the
+//! `check_artifacts` bin and the doc/health tests can assert structure
+//! without a `serde`/`jq` dependency.
+
+use std::fmt::Write as _;
+
+/// Incremental JSON writer with indentation, producing output in the
+/// same two-space style as `BENCH_pipeline.json`.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Per-open-container flag: has this container emitted an item yet?
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Comma/newline bookkeeping before a new item in the open container.
+    fn pre_item(&mut self) {
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+            self.out.push('\n');
+            self.indent();
+        }
+    }
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Opens the root object (or a nested anonymous one inside an array).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_item();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Opens `"key": {`.
+    pub fn begin_object_key(&mut self, key: &str) -> &mut Self {
+        self.pre_item();
+        let _ = write!(self.out, "\"{}\": {{", Self::escaped(key));
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        let had_items = self.stack.pop().unwrap_or(false);
+        if had_items {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push('}');
+        self
+    }
+
+    /// Opens `"key": [`.
+    pub fn begin_array_key(&mut self, key: &str) -> &mut Self {
+        self.pre_item();
+        let _ = write!(self.out, "\"{}\": [", Self::escaped(key));
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        let had_items = self.stack.pop().unwrap_or(false);
+        if had_items {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Writes `"key": "value"`.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.pre_item();
+        let _ = write!(
+            self.out,
+            "\"{}\": \"{}\"",
+            Self::escaped(key),
+            Self::escaped(value)
+        );
+        self
+    }
+
+    /// Writes `"key": <number>`; non-finite values become `null`.
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        self.pre_item();
+        if value.is_finite() {
+            let _ = write!(self.out, "\"{}\": {}", Self::escaped(key), value);
+        } else {
+            let _ = write!(self.out, "\"{}\": null", Self::escaped(key));
+        }
+        self
+    }
+
+    /// Writes `"key": <integer>`.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.pre_item();
+        let _ = write!(self.out, "\"{}\": {}", Self::escaped(key), value);
+        self
+    }
+
+    /// Writes `"key": true|false`.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.pre_item();
+        let _ = write!(self.out, "\"{}\": {}", Self::escaped(key), value);
+        self
+    }
+
+    /// Finishes and returns the document (with a trailing newline).
+    pub fn finish(mut self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed containers");
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also produced by the writer for non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document, returning the root value or a message with
+/// the byte offset of the first error.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("expected '{word}' at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // copy the full UTF-8 sequence starting at this byte
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let ch = s.chars().next().unwrap_or('\u{fffd}');
+                out.push(ch);
+                *pos += ch.len_utf8().max(1);
+                let _ = c;
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.integer("schema_version", 2)
+            .string("name", "he said \"hi\"\n")
+            .number("pi", 3.5)
+            .number("bad", f64::NAN)
+            .boolean("ok", true);
+        w.begin_array_key("items");
+        w.begin_object();
+        w.number("v", 1.0);
+        w.end_object();
+        w.begin_object();
+        w.number("v", 2.0);
+        w.end_object();
+        w.end_array();
+        w.begin_object_key("nested");
+        w.integer("n", 7);
+        w.end_object();
+        w.end_object();
+        let text = w.finish();
+
+        let v = parse(&text).expect("parses");
+        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("he said \"hi\"\n"));
+        assert_eq!(v.get("bad"), Some(&Value::Null));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("nested").unwrap().get("n").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn parses_bench_json_style() {
+        let text = "{\n  \"press_iters\": 25,\n  \"ns_per_press\": 20041909,\n  \
+                    \"presses_per_sec\": 49.90\n}\n";
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("press_iters").unwrap().as_f64(), Some(25.0));
+        assert_eq!(v.get("presses_per_sec").unwrap().as_f64(), Some(49.9));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.end_object();
+        assert_eq!(parse(&w.finish()).unwrap(), Value::Obj(vec![]));
+    }
+}

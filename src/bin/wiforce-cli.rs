@@ -8,10 +8,21 @@
 //! wiforce-cli replay   --in capture.wifs [--carrier-ghz 2.4]
 //! wiforce-cli spectrum --in capture.wifs [--snr-db 10] [--waterfall 1]
 //! wiforce-cli calibrate --out model.wfm [--carrier-ghz 2.4]
+//! wiforce-cli health   [--health-json health.json] [--carrier-ghz 2.4] [--seed 11]
 //! ```
 //!
 //! `press` and `replay` accept `--model model.wfm` to reuse a saved
 //! calibration instead of re-deriving it.
+//!
+//! `press`, `sweep`, `replay`, and `health` accept `--health-json <path>`:
+//! the telemetry recorder is enabled for the run and the aggregated
+//! [`wiforce_telemetry::PipelineHealth`] report (per-stage latency
+//! percentiles, harmonic SNR gauges, estimator lock state, fault
+//! counters) is written to the path as JSON. The `health` command
+//! exercises the whole stack — calibrated press, streaming estimator
+//! with tracking, and the sample-level stream receiver — so its report
+//! covers every subsystem; with no `--health-json` it prints the JSON to
+//! stdout.
 //!
 //! Argument parsing is deliberately dependency-free (`--key value` pairs).
 
@@ -23,6 +34,8 @@ use wiforce::estimator::{EstimatorConfig, ForceEstimator};
 use wiforce::pipeline::{Simulation, TagClock};
 use wiforce::record::Recording;
 use wiforce::spectrum::{discover_tags, DopplerSpectrum};
+use wiforce::tracking::{Tracker, TrackerConfig};
+use wiforce_telemetry::PipelineHealth;
 
 /// Minimal `--key value` argument map.
 struct Args {
@@ -78,7 +91,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wiforce-cli <press|sweep|record|replay|spectrum> [--key value ...]\n\
+    "usage: wiforce-cli <press|sweep|record|replay|spectrum|calibrate|health> [--key value ...]\n\
      \n\
      press    simulate one calibrated press and print the estimate\n\
      sweep    run a small Monte-Carlo press sweep and print error medians\n\
@@ -86,8 +99,38 @@ fn usage() -> &'static str {
      replay   run the streaming estimator over a .wifs capture\n\
      spectrum Doppler spectrum + tag discovery of a .wifs capture\n\
      calibrate derive the sensor model and save it to a .wfm file\n\
+     health   run the full stack with telemetry on and emit a health report\n\
      \n\
-     common flags: --carrier-ghz F  --force N  --location-mm MM  --seed N  --model F.wfm"
+     common flags: --carrier-ghz F  --force N  --location-mm MM  --seed N  --model F.wfm\n\
+     press/sweep/replay/health: --health-json PATH  write a PipelineHealth report"
+}
+
+/// `--health-json` handling: when the flag is present, [`enable`]
+/// switches the telemetry recorder on for the run and [`finish`] writes
+/// the aggregated report; without the flag both are no-ops.
+struct HealthSink {
+    out: Option<PathBuf>,
+}
+
+impl HealthSink {
+    fn enable(args: &Args) -> HealthSink {
+        let out = args.get("health-json").map(PathBuf::from);
+        if out.is_some() {
+            wiforce_telemetry::reset();
+            wiforce_telemetry::set_enabled(true);
+        }
+        HealthSink { out }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        let Some(path) = self.out else { return Ok(()) };
+        wiforce_telemetry::set_enabled(false);
+        let health = PipelineHealth::collect();
+        std::fs::write(&path, health.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote health report to {}", path.display());
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -110,6 +153,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args),
         "spectrum" => cmd_spectrum(&args),
         "calibrate" => cmd_calibrate(&args),
+        "health" => cmd_health(&args),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     };
     match result {
@@ -161,6 +205,7 @@ fn cmd_press(args: &Args) -> Result<(), String> {
     let loc = args.f64_or("location-mm", 40.0)? * 1e-3;
     let seed = args.u64_or("seed", 11)?;
     let model = model_from(args, &sim)?;
+    let health = HealthSink::enable(args);
     let mut rng = StdRng::seed_from_u64(seed);
     let r = sim
         .measure_press(&model, force, loc, &mut rng)
@@ -174,7 +219,7 @@ fn cmd_press(args: &Args) -> Result<(), String> {
         r.dphi2_rad.to_degrees(),
         r.residual_rad.to_degrees()
     );
-    Ok(())
+    health.finish()
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -182,6 +227,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let trials = args.u64_or("trials", 3)? as usize;
     let seed = args.u64_or("seed", 7)?;
     let model = sim.vna_calibration().map_err(|e| e.to_string())?;
+    let health = HealthSink::enable(args);
     let mut f_errs = Vec::new();
     let mut l_errs = Vec::new();
     let mut k = 0u64;
@@ -206,7 +252,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         "median location error: {:.2} mm",
         wiforce_dsp::stats::median(&l_errs)
     );
-    Ok(())
+    health.finish()
 }
 
 fn cmd_record(args: &Args) -> Result<(), String> {
@@ -257,6 +303,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         ));
     }
     let model = model_from(args, &sim)?;
+    let health = HealthSink::enable(args);
     let cfg = EstimatorConfig {
         group: sim.group,
         reference_groups: 1,
@@ -290,7 +337,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         }
     }
     println!("{n_readings} readings from {} snapshots", rec.len());
-    Ok(())
+    health.finish()
 }
 
 fn cmd_spectrum(args: &Args) -> Result<(), String> {
@@ -347,6 +394,74 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
                 power
             );
         }
+    }
+    Ok(())
+}
+
+/// Runs every subsystem once with telemetry enabled — a calibrated press
+/// (mechanics, EM transduction, channel, sounder, fault injection,
+/// harmonic extraction, model inversion), the streaming estimator with
+/// Kalman tracking, and the sample-level stream receiver — then emits the
+/// aggregated [`PipelineHealth`] report.
+fn cmd_health(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let force = args.f64_or("force", 4.0)?;
+    let loc = args.f64_or("location-mm", 40.0)? * 1e-3;
+    let seed = args.u64_or("seed", 11)?;
+    let model = model_from(args, &sim)?;
+
+    wiforce_telemetry::reset();
+    wiforce_telemetry::set_enabled(true);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. one calibrated press through the batch pipeline
+    sim.measure_press(&model, force, loc, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    // 2. streaming estimator + tracker over a quiet-then-pressed stream
+    let cfg = EstimatorConfig {
+        group: sim.group,
+        reference_groups: 1,
+        ..EstimatorConfig::wiforce(1000.0)
+    };
+    let mut est = ForceEstimator::new(cfg, model);
+    let mut tracker = Tracker::new(TrackerConfig::wiforce());
+    let mut clock = TagClock::new(&mut rng);
+    let quiet = sim.run_snapshots(None, 1, &mut clock, &mut rng);
+    for s in quiet.rows() {
+        let _ = est.push_snapshot(s).map_err(|e| e.to_string())?;
+    }
+    let contact = sim.jittered_contact(force, loc, &mut rng);
+    let pressed = sim.run_snapshots(contact.as_ref(), 1, &mut clock, &mut rng);
+    for s in pressed.rows() {
+        if let Some(r) = est.push_snapshot(s).map_err(|e| e.to_string())? {
+            tracker.update(&r);
+        }
+    }
+
+    // 3. sample-level receiver: preamble sync + per-frame channel decode
+    let sounder = wiforce_reader::ofdm::OfdmSounder::wiforce();
+    let chans: Vec<Vec<wiforce_dsp::Complex>> = (0..4)
+        .map(|f| {
+            (0..sounder.n_subcarriers)
+                .map(|k| wiforce_dsp::Complex::from_polar(0.5, 0.02 * k as f64 + 0.05 * f as f64))
+                .collect()
+        })
+        .collect();
+    let rx = wiforce_reader::stream::simulate_rx_stream(&sounder, &chans, 1e-4, 64, &mut rng);
+    let receiver = wiforce_reader::stream::StreamReceiver::new(sounder);
+    if receiver.process(&rx).is_none() {
+        return Err("stream receiver failed to sync".into());
+    }
+
+    wiforce_telemetry::set_enabled(false);
+    let report = PipelineHealth::collect();
+    match args.get("health-json") {
+        Some(path) => {
+            std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote health report to {path}");
+        }
+        None => print!("{}", report.to_json()),
     }
     Ok(())
 }

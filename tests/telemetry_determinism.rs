@@ -1,0 +1,70 @@
+//! Telemetry must be an observer, not a participant: enabling the
+//! recorder may not change a single output bit of the estimation
+//! pipeline, because the instrumentation never touches RNG or numeric
+//! state. Runs the same seeded press with the recorder off and on and
+//! compares every field bitwise.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wiforce::estimator::ForceReading;
+use wiforce::pipeline::Simulation;
+use wiforce::WiForceError;
+
+fn run_press(
+    sim: &Simulation,
+    model: &wiforce::SensorModel,
+    force: f64,
+    loc: f64,
+    seed: u64,
+) -> Result<ForceReading, WiForceError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.measure_press(model, force, loc, &mut rng)
+}
+
+proptest! {
+    // each case runs two full presses (~40 ms), so keep the count low
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn telemetry_does_not_perturb_estimates(
+        force in 1.0f64..7.0,
+        loc in 0.018f64..0.062,
+        seed in 0u64..10_000,
+    ) {
+        let mut sim = Simulation::paper_default(2.4e9);
+        sim.reference_groups = 1;
+        sim.measure_groups = 1;
+        let model = sim.vna_calibration().expect("calibration");
+
+        wiforce_telemetry::set_enabled(false);
+        wiforce_telemetry::reset();
+        let off = run_press(&sim, &model, force, loc, seed);
+
+        wiforce_telemetry::set_enabled(true);
+        wiforce_telemetry::reset();
+        let on = run_press(&sim, &model, force, loc, seed);
+        wiforce_telemetry::set_enabled(false);
+        let recorded = wiforce_telemetry::take();
+
+        match (off, on) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.force_n.to_bits(), b.force_n.to_bits());
+                prop_assert_eq!(a.location_m.to_bits(), b.location_m.to_bits());
+                prop_assert_eq!(a.dphi1_rad.to_bits(), b.dphi1_rad.to_bits());
+                prop_assert_eq!(a.dphi2_rad.to_bits(), b.dphi2_rad.to_bits());
+                prop_assert_eq!(a.residual_rad.to_bits(), b.residual_rad.to_bits());
+                prop_assert_eq!(a.touched, b.touched);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "off/on diverged: {a:?} vs {b:?}"),
+        }
+
+        // the instrumented run really recorded the pipeline
+        prop_assert_eq!(recorded.counters.get("pipeline.presses"), Some(&1));
+        prop_assert!(recorded
+            .spans
+            .keys()
+            .any(|k| k.starts_with("pipeline.measure_press")));
+    }
+}

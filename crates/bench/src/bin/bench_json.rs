@@ -13,6 +13,12 @@
 //!   `run_snapshots_into` into a reused [`wiforce_dsp::SnapshotMatrix`];
 //! - `allocs_per_group` — heap allocations per steady-state group (the
 //!   flat snapshot engine's target is 0);
+//! - `throughput` — the multi-stream batch engine (`wiforce::batch`) at
+//!   1/4/8 frequency-multiplexed streams: aggregate `presses_per_sec`
+//!   and `p95_stream_latency_ns` per point. Because every stream of a
+//!   reader rides the *same* channel sounding, aggregate throughput must
+//!   scale superlinearly in wall-clock terms (≥ 3× at 8 streams vs 1) —
+//!   `check_artifacts` gates on this;
 //! - `schema_version` / `git_rev` — artifact provenance for CI checks.
 //!
 //! Pass `--quick` for fewer iterations.
@@ -23,12 +29,14 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wiforce::batch::{run_batch, BatchConfig, ReaderSpec};
 use wiforce::pipeline::{Simulation, TagClock};
 use wiforce_dsp::SnapshotMatrix;
 use wiforce_telemetry::json::JsonWriter;
 
 /// Version of the BENCH_pipeline.json layout, bumped on breaking changes.
-const BENCH_SCHEMA_VERSION: u32 = 2;
+/// v3 added the `throughput` batch-engine section.
+const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// A pass-through allocator that counts every allocation, so the bench
 /// can assert the steady-state snapshot loop is allocation-free.
@@ -119,6 +127,28 @@ fn main() {
     let ns_per_group = group_elapsed.as_nanos() as f64 / group_iters as f64;
     let allocs_per_group = allocs as f64 / group_iters as f64;
 
+    // --- multi-stream batch throughput --------------------------------
+    // one reader, N frequency-multiplexed tags sharing its snapshots:
+    // the expensive channel sounding amortizes across streams, so
+    // aggregate presses/sec grows near-linearly in N on any core count
+    let sim = Simulation::paper_default(2.4e9);
+    let batch_model = std::sync::Arc::new(sim.vna_calibration().expect("calibration"));
+    let batch_presses = if quick { 2 } else { 4 };
+    let mut throughput = Vec::new();
+    for &n_streams in &[1usize, 4, 8] {
+        let spec = ReaderSpec::frequency_multiplexed(n_streams, batch_presses, 17, &sim.group)
+            .expect("frequency allocation");
+        let cfg = BatchConfig::wiforce(n_streams);
+        let report = run_batch(&sim, &batch_model, std::slice::from_ref(&spec), &cfg)
+            .expect("batch throughput run");
+        throughput.push((
+            n_streams,
+            cfg.workers,
+            report.presses_per_sec(),
+            report.p95_stream_latency_ns(),
+        ));
+    }
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.integer("schema_version", u64::from(BENCH_SCHEMA_VERSION));
@@ -141,6 +171,16 @@ fn main() {
         "allocs_per_group",
         (allocs_per_group * 100.0).round() / 100.0,
     );
+    w.begin_array_key("throughput");
+    for &(streams, workers, pps, p95) in &throughput {
+        w.begin_object();
+        w.integer("streams", streams as u64);
+        w.integer("workers", workers as u64);
+        w.number("presses_per_sec", (pps * 100.0).round() / 100.0);
+        w.integer("p95_stream_latency_ns", p95);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     let json = w.finish();
 

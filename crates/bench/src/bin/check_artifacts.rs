@@ -4,12 +4,22 @@
 //! `jq`, no serde.
 //!
 //! ```text
-//! check_artifacts --bench BENCH_pipeline.json --health health.json
+//! check_artifacts --bench BENCH_pipeline.json --health health.json \
+//!                 [--baseline BENCH_baseline.json]
 //! ```
 //!
-//! Either flag may be omitted; at least one is required. Exits non-zero
-//! with a list of violations when a file fails validation.
+//! Either `--bench`/`--health` flag may be omitted; at least one is
+//! required. Exits non-zero with a list of violations when a file fails
+//! validation.
+//!
+//! With `--baseline`, the `--bench` artifact is additionally compared
+//! against the given committed baseline with
+//! [`wiforce_bench::regression::compare`]: a `ns_per_press` regression
+//! beyond the limit or a missing/flat batch `throughput` section fails
+//! the run. The before/after table is printed to stdout and, when
+//! `$GITHUB_STEP_SUMMARY` is set, appended to the CI job summary.
 
+use wiforce_bench::regression;
 use wiforce_telemetry::json::{parse, Value};
 
 /// Collects human-readable violations for one document.
@@ -61,6 +71,27 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
     c.number(root, "telemetry_overhead_pct", false);
     c.number(root, "ns_per_group", true);
     c.number(root, "allocs_per_group", false);
+
+    // schema v3: the batch-engine throughput section
+    match root.get("throughput").and_then(Value::as_array) {
+        None => c.fail("missing 'throughput' array (batch engine section)".into()),
+        Some(points) => {
+            for want in regression::REQUIRED_STREAM_POINTS {
+                let Some(point) = points
+                    .iter()
+                    .find(|p| p.get("streams").and_then(Value::as_f64) == Some(want as f64))
+                else {
+                    c.fail(format!("'throughput' lacks the {want}-stream point"));
+                    continue;
+                };
+                for key in ["workers", "presses_per_sec", "p95_stream_latency_ns"] {
+                    if point.get(key).and_then(Value::as_f64).is_none() {
+                        c.fail(format!("throughput[streams={want}] missing '{key}'"));
+                    }
+                }
+            }
+        }
+    }
     c.errors
 }
 
@@ -102,6 +133,12 @@ fn check_health(file: &str, root: &Value) -> Vec<String> {
     c.errors
 }
 
+/// Reads and parses one JSON artifact.
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: unreadable: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
 /// Runs a check over the parsed file, accumulating violations.
 fn check_file(
     path: &str,
@@ -126,8 +163,16 @@ fn main() {
     };
     let bench = arg("--bench");
     let health = arg("--health");
+    let baseline = arg("--baseline");
     if bench.is_none() && health.is_none() {
-        eprintln!("usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json]");
+        eprintln!(
+            "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
+             [--baseline BENCH_baseline.json]"
+        );
+        std::process::exit(2);
+    }
+    if baseline.is_some() && bench.is_none() {
+        eprintln!("--baseline requires --bench");
         std::process::exit(2);
     }
 
@@ -137,6 +182,31 @@ fn main() {
     }
     if let Some(path) = &health {
         check_file(path, &mut errors, check_health);
+    }
+
+    // perf-regression gate: fresh --bench vs committed --baseline
+    if let (Some(base_path), Some(fresh_path)) = (&baseline, &bench) {
+        match (load(base_path), load(fresh_path)) {
+            (Err(e), _) | (_, Err(e)) => errors.push(e),
+            (Ok(base), Ok(fresh)) => {
+                let cmp = regression::compare(&base, &fresh);
+                let table = cmp.markdown_table();
+                println!("{table}");
+                if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+                    use std::io::Write;
+                    if let Ok(mut f) = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&summary)
+                    {
+                        let _ = writeln!(f, "{table}");
+                    }
+                }
+                for v in cmp.violations {
+                    errors.push(format!("{fresh_path} vs {base_path}: {v}"));
+                }
+            }
+        }
     }
 
     if errors.is_empty() {

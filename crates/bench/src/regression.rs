@@ -1,0 +1,377 @@
+//! Perf-regression gate over `BENCH_pipeline.json` artifacts.
+//!
+//! CI regenerates the benchmark on every run and compares it against the
+//! committed baseline with [`compare`]: the hot-path metric
+//! (`ns_per_press`) may not regress by more than [`MAX_REGRESSION_PCT`],
+//! and the fresh artifact must carry a complete batch-engine
+//! `throughput` section ([`REQUIRED_STREAM_POINTS`]) demonstrating at
+//! least [`MIN_STREAM_SPEEDUP`]× aggregate presses/sec at the largest
+//! stream count versus one stream. Everything else is reported
+//! informationally in a before/after table suitable for a GitHub job
+//! summary ([`Comparison::markdown_table`]).
+//!
+//! The comparison logic is a plain function over parsed JSON values so
+//! it unit-tests without touching the filesystem; `check_artifacts`
+//! wires it to files and exit codes.
+
+use wiforce_telemetry::json::Value;
+
+/// Hard ceiling on how much slower a gated metric may get, percent.
+pub const MAX_REGRESSION_PCT: f64 = 15.0;
+
+/// Stream counts the fresh artifact's `throughput` section must cover.
+pub const REQUIRED_STREAM_POINTS: [u64; 3] = [1, 4, 8];
+
+/// Minimum aggregate presses/sec speedup at the largest required stream
+/// count relative to one stream (the sounding-amortization guarantee).
+pub const MIN_STREAM_SPEEDUP: f64 = 3.0;
+
+/// One before/after line of the comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Metric name as it appears in the artifact.
+    pub metric: String,
+    /// Baseline value, if the baseline artifact has the key.
+    pub baseline: Option<f64>,
+    /// Fresh value, if the fresh artifact has the key.
+    pub fresh: Option<f64>,
+    /// Relative change in percent, `(fresh - baseline) / baseline`.
+    pub delta_pct: Option<f64>,
+    /// Whether this row participates in the pass/fail gate.
+    pub gated: bool,
+}
+
+impl Row {
+    fn build(metric: &str, baseline: &Value, fresh: &Value, gated: bool) -> Row {
+        let b = baseline.get(metric).and_then(Value::as_f64);
+        let f = fresh.get(metric).and_then(Value::as_f64);
+        let delta_pct = match (b, f) {
+            (Some(b), Some(f)) if b != 0.0 => Some(100.0 * (f - b) / b),
+            _ => None,
+        };
+        Row {
+            metric: metric.to_string(),
+            baseline: b,
+            fresh: f,
+            delta_pct,
+            gated,
+        }
+    }
+}
+
+/// The outcome of one baseline-vs-fresh comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Before/after rows, gated metrics first.
+    pub rows: Vec<Row>,
+    /// Human-readable gate violations; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when no gated metric regressed and the throughput section
+    /// is complete.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// GitHub-flavoured markdown before/after table plus a verdict line,
+    /// ready for `$GITHUB_STEP_SUMMARY`.
+    pub fn markdown_table(&self) -> String {
+        let mut out = String::from("### Pipeline benchmark vs baseline\n\n");
+        out.push_str("| metric | baseline | fresh | Δ% | gate |\n");
+        out.push_str("|---|---:|---:|---:|---|\n");
+        for row in &self.rows {
+            let fmt = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.2}"),
+                None => "—".to_string(),
+            };
+            let delta = match row.delta_pct {
+                Some(d) => format!("{d:+.1}%"),
+                None => "—".to_string(),
+            };
+            let gate = if !row.gated {
+                "info"
+            } else if self
+                .violations
+                .iter()
+                .any(|v| v.contains(row.metric.as_str()))
+            {
+                "**FAIL**"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                row.metric,
+                fmt(row.baseline),
+                fmt(row.fresh),
+                delta,
+                gate
+            ));
+        }
+        out.push('\n');
+        if self.passed() {
+            out.push_str("✅ no perf regression\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("❌ {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Extracts `presses_per_sec` per stream count from an artifact's
+/// `throughput` array, in file order.
+fn throughput_points(doc: &Value) -> Option<Vec<(u64, f64, Option<f64>)>> {
+    let arr = doc.get("throughput").and_then(Value::as_array)?;
+    let mut out = Vec::new();
+    for entry in arr {
+        let streams = entry.get("streams").and_then(Value::as_f64)? as u64;
+        let pps = entry.get("presses_per_sec").and_then(Value::as_f64)?;
+        let p95 = entry.get("p95_stream_latency_ns").and_then(Value::as_f64);
+        out.push((streams, pps, p95));
+    }
+    Some(out)
+}
+
+/// Compares a fresh `BENCH_pipeline.json` document against the committed
+/// baseline. Gates: `ns_per_press` may not regress more than
+/// [`MAX_REGRESSION_PCT`]; the fresh `throughput` section must cover
+/// [`REQUIRED_STREAM_POINTS`] with positive throughput and latency keys
+/// and scale by [`MIN_STREAM_SPEEDUP`] at the top point.
+pub fn compare(baseline: &Value, fresh: &Value) -> Comparison {
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+
+    // gated hot-path metric (lower is better)
+    let row = Row::build("ns_per_press", baseline, fresh, true);
+    match (row.fresh, row.delta_pct) {
+        (None, _) => violations.push("fresh artifact is missing 'ns_per_press'".to_string()),
+        (Some(_), Some(d)) if d > MAX_REGRESSION_PCT => violations.push(format!(
+            "ns_per_press regressed {d:+.1}% (limit {MAX_REGRESSION_PCT:.0}%)"
+        )),
+        _ => {}
+    }
+    rows.push(row);
+
+    // informational context
+    for metric in [
+        "presses_per_sec",
+        "ns_per_group",
+        "allocs_per_group",
+        "telemetry_overhead_pct",
+    ] {
+        rows.push(Row::build(metric, baseline, fresh, false));
+    }
+
+    // throughput section: structural completeness is gated
+    let base_points = throughput_points(baseline).unwrap_or_default();
+    match throughput_points(fresh) {
+        None => violations.push(
+            "fresh artifact is missing the 'throughput' section \
+             (streams/presses_per_sec/p95_stream_latency_ns)"
+                .to_string(),
+        ),
+        Some(points) => {
+            for want in REQUIRED_STREAM_POINTS {
+                let Some(&(_, pps, p95)) = points.iter().find(|(s, _, _)| *s == want) else {
+                    violations.push(format!("throughput section lacks the {want}-stream point"));
+                    continue;
+                };
+                if pps <= 0.0 {
+                    violations.push(format!(
+                        "throughput[streams={want}].presses_per_sec = {pps}, expected > 0"
+                    ));
+                }
+                if p95.is_none() {
+                    violations.push(format!(
+                        "throughput[streams={want}] is missing 'p95_stream_latency_ns'"
+                    ));
+                }
+                let base_pps = base_points
+                    .iter()
+                    .find(|(s, _, _)| *s == want)
+                    .map(|&(_, pps, _)| pps);
+                let delta_pct = base_pps
+                    .filter(|b| *b != 0.0)
+                    .map(|b| 100.0 * (pps - b) / b);
+                rows.push(Row {
+                    metric: format!("throughput[{want}].presses_per_sec"),
+                    baseline: base_pps,
+                    fresh: Some(pps),
+                    delta_pct,
+                    gated: false,
+                });
+            }
+            let one = points.iter().find(|(s, _, _)| *s == 1).map(|p| p.1);
+            let top_streams = *REQUIRED_STREAM_POINTS.iter().max().expect("non-empty");
+            let top = points
+                .iter()
+                .find(|(s, _, _)| *s == top_streams)
+                .map(|p| p.1);
+            if let (Some(one), Some(top)) = (one, top) {
+                if one > 0.0 && top / one < MIN_STREAM_SPEEDUP {
+                    violations.push(format!(
+                        "aggregate speedup at {top_streams} streams is {:.2}×, \
+                         expected ≥ {MIN_STREAM_SPEEDUP:.1}×",
+                        top / one
+                    ));
+                }
+            }
+        }
+    }
+
+    Comparison { rows, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiforce_telemetry::json::parse;
+
+    fn doc(ns_per_press: f64, throughput: &str) -> Value {
+        parse(&format!(
+            r#"{{
+                "schema_version": 3,
+                "git_rev": "abc",
+                "ns_per_press": {ns_per_press},
+                "presses_per_sec": {},
+                "ns_per_group": 6000000,
+                "allocs_per_group": 6,
+                "telemetry_overhead_pct": 10.0,
+                "throughput": {throughput}
+            }}"#,
+            1e9 / ns_per_press
+        ))
+        .expect("test doc parses")
+    }
+
+    fn full_throughput() -> String {
+        let body = REQUIRED_STREAM_POINTS
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"streams": {s}, "workers": {s}, "presses_per_sec": {}, "p95_stream_latency_ns": 5000000}}"#,
+                    *s as f64 * 100.0
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{body}]")
+    }
+
+    #[test]
+    fn equal_artifacts_pass() {
+        let base = doc(2e7, &full_throughput());
+        let cmp = compare(&base, &base);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert!(cmp.markdown_table().contains("✅"));
+    }
+
+    #[test]
+    fn small_regression_passes_large_fails() {
+        let base = doc(2e7, &full_throughput());
+        let ok = doc(2e7 * 1.10, &full_throughput());
+        assert!(compare(&base, &ok).passed());
+
+        let bad = doc(2e7 * 1.20, &full_throughput());
+        let cmp = compare(&base, &bad);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations[0].contains("ns_per_press"),
+            "{:?}",
+            cmp.violations
+        );
+        assert!(cmp.markdown_table().contains("**FAIL**"));
+    }
+
+    #[test]
+    fn improvement_always_passes() {
+        let base = doc(2e7, &full_throughput());
+        let faster = doc(2e7 * 0.5, &full_throughput());
+        assert!(compare(&base, &faster).passed());
+    }
+
+    #[test]
+    fn missing_throughput_section_fails() {
+        let base = doc(2e7, &full_throughput());
+        let fresh = parse(
+            r#"{"schema_version": 2, "git_rev": "abc", "ns_per_press": 2e7,
+                "presses_per_sec": 50.0, "ns_per_group": 6e6, "allocs_per_group": 6}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.passed());
+        assert!(cmp.violations.iter().any(|v| v.contains("throughput")));
+    }
+
+    #[test]
+    fn missing_stream_point_fails() {
+        let base = doc(2e7, &full_throughput());
+        let fresh = doc(
+            2e7,
+            r#"[{"streams": 1, "workers": 1, "presses_per_sec": 100.0,
+                 "p95_stream_latency_ns": 5000000},
+                {"streams": 4, "workers": 4, "presses_per_sec": 400.0,
+                 "p95_stream_latency_ns": 5000000}]"#,
+        );
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("8-stream")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn insufficient_speedup_fails() {
+        let base = doc(2e7, &full_throughput());
+        let flat = doc(
+            2e7,
+            r#"[{"streams": 1, "workers": 1, "presses_per_sec": 100.0,
+                 "p95_stream_latency_ns": 5000000},
+                {"streams": 4, "workers": 4, "presses_per_sec": 150.0,
+                 "p95_stream_latency_ns": 5000000},
+                {"streams": 8, "workers": 8, "presses_per_sec": 200.0,
+                 "p95_stream_latency_ns": 5000000}]"#,
+        );
+        let cmp = compare(&base, &flat);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("speedup")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn baseline_without_throughput_still_gates_fresh() {
+        // upgrading from a v2 baseline: fresh must carry the section even
+        // though the baseline predates it
+        let base = parse(
+            r#"{"schema_version": 2, "git_rev": "old", "ns_per_press": 2e7,
+                "presses_per_sec": 50.0, "ns_per_group": 6e6, "allocs_per_group": 6}"#,
+        )
+        .unwrap();
+        let fresh = doc(2e7, &full_throughput());
+        let cmp = compare(&base, &fresh);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn markdown_table_lists_all_rows() {
+        let base = doc(2e7, &full_throughput());
+        let md = compare(&base, &base).markdown_table();
+        for needle in [
+            "ns_per_press",
+            "presses_per_sec",
+            "ns_per_group",
+            "throughput[8].presses_per_sec",
+        ] {
+            assert!(md.contains(needle), "missing {needle} in:\n{md}");
+        }
+    }
+}

@@ -58,6 +58,81 @@ fn documented_bins_exist() {
     }
 }
 
+/// Every `wiforce-cli -- <subcommand>` the docs tell readers to run must
+/// be a real match arm in the CLI's dispatcher (and vice versa: every
+/// dispatched subcommand must be mentioned in the CLI's usage string).
+#[test]
+fn documented_cli_subcommands_exist() {
+    let root = repo_root();
+    let cli = read(&root.join("src/bin/wiforce-cli.rs"));
+
+    // match arms of the form `"press" => cmd_press(...)`
+    let mut dispatched = BTreeSet::new();
+    for line in cli.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some(end) = rest.find('"') {
+                if rest[end..].contains("=> cmd_") {
+                    dispatched.insert(rest[..end].to_string());
+                }
+            }
+        }
+    }
+    assert!(
+        dispatched.len() >= 8,
+        "expected the full subcommand set, found {dispatched:?}"
+    );
+
+    for doc in ["DESIGN.md", "README.md"] {
+        let text = read(&root.join(doc));
+        for (i, _) in text.match_indices("wiforce-cli -- ") {
+            let rest = &text[i + "wiforce-cli -- ".len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(
+                dispatched.contains(&name),
+                "{doc} tells readers to run `wiforce-cli -- {name}`, but the CLI \
+                 only dispatches {dispatched:?}"
+            );
+        }
+    }
+
+    // the usage string must advertise every dispatched subcommand
+    for cmd in &dispatched {
+        assert!(
+            cli.contains(&format!("{cmd} ")) || cli.contains(&format!("|{cmd}")),
+            "CLI usage text does not mention subcommand '{cmd}'"
+        );
+    }
+}
+
+/// The CI workflow must regenerate the benchmark against the committed
+/// baseline — a renamed artifact or a dropped `--baseline` flag would
+/// silently disable the perf-regression gate.
+#[test]
+fn ci_wires_the_perf_regression_gate() {
+    let root = repo_root();
+    let ci = read(&root.join(".github/workflows/ci.yml"));
+    for needle in [
+        "bench_json",
+        "check_artifacts",
+        "--baseline BENCH_baseline.json",
+        "cp BENCH_pipeline.json BENCH_baseline.json",
+    ] {
+        assert!(ci.contains(needle), "ci.yml lost '{needle}'");
+    }
+    // the baseline snapshot must happen before the bench regenerates
+    let snap = ci.find("cp BENCH_pipeline.json").expect("snapshot step");
+    let bench = ci.find("--bin bench_json").expect("bench step");
+    assert!(
+        snap < bench,
+        "ci.yml snapshots the baseline after regenerating it — gate compares \
+         fresh against fresh"
+    );
+}
+
 #[test]
 fn experiment_modules_match_files() {
     let root = repo_root();

@@ -41,6 +41,20 @@ impl FaultConfig {
         }
     }
 
+    /// A dropout/saturation-heavy profile: frequent preamble misses plus
+    /// interference bursts strong enough to drive the front-end ADC into
+    /// clipping (amplitude well above the direct path). Used by the batch
+    /// fault-isolation tests — a stream under this regime must degrade on
+    /// its own without stalling or corrupting sibling streams.
+    pub fn saturating() -> Self {
+        FaultConfig {
+            snapshot_drop_prob: 0.10,
+            tag_clock_ppm: 80.0,
+            burst_prob: 0.05,
+            burst_rel_amp: 10.0,
+        }
+    }
+
     /// Effective tag base clock (Hz) after drift.
     pub fn drifted_clock_hz(&self, nominal_hz: f64) -> f64 {
         nominal_hz * (1.0 + self.tag_clock_ppm * 1e-6)
@@ -158,6 +172,35 @@ mod tests {
         assert_eq!(inj.burst_count(), 1);
         let p: f64 = est.iter().map(|z| z.norm_sqr()).sum::<f64>() / est.len() as f64;
         assert!((p - 0.25).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn saturating_profile_drops_and_clips() {
+        let cfg = FaultConfig::saturating();
+        assert!(cfg.snapshot_drop_prob > FaultConfig::harsh().snapshot_drop_prob);
+        assert!(
+            cfg.burst_rel_amp > 1.0,
+            "bursts must exceed the direct path"
+        );
+        let mut inj = FaultInjector::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut est = vec![Complex::ZERO; 64];
+        let mut dropped = 0;
+        for _ in 0..2000 {
+            if inj.drops_snapshot(&mut rng) {
+                dropped += 1;
+            } else {
+                inj.maybe_burst(&mut rng, &mut est, 1.0);
+            }
+        }
+        assert_eq!(dropped, inj.dropped_count());
+        let rate = dropped as f64 / 2000.0;
+        assert!((rate - 0.10).abs() < 0.03, "drop rate {rate}");
+        assert!(inj.burst_count() > 0);
+        // a burst at 10× the direct path lands far outside any sane
+        // full-scale setting, i.e. the front end will clip it
+        let peak = est.iter().map(|z| z.abs()).fold(0.0_f64, f64::max);
+        assert!(peak > 1.0, "burst peak {peak}");
     }
 
     #[test]

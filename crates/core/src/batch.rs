@@ -1,0 +1,1047 @@
+//! Multi-stream batch estimation engine.
+//!
+//! The serving-shaped substrate of the ROADMAP north star: run N
+//! independent sensor streams (distinct tags, press profiles, fault
+//! regimes) through the estimation pipeline concurrently on a fixed
+//! worker pool, with bounded queues, backpressure, and deterministic
+//! per-stream results at any thread count.
+//!
+//! ## Shape
+//!
+//! Work is organised as **readers** and **streams**. One
+//! [`ReaderSpec`] models one physical reader front end whose snapshot
+//! stream carries several frequency-multiplexed tags (paper §7: tags
+//! toggling at different clocks land in separate Doppler bins). A
+//! *producer* work item synthesises one phase group of shared snapshots
+//! for a reader — one channel sounding serves every tag riding it — and
+//! fans it out through a [`wiforce_reader::stream::TagDemux`] into each
+//! stream's bounded queue. A *consumer* work item drains one stream's
+//! queue into that stream's sticky state: its [`ForceEstimator`]
+//! (reference lock), [`Tracker`], and the calibration inversion LUT
+//! ([`SensorModel`]) shared read-only across all workers.
+//!
+//! ## Determinism
+//!
+//! Each reader has exactly one logical producer with its own seeded RNG,
+//! so the synthesized group sequence is a pure function of the spec;
+//! each stream's queue is FIFO and its consumer is claimed exclusively,
+//! so groups reach the estimator in sequence order. Per-stream estimates
+//! are therefore bit-identical at any worker count — the same
+//! press-index-ordered merge discipline as `run_sweep`. Wall-clock
+//! artifacts (queue depths, latencies, span durations) are excluded from
+//! that guarantee; see [`StreamResult::deterministic_eq`].
+//!
+//! ## Backpressure
+//!
+//! A producer is runnable only while **all** of its streams' queues have
+//! room ([`TagDemux::can_accept`]); a full queue anywhere stalls the
+//! whole reader until a consumer drains, and each stall transition is
+//! counted in [`BatchReport::backpressure_events`].
+
+use crate::calib::SensorModel;
+use crate::estimator::{EstimatorConfig, ForceEstimator, ForceReading};
+use crate::multisensor::ContinuumSurface;
+use crate::pipeline::{Simulation, Sounder, TagClock};
+use crate::tracking::{TrackedReading, Tracker, TrackerConfig};
+use crate::WiForceError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use wiforce_channel::faults::{FaultConfig, FaultInjector};
+use wiforce_channel::{Frontend, Scene};
+use wiforce_dsp::{Complex, SnapshotMatrix};
+use wiforce_reader::stream::{GroupItem, TagDemux};
+use wiforce_reader::ChannelSounder;
+use wiforce_sensor::multi::allocate_frequencies_on_grid;
+use wiforce_sensor::SensorTag;
+use wiforce_telemetry::{Histogram, TelemetrySnapshot};
+
+/// One scheduled press on a stream's force/location timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressSpec {
+    /// Applied force, N (0 for an intentionally quiet slot).
+    pub force_n: f64,
+    /// Press location along the beam, m.
+    pub location_m: f64,
+}
+
+/// One per-tag stream of a reader: a tag clock plus its press schedule.
+///
+/// The stream sees `reference_groups` quiet groups (its estimator locks
+/// the no-touch reference), then one phase group per press, in order.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Display name (telemetry keys derive from it).
+    pub name: String,
+    /// Tag base clock, Hz. Streams of one reader must be distinct; use
+    /// [`allocate_frequencies_on_grid`] to keep them Doppler-orthogonal.
+    pub fs_hz: f64,
+    /// Press schedule, one group each after the reference groups.
+    pub presses: Vec<PressSpec>,
+}
+
+/// One physical reader: a shared snapshot stream carrying several
+/// frequency-multiplexed tag streams, with its own fault regime and RNG
+/// seed. Faults on one reader can never touch another reader's streams
+/// (independent RNGs), which is what the fault-isolation tests pin down.
+#[derive(Debug, Clone)]
+pub struct ReaderSpec {
+    /// The tag streams riding this reader's snapshots.
+    pub streams: Vec<StreamSpec>,
+    /// Channel-level fault injection for this reader.
+    pub faults: FaultConfig,
+    /// Seed of the reader's producer RNG (noise, clutter, clock wander).
+    pub seed: u64,
+}
+
+impl ReaderSpec {
+    /// An empty reader with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        ReaderSpec {
+            streams: Vec::new(),
+            faults: FaultConfig::none(),
+            seed,
+        }
+    }
+
+    /// Sets the fault regime.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Appends one stream.
+    pub fn stream(mut self, name: &str, fs_hz: f64, presses: Vec<PressSpec>) -> Self {
+        self.streams.push(StreamSpec {
+            name: name.to_string(),
+            fs_hz,
+            presses,
+        });
+        self
+    }
+
+    /// Builds a reader of `n_streams` Doppler-orthogonal tags with a
+    /// deterministic spread of press profiles — the standard throughput
+    /// workload. Clocks come from [`allocate_frequencies_on_grid`] at the
+    /// group's bin spacing in the 800–2000 Hz band (keeping every `4fs`
+    /// line under the snapshot-rate Nyquist), so the streams are exactly
+    /// separable from the shared snapshot rows.
+    pub fn frequency_multiplexed(
+        n_streams: usize,
+        presses_per_stream: usize,
+        seed: u64,
+        group: &crate::harmonics::PhaseGroupConfig,
+    ) -> Result<Self, WiForceError> {
+        let grid_hz = 1.0 / (group.n_snapshots as f64 * group.snapshot_period_s);
+        let freqs = allocate_frequencies_on_grid(n_streams, 800.0, 2000.0, grid_hz)
+            .map_err(|e| WiForceError::Config(e.to_string()))?;
+        let mut spec = ReaderSpec::new(seed);
+        for (s, fs) in freqs.into_iter().enumerate() {
+            let presses = (0..presses_per_stream)
+                .map(|p| PressSpec {
+                    force_n: 1.5 + 0.9 * ((s + p) % 5) as f64,
+                    location_m: 0.020 + 0.010 * ((2 * s + p) % 6) as f64,
+                })
+                .collect();
+            spec = spec.stream(&format!("s{s}"), fs, presses);
+        }
+        Ok(spec)
+    }
+
+    /// Builds a reader from a [`ContinuumSurface`]: one stream per strip,
+    /// with each 2-D press `(force, x, y)` split across strips by
+    /// [`ContinuumSurface::split_force`]. Strips off the press path get a
+    /// zero-force slot so press indices stay aligned across streams.
+    pub fn for_surface(surface: &ContinuumSurface, presses: &[(f64, f64, f64)], seed: u64) -> Self {
+        let mut spec = ReaderSpec::new(seed);
+        let sims = surface.simulations();
+        for (i, sim) in sims.iter().enumerate() {
+            let schedule = presses
+                .iter()
+                .map(|&(force_n, x_m, y_m)| PressSpec {
+                    force_n: surface.split_force(force_n, y_m)[i],
+                    location_m: x_m,
+                })
+                .collect();
+            spec = spec.stream(&format!("strip{i}"), sim.group.line1_hz, schedule);
+        }
+        spec
+    }
+
+    fn max_presses(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.presses.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads (clamped to ≥ 1). Results never depend on this.
+    pub workers: usize,
+    /// Per-stream snapshot-queue capacity in groups (clamped to ≥ 1);
+    /// the backpressure bound.
+    pub queue_capacity: usize,
+    /// Quiet groups each stream's estimator averages into its no-touch
+    /// reference before the press schedule starts.
+    pub reference_groups: usize,
+}
+
+impl BatchConfig {
+    /// Paper-cadence defaults at the given worker count.
+    pub fn wiforce(workers: usize) -> Self {
+        BatchConfig {
+            workers,
+            queue_capacity: 4,
+            reference_groups: 2,
+        }
+    }
+}
+
+/// One emitted per-group result of a stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamReading {
+    /// Group sequence number on the reader timeline.
+    pub group: u64,
+    /// Press index this group measures (`None` for post-schedule
+    /// quiet groups on streams shorter than their reader's longest).
+    pub press: Option<usize>,
+    /// The raw estimator reading.
+    pub reading: ForceReading,
+    /// The Kalman-smoothed reading.
+    pub tracked: TrackedReading,
+}
+
+/// Everything one stream produced over the batch.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Stream name from the spec.
+    pub name: String,
+    /// Reader index in the spec slice.
+    pub reader: usize,
+    /// Tag base clock, Hz.
+    pub fs_hz: f64,
+    /// Per-group readings in group order (starts once the reference
+    /// locks, i.e. at group `reference_groups`).
+    pub readings: Vec<StreamReading>,
+    /// Groups whose estimate failed (e.g. model inversion rejected); the
+    /// stream keeps running past them.
+    pub failures: u64,
+    /// Wall-clock produce→consumed latency per consumed group, ns
+    /// (scheduling-dependent; excluded from determinism).
+    pub latencies_ns: Vec<u64>,
+}
+
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+impl StreamResult {
+    /// Bit-exact comparison of everything the determinism guarantee
+    /// covers: names, schedule positions, raw and tracked estimates, and
+    /// failure counts — but not wall-clock latencies.
+    pub fn deterministic_eq(&self, other: &StreamResult) -> bool {
+        self.name == other.name
+            && self.reader == other.reader
+            && bits_eq(self.fs_hz, other.fs_hz)
+            && self.failures == other.failures
+            && self.readings.len() == other.readings.len()
+            && self.readings.iter().zip(&other.readings).all(|(a, b)| {
+                a.group == b.group
+                    && a.press == b.press
+                    && a.reading.touched == b.reading.touched
+                    && bits_eq(a.reading.force_n, b.reading.force_n)
+                    && bits_eq(a.reading.location_m, b.reading.location_m)
+                    && bits_eq(a.reading.dphi1_rad, b.reading.dphi1_rad)
+                    && bits_eq(a.reading.dphi2_rad, b.reading.dphi2_rad)
+                    && bits_eq(a.reading.residual_rad, b.reading.residual_rad)
+                    && a.tracked.touched == b.tracked.touched
+                    && bits_eq(a.tracked.force_n, b.tracked.force_n)
+                    && bits_eq(a.tracked.location_m, b.tracked.location_m)
+            })
+    }
+
+    /// 95th-percentile consume latency, ns (0 when nothing ran).
+    pub fn p95_latency_ns(&self) -> u64 {
+        p95(&self.latencies_ns)
+    }
+}
+
+fn p95(latencies: &[u64]) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// The whole batch's outcome.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-stream results, in (reader, stream) spec order.
+    pub streams: Vec<StreamResult>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Phase groups synthesised across all readers.
+    pub groups_produced: u64,
+    /// Producer stall transitions caused by a full stream queue.
+    pub backpressure_events: u64,
+    /// Snapshots dropped by fault injection across all readers (plain
+    /// count — available even when telemetry recording is disabled).
+    pub snapshots_dropped: u64,
+    /// Interference bursts injected across all readers.
+    pub bursts_injected: u64,
+    /// Deterministically merged telemetry of the run (already absorbed
+    /// into the caller's recorder), plus the engine's wall-clock
+    /// aggregates (`batch.queue_depth`, `batch.queue_occupancy`,
+    /// `batch.group_latency_ns`).
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl BatchReport {
+    /// Completed press measurements (readings at press slots) across all
+    /// streams.
+    pub fn press_readings(&self) -> usize {
+        self.streams
+            .iter()
+            .flat_map(|s| &s.readings)
+            .filter(|r| r.press.is_some())
+            .count()
+    }
+
+    /// Aggregate press throughput over the run's wall clock.
+    pub fn presses_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.press_readings() as f64 / secs
+    }
+
+    /// 95th-percentile produce→consume group latency across all streams,
+    /// ns.
+    pub fn p95_stream_latency_ns(&self) -> u64 {
+        let all: Vec<u64> = self
+            .streams
+            .iter()
+            .flat_map(|s| s.latencies_ns.iter().copied())
+            .collect();
+        p95(&all)
+    }
+
+    /// [`StreamResult::deterministic_eq`] over every stream.
+    pub fn deterministic_eq(&self, other: &BatchReport) -> bool {
+        self.streams.len() == other.streams.len()
+            && self
+                .streams
+                .iter()
+                .zip(&other.streams)
+                .all(|(a, b)| a.deterministic_eq(b))
+    }
+}
+
+/// Per-stream synthesis state inside a reader's producer: the tag, its
+/// free-running clock, and the precomputed reflection table per schedule
+/// slot (index 0 = untouched, 1 + p = press p).
+struct StreamSynth {
+    tag: SensorTag,
+    clock: TagClock,
+    tables: Vec<Vec<[Complex; 4]>>,
+    n_presses: usize,
+}
+
+impl StreamSynth {
+    fn table_for_group(&self, group: u64, reference_groups: usize) -> &[[Complex; 4]] {
+        let slot = (group as usize)
+            .checked_sub(reference_groups)
+            .filter(|p| *p < self.n_presses)
+            .map_or(0, |p| 1 + p);
+        &self.tables[slot]
+    }
+}
+
+/// The single logical producer of one reader: owns the RNG and all
+/// synthesis state, so the group sequence is deterministic no matter
+/// which worker thread runs it.
+struct ReaderProducer {
+    streams: Vec<StreamSynth>,
+    scene: Scene,
+    freqs: Vec<f64>,
+    statics: Vec<Complex>,
+    gains: Vec<Complex>,
+    full_scale: f64,
+    direct_amp: f64,
+    sounder: Sounder,
+    frontend: Frontend,
+    injector: FaultInjector,
+    rng: StdRng,
+    n_snapshots: usize,
+    t_snap: f64,
+    t_int: f64,
+    wander_ppm: f64,
+    reference_groups: usize,
+    groups_done: u64,
+    truth: Vec<Complex>,
+}
+
+impl ReaderProducer {
+    fn build(sim: &Simulation, spec: &ReaderSpec, reference_groups: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let streams = spec
+            .streams
+            .iter()
+            .map(|s| {
+                let mut sim_s = sim.clone();
+                sim_s.tag = SensorTag::wiforce_prototype(s.fs_hz);
+                sim_s.group.line1_hz = s.fs_hz;
+                sim_s.group.line2_hz = 4.0 * s.fs_hz;
+                let mut tables = vec![sim_s.tag_response_table(None)];
+                for p in &s.presses {
+                    let contact = sim_s.contact_for(p.force_n, p.location_m);
+                    tables.push(sim_s.tag_response_table(contact.as_ref()));
+                }
+                StreamSynth {
+                    tag: sim_s.tag,
+                    clock: TagClock::new(&mut rng),
+                    tables,
+                    n_presses: s.presses.len(),
+                }
+            })
+            .collect();
+        let freqs = sim.subcarrier_freqs_hz();
+        let statics: Vec<Complex> = freqs
+            .iter()
+            .map(|&f| sim.scene.static_response(f))
+            .collect();
+        let gains = freqs
+            .iter()
+            .map(|&f| sim.scene.backscatter_gain(f))
+            .collect();
+        let full_scale = statics.iter().map(|s| s.abs()).fold(0.0_f64, f64::max) * 1.5;
+        let direct_amp = sim.scene.direct_response(sim.scene.carrier_hz).abs();
+        let truth = vec![Complex::ZERO; statics.len()];
+        ReaderProducer {
+            streams,
+            scene: sim.scene.clone(),
+            freqs,
+            statics,
+            gains,
+            full_scale,
+            direct_amp,
+            sounder: sim.sounder,
+            frontend: sim.frontend,
+            injector: FaultInjector::new(spec.faults),
+            rng,
+            n_snapshots: sim.group.n_snapshots,
+            t_snap: sim.group.snapshot_period_s,
+            t_int: sim.sounder.integration_window_s(),
+            wander_ppm: sim.tag_clock_wander_ppm,
+            reference_groups,
+            groups_done: 0,
+            truth,
+        }
+    }
+
+    /// Synthesises the next phase group of shared snapshots: one channel
+    /// sounding per snapshot serves every tag stream, with the same
+    /// drop/burst/front-end discipline as `Simulation::run_snapshots_into`.
+    fn produce_group(&mut self) -> (u64, SnapshotMatrix) {
+        let _span = wiforce_telemetry::span!("batch.produce_group");
+        let seq = self.groups_done;
+        let n = self.n_snapshots;
+        let width = self.statics.len();
+        let mut out = SnapshotMatrix::new(width);
+        out.reserve_rows(n);
+        let drift_ppm = self.injector.config().tag_clock_ppm;
+        let has_movers = !self.scene.movers.is_empty();
+        for s in &mut self.streams {
+            s.clock.step_group(self.wander_ppm, &mut self.rng);
+        }
+        for _snap in 0..n {
+            let t_reader = self.streams[0].clock.reader_time_s();
+            self.truth.copy_from_slice(&self.statics);
+            for s in &mut self.streams {
+                let t_tag = s.clock.advance(self.t_snap, drift_ppm);
+                // average the switch state over the sounder's integration
+                // window: instantaneous sampling aliases the square-wave
+                // drive's high harmonics onto *other* tags' Doppler bins
+                // (see `ClockPair::state_weights`), leaking press phase
+                // across frequency-multiplexed streams
+                let w = s.tag.clocks.state_weights(t_tag, self.t_int);
+                let table = s.table_for_group(seq, self.reference_groups);
+                if let Some(pure) = (0..4).find(|&q| w[q] == 1.0) {
+                    // no drive edge inside the window — one pure state
+                    for ((h, &g), row) in self.truth.iter_mut().zip(&self.gains).zip(table) {
+                        *h += g * row[pure];
+                    }
+                } else {
+                    for ((h, &g), row) in self.truth.iter_mut().zip(&self.gains).zip(table) {
+                        let avg = row[0].scale(w[0])
+                            + row[1].scale(w[1])
+                            + row[2].scale(w[2])
+                            + row[3].scale(w[3]);
+                        *h += g * avg;
+                    }
+                }
+            }
+            if has_movers {
+                for (h, &f) in self.truth.iter_mut().zip(&self.freqs) {
+                    *h += self.scene.dynamic_response(f, t_reader);
+                }
+            }
+            if self.injector.drops_snapshot(&mut self.rng) {
+                if out.n_rows() > 0 {
+                    out.push_copy_of_last();
+                } else {
+                    out.push_row(&self.truth);
+                }
+            } else {
+                let row = out.push_row_default();
+                self.sounder.estimate_into(
+                    &self.truth,
+                    self.frontend.noise_floor,
+                    &mut self.rng,
+                    row,
+                );
+                self.injector
+                    .maybe_burst(&mut self.rng, row, self.direct_amp);
+                self.frontend.process(&mut self.rng, row, self.full_scale);
+            }
+        }
+        if wiforce_telemetry::enabled() {
+            wiforce_telemetry::counter!("batch.groups_produced", 1);
+            wiforce_telemetry::counter!("pipeline.snapshots_total", n as u64);
+            wiforce_telemetry::counter!("faults.snapshots_dropped", 0);
+            wiforce_telemetry::counter!("faults.bursts_injected", 0);
+        }
+        self.groups_done += 1;
+        (seq, out)
+    }
+}
+
+/// One stream's sticky consumer state: estimator, tracker, accumulated
+/// results.
+struct StreamConsumer {
+    name: String,
+    reader: usize,
+    fs_hz: f64,
+    n_presses: usize,
+    reference_groups: usize,
+    estimator: ForceEstimator,
+    tracker: Tracker,
+    readings: Vec<StreamReading>,
+    failures: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl StreamConsumer {
+    fn consume(&mut self, items: &[GroupItem]) {
+        let _span = wiforce_telemetry::span!("batch.consume");
+        for item in items {
+            for row in item.snapshots.rows() {
+                match self.estimator.push_snapshot(row) {
+                    Ok(Some(reading)) => {
+                        let tracked = self.tracker.update(&reading);
+                        let press = (item.seq as usize)
+                            .checked_sub(self.reference_groups)
+                            .filter(|p| *p < self.n_presses);
+                        self.readings.push(StreamReading {
+                            group: item.seq,
+                            press,
+                            reading,
+                            tracked,
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(_) => self.failures += 1,
+                }
+            }
+            self.latencies_ns
+                .push(item.produced.elapsed().as_nanos() as u64);
+        }
+        if wiforce_telemetry::enabled() {
+            wiforce_telemetry::counter_owned(
+                format!("batch.stream.{}.groups", self.name),
+                items.len() as u64,
+            );
+            if let Some(last) = self.readings.last() {
+                wiforce_telemetry::gauge_owned(
+                    format!("batch.stream.{}.last_force_n", self.name),
+                    last.reading.force_n,
+                );
+            }
+            wiforce_telemetry::gauge_owned(
+                format!("batch.stream.{}.readings", self.name),
+                self.readings.len() as f64,
+            );
+        }
+    }
+
+    fn into_result(self) -> StreamResult {
+        StreamResult {
+            name: self.name,
+            reader: self.reader,
+            fs_hz: self.fs_hz,
+            readings: self.readings,
+            failures: self.failures,
+            latencies_ns: self.latencies_ns,
+        }
+    }
+}
+
+/// Scheduler state behind the pool's mutex.
+struct Sched {
+    producers: Vec<Option<Box<ReaderProducer>>>,
+    producer_claimed: Vec<bool>,
+    produced: Vec<u64>,
+    total: Vec<u64>,
+    blocked: Vec<bool>,
+    demux: Vec<TagDemux>,
+    consumers: Vec<Option<Box<StreamConsumer>>>,
+    consumer_claimed: Vec<bool>,
+    /// flat stream index → (reader, local stream index)
+    locate: Vec<(usize, usize)>,
+    queue_peak: Vec<usize>,
+    backpressure_events: u64,
+    depth_hist: Histogram,
+    occupancy_hist: Histogram,
+    prod_telem: Vec<Vec<(u64, TelemetrySnapshot)>>,
+    cons_telem: Vec<Vec<(u64, TelemetrySnapshot)>>,
+}
+
+impl Sched {
+    fn finished(&self) -> bool {
+        self.produced
+            .iter()
+            .zip(&self.total)
+            .all(|(done, total)| done == total)
+            && self.producer_claimed.iter().all(|c| !c)
+            && self.consumer_claimed.iter().all(|c| !c)
+            && self.demux.iter().all(TagDemux::is_empty)
+    }
+}
+
+struct Shared {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+fn worker_loop(shared: &Shared) {
+    let telemetry_on = wiforce_telemetry::enabled();
+    let mut guard = shared.sched.lock().expect("scheduler lock");
+    loop {
+        // 1. a stream with queued groups and an unclaimed consumer
+        let consumable = (0..guard.consumers.len()).find(|&i| {
+            let (r, l) = guard.locate[i];
+            !guard.consumer_claimed[i] && guard.demux[r].depth(l) > 0
+        });
+        if let Some(flat) = consumable {
+            let (r, l) = guard.locate[flat];
+            guard.consumer_claimed[flat] = true;
+            let items = guard.demux[r].drain(l);
+            let mut state = guard.consumers[flat].take().expect("consumer parked");
+            drop(guard);
+            if telemetry_on {
+                wiforce_telemetry::reset();
+            }
+            state.consume(&items);
+            let snap = telemetry_on.then(wiforce_telemetry::take);
+            guard = shared.sched.lock().expect("scheduler lock");
+            if let Some(snap) = snap {
+                guard.cons_telem[flat].push((items[0].seq, snap));
+            }
+            guard.consumers[flat] = Some(state);
+            guard.consumer_claimed[flat] = false;
+            shared.cv.notify_all();
+            continue;
+        }
+        // 2. a reader with groups left and room in every stream queue
+        let producible = (0..guard.producers.len()).find(|&r| {
+            !guard.producer_claimed[r]
+                && guard.produced[r] < guard.total[r]
+                && guard.demux[r].can_accept()
+        });
+        if let Some(r) = producible {
+            guard.producer_claimed[r] = true;
+            let mut prod = guard.producers[r].take().expect("producer parked");
+            drop(guard);
+            if telemetry_on {
+                wiforce_telemetry::reset();
+            }
+            let (seq, matrix) = prod.produce_group();
+            let snap = telemetry_on.then(wiforce_telemetry::take);
+            let item = GroupItem {
+                seq,
+                snapshots: Arc::new(matrix),
+                produced: Instant::now(),
+            };
+            guard = shared.sched.lock().expect("scheduler lock");
+            if let Some(snap) = snap {
+                guard.prod_telem[r].push((seq, snap));
+            }
+            guard.demux[r]
+                .fan_out(item)
+                .expect("space was reserved under the lock");
+            let occupancy = guard.demux[r].occupancy();
+            guard.occupancy_hist.record(occupancy);
+            let mut deepest = 0;
+            for flat in 0..guard.locate.len() {
+                let (reader, local) = guard.locate[flat];
+                if reader == r {
+                    let depth = guard.demux[r].depth(local);
+                    deepest = deepest.max(depth);
+                    guard.queue_peak[flat] = guard.queue_peak[flat].max(depth);
+                }
+            }
+            guard.depth_hist.record(deepest as f64);
+            guard.produced[r] += 1;
+            guard.blocked[r] = false;
+            guard.producers[r] = Some(prod);
+            guard.producer_claimed[r] = false;
+            shared.cv.notify_all();
+            continue;
+        }
+        if guard.finished() {
+            shared.cv.notify_all();
+            return;
+        }
+        // 3. nothing runnable: count producers stalled on a full queue
+        // (once per stall transition), then wait for a state change
+        for r in 0..guard.producers.len() {
+            if !guard.producer_claimed[r]
+                && guard.produced[r] < guard.total[r]
+                && !guard.demux[r].can_accept()
+                && !guard.blocked[r]
+            {
+                guard.blocked[r] = true;
+                guard.backpressure_events += 1;
+            }
+        }
+        guard = shared.cv.wait(guard).expect("scheduler lock");
+    }
+}
+
+/// Runs N streams across the given readers on a fixed worker pool.
+///
+/// `sim` is the shared template (scene, sounder, front end, group
+/// cadence, mechanics); each reader overlays its own tags, faults, and
+/// RNG seed. `model` is the calibration inversion LUT every stream's
+/// estimator shares read-only. Per-stream results are bit-identical for
+/// any `cfg.workers` (see the module docs); the run's merged telemetry
+/// is absorbed into the caller's recorder.
+pub fn run_batch(
+    sim: &Simulation,
+    model: &Arc<SensorModel>,
+    readers: &[ReaderSpec],
+    cfg: &BatchConfig,
+) -> Result<BatchReport, WiForceError> {
+    if readers.is_empty() || readers.iter().any(|r| r.streams.is_empty()) {
+        return Err(WiForceError::Config(
+            "batch needs at least one reader with at least one stream".into(),
+        ));
+    }
+    for spec in readers {
+        for (i, a) in spec.streams.iter().enumerate() {
+            for b in &spec.streams[i + 1..] {
+                if (a.fs_hz - b.fs_hz).abs() < 1e-9 {
+                    return Err(WiForceError::Config(format!(
+                        "streams {:?} and {:?} share clock {} Hz on one reader",
+                        a.name, b.name, a.fs_hz
+                    )));
+                }
+            }
+        }
+    }
+    let workers = cfg.workers.max(1);
+    let capacity = cfg.queue_capacity.max(1);
+
+    let mut producers = Vec::new();
+    let mut demux = Vec::new();
+    let mut consumers = Vec::new();
+    let mut locate = Vec::new();
+    let mut total = Vec::new();
+    for (r, spec) in readers.iter().enumerate() {
+        let producer = ReaderProducer::build(sim, spec, cfg.reference_groups);
+        total.push((cfg.reference_groups + spec.max_presses()) as u64);
+        let mut dx = TagDemux::new(capacity);
+        for (l, s) in spec.streams.iter().enumerate() {
+            dx.register(s.fs_hz);
+            locate.push((r, l));
+            let est_cfg = EstimatorConfig {
+                group: crate::harmonics::PhaseGroupConfig {
+                    line1_hz: s.fs_hz,
+                    line2_hz: 4.0 * s.fs_hz,
+                    ..sim.group
+                },
+                reference_groups: cfg.reference_groups,
+                ..EstimatorConfig::wiforce(s.fs_hz)
+            };
+            consumers.push(Some(Box::new(StreamConsumer {
+                name: s.name.clone(),
+                reader: r,
+                fs_hz: s.fs_hz,
+                n_presses: s.presses.len(),
+                reference_groups: cfg.reference_groups,
+                estimator: ForceEstimator::new(est_cfg, model.as_ref().clone()),
+                tracker: Tracker::new(TrackerConfig::wiforce()),
+                readings: Vec::new(),
+                failures: 0,
+                latencies_ns: Vec::new(),
+            })));
+        }
+        producers.push(Some(Box::new(producer)));
+        demux.push(dx);
+    }
+    let n_streams = locate.len();
+    let n_readers = readers.len();
+    let shared = Shared {
+        sched: Mutex::new(Sched {
+            producers,
+            producer_claimed: vec![false; n_readers],
+            produced: vec![0; n_readers],
+            total,
+            blocked: vec![false; n_readers],
+            demux,
+            consumers,
+            consumer_claimed: vec![false; n_streams],
+            locate,
+            queue_peak: vec![0; n_streams],
+            backpressure_events: 0,
+            depth_hist: Histogram::default(),
+            occupancy_hist: Histogram::default(),
+            prod_telem: vec![Vec::new(); n_readers],
+            cons_telem: vec![Vec::new(); n_streams],
+        }),
+        cv: Condvar::new(),
+    };
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| worker_loop(&shared)))
+            .collect();
+        for handle in handles {
+            handle.join().expect("batch worker panicked");
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut sched = shared.sched.into_inner().expect("scheduler lock");
+    let groups_produced = sched.produced.iter().sum();
+    let (mut snapshots_dropped, mut bursts_injected) = (0u64, 0u64);
+    for p in sched.producers.iter().flatten() {
+        snapshots_dropped += p.injector.dropped_count() as u64;
+        bursts_injected += p.injector.burst_count() as u64;
+    }
+    let streams: Vec<StreamResult> = sched
+        .consumers
+        .iter_mut()
+        .map(|c| c.take().expect("consumer parked at shutdown").into_result())
+        .collect();
+
+    // deterministic telemetry merge: producer snapshots in (reader, seq)
+    // order, then consumer snapshots in (stream, first-seq) order —
+    // independent of which worker ran what, exactly like `run_sweep`
+    let mut merged = TelemetrySnapshot::default();
+    for per_reader in &mut sched.prod_telem {
+        per_reader.sort_by_key(|(seq, _)| *seq);
+        for (_, snap) in per_reader.iter() {
+            merged.merge_from(snap);
+        }
+    }
+    for per_stream in &mut sched.cons_telem {
+        per_stream.sort_by_key(|(seq, _)| *seq);
+        for (_, snap) in per_stream.iter() {
+            merged.merge_from(snap);
+        }
+    }
+    // engine-level aggregates (wall-clock / scheduling dependent)
+    merged
+        .observations
+        .insert("batch.queue_depth".into(), sched.depth_hist.clone());
+    merged
+        .observations
+        .insert("batch.queue_occupancy".into(), sched.occupancy_hist.clone());
+    let mut latency_hist = Histogram::default();
+    for s in &streams {
+        for &ns in &s.latencies_ns {
+            latency_hist.record(ns as f64);
+        }
+    }
+    merged
+        .observations
+        .insert("batch.group_latency_ns".into(), latency_hist);
+    merged.counters.insert(
+        "batch.backpressure_events".into(),
+        sched.backpressure_events,
+    );
+    merged
+        .gauges
+        .insert("batch.streams".into(), n_streams as f64);
+    merged.gauges.insert("batch.workers".into(), workers as f64);
+    for (flat, s) in streams.iter().enumerate() {
+        merged.gauges.insert(
+            format!("batch.stream.{}.queue_peak", s.name),
+            sched.queue_peak[flat] as f64,
+        );
+    }
+    wiforce_telemetry::absorb(&merged);
+
+    Ok(BatchReport {
+        streams,
+        elapsed,
+        groups_produced,
+        backpressure_events: sched.backpressure_events,
+        snapshots_dropped,
+        bursts_injected,
+        telemetry: merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> (Simulation, Arc<SensorModel>) {
+        let sim = Simulation::paper_default(0.9e9);
+        let model = Arc::new(sim.vna_calibration().expect("calibration"));
+        (sim, model)
+    }
+
+    #[test]
+    fn results_are_worker_count_invariant() {
+        let (sim, model) = template();
+        let spec = ReaderSpec::frequency_multiplexed(2, 2, 0xBEEF, &sim.group).expect("allocation");
+        let run = |workers: usize| {
+            let cfg = BatchConfig {
+                workers,
+                ..BatchConfig::wiforce(workers)
+            };
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs")
+        };
+        let single = run(1);
+        let pooled = run(8);
+        assert!(
+            single.deterministic_eq(&pooled),
+            "1-worker and 8-worker runs disagree"
+        );
+        // every stream measured both presses
+        for s in &single.streams {
+            let presses: Vec<usize> = s.readings.iter().filter_map(|r| r.press).collect();
+            assert_eq!(presses, vec![0, 1], "stream {} schedule", s.name);
+        }
+        assert_eq!(single.press_readings(), 4);
+    }
+
+    #[test]
+    fn pressed_streams_report_their_own_forces() {
+        let (sim, model) = template();
+        let grid = 1.0 / (sim.group.n_snapshots as f64 * sim.group.snapshot_period_s);
+        let clocks = allocate_frequencies_on_grid(2, 800.0, 2000.0, grid).unwrap();
+        let spec = ReaderSpec::new(7)
+            .stream(
+                "hard",
+                clocks[0],
+                vec![PressSpec {
+                    force_n: 5.0,
+                    location_m: 0.030,
+                }],
+            )
+            .stream(
+                "soft",
+                clocks[1],
+                vec![PressSpec {
+                    force_n: 2.0,
+                    location_m: 0.050,
+                }],
+            );
+        let report = run_batch(
+            &sim,
+            &model,
+            std::slice::from_ref(&spec),
+            &BatchConfig::wiforce(2),
+        )
+        .expect("batch runs");
+        let hard = &report.streams[0].readings[0];
+        let soft = &report.streams[1].readings[0];
+        assert!(hard.reading.touched && soft.reading.touched);
+        assert!(
+            (hard.reading.force_n - 5.0).abs() < 1.6,
+            "hard force {}",
+            hard.reading.force_n
+        );
+        assert!(
+            (soft.reading.force_n - 2.0).abs() < 1.0,
+            "soft force {}",
+            soft.reading.force_n
+        );
+        assert!(
+            (hard.reading.location_m - 0.030).abs() < 5e-3,
+            "hard location {}",
+            hard.reading.location_m
+        );
+        assert!(
+            (soft.reading.location_m - 0.050).abs() < 5e-3,
+            "soft location {}",
+            soft.reading.location_m
+        );
+    }
+
+    #[test]
+    fn bounded_queue_never_overflows() {
+        let (sim, model) = template();
+        let spec = ReaderSpec::frequency_multiplexed(2, 2, 3, &sim.group).expect("allocation");
+        let cfg = BatchConfig {
+            workers: 2,
+            queue_capacity: 1,
+            reference_groups: 2,
+        };
+        let report =
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs");
+        for s in &report.streams {
+            let peak = report
+                .telemetry
+                .gauges
+                .get(&format!("batch.stream.{}.queue_peak", s.name))
+                .copied()
+                .expect("queue peak gauge");
+            assert!(peak <= 1.0, "stream {} peak {}", s.name, peak);
+            assert_eq!(s.latencies_ns.len(), 4, "all groups consumed");
+        }
+        assert_eq!(report.groups_produced, 4);
+    }
+
+    #[test]
+    fn duplicate_clocks_rejected() {
+        let (sim, model) = template();
+        let spec =
+            ReaderSpec::new(1)
+                .stream("a", 1000.0, Vec::new())
+                .stream("b", 1000.0, Vec::new());
+        let err = run_batch(
+            &sim,
+            &model,
+            std::slice::from_ref(&spec),
+            &BatchConfig::wiforce(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WiForceError::Config(_)));
+    }
+
+    #[test]
+    fn surface_spec_splits_presses_across_strips() {
+        let surface = ContinuumSurface::new(0.9e9, 3, 0.012).expect("surface");
+        let spec = ReaderSpec::for_surface(&surface, &[(4.0, 0.030, 0.012)], 9);
+        assert_eq!(spec.streams.len(), 3);
+        // press directly over strip 1: full force there, zero elsewhere
+        assert_eq!(spec.streams[0].presses[0].force_n, 0.0);
+        assert!((spec.streams[1].presses[0].force_n - 4.0).abs() < 1e-9);
+        assert_eq!(spec.streams[2].presses[0].force_n, 0.0);
+    }
+}

@@ -53,6 +53,7 @@
 //! assert!((reading.location_m - 0.040).abs() < 0.005);
 //! ```
 
+pub mod batch;
 pub mod calib;
 pub mod diffphase;
 pub mod estimator;

@@ -65,6 +65,17 @@ impl ContinuumSurface {
         &self.model
     }
 
+    /// The per-strip simulations (index = strip number) — the batch
+    /// engine reads each strip's clock and geometry from these.
+    pub fn simulations(&self) -> &[Simulation] {
+        &self.sims
+    }
+
+    /// The strip geometry and clock allocation.
+    pub fn array(&self) -> &TagArray {
+        &self.array
+    }
+
     /// Splits a press at lateral coordinate `y` into per-strip forces:
     /// linear sharing between the two nearest strips (a press directly on
     /// a strip loads only that strip).

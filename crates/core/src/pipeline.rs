@@ -80,6 +80,13 @@ impl ChannelSounder for Sounder {
         }
     }
 
+    fn integration_window_s(&self) -> f64 {
+        match self {
+            Sounder::Ofdm(s) => s.integration_window_s(),
+            Sounder::Fmcw(s) => s.integration_window_s(),
+        }
+    }
+
     fn estimate(
         &self,
         true_channel: &[Complex],
@@ -233,7 +240,7 @@ impl Simulation {
     /// the four switch-state combinations, for a fixed contact. The clock
     /// pair then selects a column per snapshot — this turns the per-snapshot
     /// tag evaluation into a table lookup.
-    fn tag_response_table(&self, contact: Option<&ContactState>) -> Vec<[Complex; 4]> {
+    pub(crate) fn tag_response_table(&self, contact: Option<&ContactState>) -> Vec<[Complex; 4]> {
         // state index: bit0 = switch1 on, bit1 = switch2 on
         self.subcarrier_freqs_hz()
             .iter()
@@ -681,7 +688,7 @@ impl TagClock {
 
     /// Updates the per-group wander: mean-reverting random walk with RMS
     /// `sigma_ppm`.
-    fn step_group<R: Rng + ?Sized>(&mut self, sigma_ppm: f64, rng: &mut R) {
+    pub(crate) fn step_group<R: Rng + ?Sized>(&mut self, sigma_ppm: f64, rng: &mut R) {
         if sigma_ppm > 0.0 {
             self.wander_ppm = 0.8 * self.wander_ppm + 0.6 * sigma_ppm * standard_normal(rng);
         }
@@ -690,7 +697,7 @@ impl TagClock {
     /// Advances by one reader snapshot period, returning the tag-local
     /// time used to evaluate the modulation waveforms. `drift_ppm` is the
     /// constant clock frequency error (fault injection).
-    fn advance(&mut self, t_snap: f64, drift_ppm: f64) -> f64 {
+    pub(crate) fn advance(&mut self, t_snap: f64, drift_ppm: f64) -> f64 {
         let t = self.t_tag;
         self.t_tag += t_snap * (1.0 + (self.wander_ppm + drift_ppm) * 1e-6);
         self.t_reader += t_snap;

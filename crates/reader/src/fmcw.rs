@@ -57,6 +57,10 @@ impl ChannelSounder for FmcwSounder {
         self.sweep_s + self.idle_s
     }
 
+    fn integration_window_s(&self) -> f64 {
+        self.sweep_s
+    }
+
     fn estimate(
         &self,
         true_channel: &[Complex],

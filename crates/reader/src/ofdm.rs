@@ -131,6 +131,11 @@ impl ChannelSounder for OfdmSounder {
         self.frame_samples() as f64 / self.bandwidth_hz
     }
 
+    fn integration_window_s(&self) -> f64 {
+        // the preamble only — the zero padding is dead air
+        (self.n_repeats * self.n_subcarriers) as f64 / self.bandwidth_hz
+    }
+
     fn estimate(
         &self,
         true_channel: &[Complex],

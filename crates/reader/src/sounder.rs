@@ -19,6 +19,19 @@ pub trait ChannelSounder {
     /// Time between consecutive channel estimates, s (the paper's `T`).
     fn snapshot_period_s(&self) -> f64;
 
+    /// Duration over which one estimate actually observes the channel, s.
+    ///
+    /// Sounders rarely integrate the whole snapshot period: the OFDM
+    /// reader correlates over its 320-sample preamble and then idles
+    /// through the zero padding; an FMCW radar observes during the sweep
+    /// only. Time-varying effects (tag modulation, Doppler) are averaged
+    /// over this window, not sampled at an instant — simulations that
+    /// ignore it alias the tag's square-wave harmonics across Doppler
+    /// bins. Defaults to the full snapshot period.
+    fn integration_window_s(&self) -> f64 {
+        self.snapshot_period_s()
+    }
+
     /// Produces one channel-estimate snapshot given the true channel at
     /// each grid frequency and a per-sample receiver noise level
     /// (std-dev of complex AWGN relative to unit TX amplitude).

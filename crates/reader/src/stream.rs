@@ -192,6 +192,205 @@ impl StreamReceiver {
     }
 }
 
+/// One phase group's worth of snapshots travelling through a
+/// [`TagDemux`]: the shared snapshot matrix (frequency-multiplexed tags
+/// are separated downstream by line extraction, so every subscribed
+/// stream sees the same rows), its sequence number in the reader's group
+/// timeline, and the production timestamp for latency accounting.
+#[derive(Debug, Clone)]
+pub struct GroupItem {
+    /// Group index in the reader's timeline (0-based, gap-free).
+    pub seq: u64,
+    /// The group's channel-estimate snapshots (rows = snapshots).
+    pub snapshots: std::sync::Arc<SnapshotMatrix>,
+    /// When the group left the producer — consumers subtract this from
+    /// `Instant::now()` for per-stream latency histograms.
+    pub produced: std::time::Instant,
+}
+
+/// Error returned when a fan-out would overflow a stream's bounded queue
+/// — the backpressure signal a batch engine throttles its producer on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Index of the stream whose queue is at capacity.
+    pub stream: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream {} snapshot queue is full", self.stream)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Fan-in point for a frequency-multiplexed multi-tag reader (§7): one
+/// physical snapshot stream carries every tag's modulation lines, and the
+/// demux hands each registered per-tag stream its own bounded queue of
+/// group items. Because the tags ride the *same* rows (separation happens
+/// in Doppler, not in time), [`TagDemux::fan_out`] clones the shared
+/// `Arc` into every queue; [`TagDemux::match_stream`] additionally routes
+/// externally-tagged traffic (e.g. a second reader's frames annotated
+/// with a line frequency) to the nearest registered clock.
+#[derive(Debug)]
+pub struct TagDemux {
+    fs_hz: Vec<f64>,
+    queues: Vec<std::collections::VecDeque<GroupItem>>,
+    capacity: usize,
+}
+
+impl TagDemux {
+    /// Creates a demux whose per-stream queues hold at most `capacity`
+    /// groups before [`TagDemux::fan_out`] reports backpressure.
+    pub fn new(capacity: usize) -> Self {
+        TagDemux {
+            fs_hz: Vec::new(),
+            queues: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers a per-tag stream by its base clock frequency, returning
+    /// its stream index.
+    pub fn register(&mut self, fs_hz: f64) -> usize {
+        self.fs_hz.push(fs_hz);
+        self.queues.push(std::collections::VecDeque::new());
+        self.fs_hz.len() - 1
+    }
+
+    /// Number of registered streams.
+    pub fn n_streams(&self) -> usize {
+        self.fs_hz.len()
+    }
+
+    /// Per-stream queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Registered base clock of stream `i`, Hz.
+    pub fn stream_fs_hz(&self, i: usize) -> f64 {
+        self.fs_hz[i]
+    }
+
+    /// Current queue depth of stream `i`.
+    pub fn depth(&self, i: usize) -> usize {
+        self.queues[i].len()
+    }
+
+    /// `true` when every stream's queue has room for one more group —
+    /// the producer's go/no-go check.
+    pub fn can_accept(&self) -> bool {
+        self.queues.iter().all(|q| q.len() < self.capacity)
+    }
+
+    /// Worst-case queue occupancy across streams, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let deepest = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
+        deepest as f64 / self.capacity as f64
+    }
+
+    /// Fans one produced group out to every registered stream (the
+    /// frequency-multiplexed fan-in: all tags share the rows). Fails with
+    /// [`QueueFull`] — enqueuing nothing — if any stream is at capacity,
+    /// so a blocked consumer backpressures the whole reader rather than
+    /// silently dropping its groups.
+    pub fn fan_out(&mut self, item: GroupItem) -> Result<(), QueueFull> {
+        if let Some(stream) = self.queues.iter().position(|q| q.len() >= self.capacity) {
+            return Err(QueueFull { stream });
+        }
+        for q in &mut self.queues {
+            q.push_back(item.clone());
+        }
+        Ok(())
+    }
+
+    /// Routes an externally-tagged group to the single stream whose
+    /// registered clock is nearest `line_hz` (within `tol_hz`), for
+    /// fan-in of traffic that arrives already separated per tag. Returns
+    /// the stream index it landed on.
+    pub fn route(
+        &mut self,
+        line_hz: f64,
+        tol_hz: f64,
+        item: GroupItem,
+    ) -> Result<usize, QueueFull> {
+        let Some(stream) = self.match_stream(line_hz, tol_hz) else {
+            return Err(QueueFull { stream: usize::MAX });
+        };
+        if self.queues[stream].len() >= self.capacity {
+            return Err(QueueFull { stream });
+        }
+        self.queues[stream].push_back(item);
+        Ok(stream)
+    }
+
+    /// The registered stream whose base clock is nearest `line_hz`,
+    /// if within `tol_hz`.
+    pub fn match_stream(&self, line_hz: f64, tol_hz: f64) -> Option<usize> {
+        let (i, d) = self
+            .fs_hz
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (i, (f - line_hz).abs()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        (d <= tol_hz).then_some(i)
+    }
+
+    /// Pops the oldest pending group of stream `i` (FIFO).
+    pub fn pop(&mut self, i: usize) -> Option<GroupItem> {
+        self.queues[i].pop_front()
+    }
+
+    /// Drains every pending group of stream `i`, oldest first.
+    pub fn drain(&mut self, i: usize) -> Vec<GroupItem> {
+        self.queues[i].drain(..).collect()
+    }
+
+    /// `true` when no stream has pending groups.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Doppler power of each registered stream's base line in a group —
+    /// which tags are actually present in the shared rows. Powers are the
+    /// squared magnitude of the mean-subtracted Goertzel sum at `fs`,
+    /// averaged over subcarriers; a silent tag reads orders of magnitude
+    /// below a toggling one.
+    pub fn line_powers(&self, group: &SnapshotMatrix, snapshot_period_s: f64) -> Vec<f64> {
+        let n = group.n_rows();
+        let k = group.n_cols();
+        if n == 0 || k == 0 {
+            return vec![0.0; self.fs_hz.len()];
+        }
+        // per-subcarrier means (static clutter at DC)
+        let mut means = vec![Complex::ZERO; k];
+        for row in group.rows() {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / n as f64;
+        means.iter_mut().for_each(|m| *m = m.scale(inv));
+        self.fs_hz
+            .iter()
+            .map(|&fs| {
+                let f_norm = fs * snapshot_period_s;
+                let w = Complex::cis(-wiforce_dsp::TAU * f_norm);
+                let mut phase = Complex::ONE;
+                let mut acc = vec![Complex::ZERO; k];
+                for row in group.rows() {
+                    for ((a, &x), &m) in acc.iter_mut().zip(row).zip(&means) {
+                        *a += (x - m) * phase;
+                    }
+                    phase *= w;
+                }
+                acc.iter().map(|z| z.norm_sqr()).sum::<f64>() / (k as f64 * (n * n) as f64)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +483,96 @@ mod tests {
         for (a, b) in stream_est.iter().zip(&direct_est) {
             assert!((*a - *b).abs() < 1e-9);
         }
+    }
+
+    fn group_item(seq: u64) -> GroupItem {
+        GroupItem {
+            seq,
+            snapshots: std::sync::Arc::new(SnapshotMatrix::new(4)),
+            produced: std::time::Instant::now(),
+        }
+    }
+
+    #[test]
+    fn demux_fans_out_to_all_streams_in_order() {
+        let mut d = TagDemux::new(4);
+        let a = d.register(1000.0);
+        let b = d.register(1500.0);
+        assert_eq!(d.n_streams(), 2);
+        for seq in 0..3 {
+            d.fan_out(group_item(seq)).unwrap();
+        }
+        assert_eq!(d.depth(a), 3);
+        assert_eq!(d.depth(b), 3);
+        assert_eq!(d.pop(a).unwrap().seq, 0);
+        let rest: Vec<u64> = d.drain(a).into_iter().map(|g| g.seq).collect();
+        assert_eq!(rest, vec![1, 2]);
+        assert_eq!(d.drain(b).len(), 3);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn demux_backpressures_when_any_queue_full() {
+        let mut d = TagDemux::new(2);
+        let a = d.register(1000.0);
+        let b = d.register(1500.0);
+        d.fan_out(group_item(0)).unwrap();
+        d.fan_out(group_item(1)).unwrap();
+        assert!(!d.can_accept());
+        assert_eq!(d.occupancy(), 1.0);
+        // a full sibling queue blocks the whole fan-out, nothing enqueued
+        assert_eq!(d.fan_out(group_item(2)), Err(QueueFull { stream: a }));
+        assert_eq!(d.depth(a), 2);
+        assert_eq!(d.depth(b), 2);
+        // draining one stream reopens the fan-in
+        d.drain(a);
+        assert!(!d.can_accept()); // b still full
+        d.pop(b);
+        assert!(d.can_accept());
+        d.fan_out(group_item(2)).unwrap();
+        assert_eq!(d.pop(a).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn demux_routes_by_nearest_clock() {
+        let mut d = TagDemux::new(4);
+        let a = d.register(1000.0);
+        let b = d.register(1444.4);
+        assert_eq!(d.match_stream(1002.0, 10.0), Some(a));
+        assert_eq!(d.match_stream(1440.0, 10.0), Some(b));
+        assert_eq!(d.match_stream(1200.0, 10.0), None);
+        assert_eq!(d.route(1445.0, 10.0, group_item(7)), Ok(b));
+        assert_eq!(d.depth(a), 0);
+        assert_eq!(d.pop(b).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn line_powers_separate_active_from_silent_tags() {
+        // two on-grid clocks; only the first actually toggles in the rows
+        let period = 57.6e-6;
+        let n = 625usize;
+        let bin = 1.0 / (n as f64 * period);
+        let (f_active, f_silent) = (36.0 * bin, 53.0 * bin);
+        let mut m = SnapshotMatrix::new(3);
+        for i in 0..n {
+            let t = i as f64 * period;
+            let tone = Complex::cis(wiforce_dsp::TAU * f_active * t).scale(0.1);
+            m.push_row(&[
+                Complex::new(1.0, 0.0) + tone,
+                Complex::new(0.5, 0.5) + tone,
+                tone,
+            ]);
+        }
+        let mut d = TagDemux::new(4);
+        d.register(f_active);
+        d.register(f_silent);
+        let p = d.line_powers(&m, period);
+        assert!(p[0] > 1e-3, "active line power {}", p[0]);
+        assert!(
+            p[1] < 1e-9 * p[0],
+            "silent tag leaked: {} vs {}",
+            p[1],
+            p[0]
+        );
     }
 }

@@ -159,6 +159,59 @@ impl ClockPair {
     pub fn is_exclusive(&self) -> bool {
         self.switch2_active_low
     }
+
+    /// Time-averaged occupancy of the four `(switch 1, switch 2)` drive
+    /// states over `[t0, t0 + window_s)`, indexed `on1 | on2 << 1`.
+    ///
+    /// A channel sounder correlates over a whole integration window (the
+    /// OFDM preamble, an FMCW sweep), not an instant. Sampling the
+    /// square-wave drive at single instants instead aliases its high
+    /// harmonics — at a ~57.6 µs snapshot rate, `k·fs` lines with `k` in
+    /// the hundreds fold back into the low Doppler bins where *other*
+    /// tags' `fs`/`4fs` lines live, leaking press-dependent phase across
+    /// frequency-multiplexed streams. Averaging the state occupancy over
+    /// the window models the correlation receiver and suppresses the
+    /// aliased leakage (the `sinc` roll-off of the window).
+    ///
+    /// Exact: walks the union of both clocks' edges inside the window and
+    /// integrates each constant segment, so the weights always sum to 1.
+    pub fn state_weights(&self, t0: f64, window_s: f64) -> [f64; 4] {
+        let state_at =
+            |t: f64| self.modulation1(t) as usize | ((self.modulation2(t) as usize) << 1);
+        let mut w = [0.0; 4];
+        if window_s <= 0.0 {
+            w[state_at(t0)] = 1.0;
+            return w;
+        }
+        // state-transition instants (relative to t0) from either clock;
+        // inversion of switch 2 moves levels, not edge times
+        let mut edges = vec![0.0, window_s];
+        for clk in [&self.clock1, &self.clock2] {
+            let mut k = ((t0 - clk.offset_s) / clk.period_s).floor();
+            loop {
+                let rise = clk.offset_s + k * clk.period_s - t0;
+                let fall = rise + clk.duty * clk.period_s;
+                if rise >= window_s {
+                    break;
+                }
+                if rise > 0.0 {
+                    edges.push(rise);
+                }
+                if fall > 0.0 && fall < window_s {
+                    edges.push(fall);
+                }
+                k += 1.0;
+            }
+        }
+        edges.sort_by(f64::total_cmp);
+        for pair in edges.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b > a {
+                w[state_at(t0 + 0.5 * (a + b))] += (b - a) / window_s;
+            }
+        }
+        w
+    }
 }
 
 #[cfg(test)]
@@ -336,5 +389,55 @@ mod tests {
     #[should_panic(expected = "duty must be in")]
     fn rejects_bad_duty() {
         let _ = DutyClock::new(1000.0, 1.5, 0.0);
+    }
+
+    #[test]
+    fn state_weights_sum_to_one_and_match_subsampling() {
+        let pair = ClockPair::wiforce(1234.5);
+        let window = 25.6e-6;
+        for i in 0..200 {
+            let t0 = i as f64 * 7.3e-6;
+            let w = pair.state_weights(t0, window);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "t0={t0}");
+            // brute-force occupancy from dense sampling
+            let sub = 4096;
+            let mut dense = [0.0; 4];
+            for j in 0..sub {
+                let t = t0 + window * (j as f64 + 0.5) / sub as f64;
+                let idx = pair.modulation1(t) as usize | ((pair.modulation2(t) as usize) << 1);
+                dense[idx] += 1.0 / sub as f64;
+            }
+            for q in 0..4 {
+                assert!(
+                    (w[q] - dense[q]).abs() < 2e-3,
+                    "t0={t0} state {q}: exact {} dense {}",
+                    w[q],
+                    dense[q]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_weights_over_full_period_match_duties() {
+        // WiForce scheme: switch 1 on 25 %, switch 2 on 25 %, never both
+        let pair = ClockPair::wiforce(1000.0);
+        let w = pair.state_weights(0.123e-3, 1e-3);
+        assert!((w[0] - 0.5).abs() < 1e-9, "{w:?}");
+        assert!((w[1] - 0.25).abs() < 1e-9, "{w:?}");
+        assert!((w[2] - 0.25).abs() < 1e-9, "{w:?}");
+        assert_eq!(w[3], 0.0, "exclusive scheme hit both-on: {w:?}");
+    }
+
+    #[test]
+    fn zero_window_is_instantaneous() {
+        let pair = ClockPair::wiforce(1000.0);
+        for i in 0..50 {
+            let t = i as f64 * 3.1e-5;
+            let idx = pair.modulation1(t) as usize | ((pair.modulation2(t) as usize) << 1);
+            let w = pair.state_weights(t, 0.0);
+            assert_eq!(w[idx], 1.0);
+            assert_eq!(w.iter().sum::<f64>(), 1.0);
+        }
     }
 }

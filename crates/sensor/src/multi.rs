@@ -105,6 +105,62 @@ pub fn allocate_frequencies(
     Ok(chosen)
 }
 
+/// Allocates `n` base frequencies like [`allocate_frequencies`], but
+/// restricted to integer multiples of `grid_hz` — the Doppler-bin spacing
+/// of the reader's phase group (`1 / (n_snapshots · T)`, 27.7̄ Hz for the
+/// paper's 625 × 57.6 µs group). On-grid clocks put *every* modulation
+/// harmonic of every tag on an integer DFT bin, so the rectangular-window
+/// extraction of one tag's lines is exactly orthogonal to all other tags
+/// — the condition a frequency-multiplexed batch reader needs to demux
+/// N streams from one shared snapshot stream without cross-talk.
+pub fn allocate_frequencies_on_grid(
+    n: usize,
+    f_min_hz: f64,
+    f_max_hz: f64,
+    grid_hz: f64,
+) -> Result<Vec<f64>, AllocError> {
+    assert!(grid_hz > 0.0 && f_min_hz > 0.0 && f_max_hz > f_min_hz);
+    let k_min = (f_min_hz / grid_hz).ceil() as u64;
+    let k_max = (f_max_hz / grid_hz).floor() as u64;
+    // integer harmonic sets: tag k occupies {m·k : m ≤ 8, m % 4 ≠ 0} plus
+    // the doubled clock's lines {2m·k : m ≤ 4, m % 4 ≠ 0}; read lines are
+    // {k, 4k}. Working on bin indices makes collision checks exact.
+    let occupied = |k: u64| -> Vec<u64> {
+        let mut v: Vec<u64> = (1..=8u64)
+            .filter(|m| m % 4 != 0)
+            .flat_map(|m| [m * k, 2 * m * k])
+            .filter(|&l| l <= 8 * k)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut chosen: Vec<u64> = Vec::new();
+    'candidates: for k in k_min..=k_max {
+        if chosen.len() == n {
+            break;
+        }
+        for &other in &chosen {
+            let other_lines = occupied(other);
+            if other_lines.contains(&k) || other_lines.contains(&(4 * k)) {
+                continue 'candidates;
+            }
+            let my_lines = occupied(k);
+            if my_lines.contains(&other) || my_lines.contains(&(4 * other)) {
+                continue 'candidates;
+            }
+        }
+        chosen.push(k);
+    }
+    if chosen.len() < n {
+        return Err(AllocError::BandFull {
+            allocated: chosen.len(),
+            requested: n,
+        });
+    }
+    Ok(chosen.into_iter().map(|k| k as f64 * grid_hz).collect())
+}
+
 /// A strip of parallel WiForce tags forming a 2-D sensing surface.
 #[derive(Debug, Clone)]
 pub struct TagArray {
@@ -213,6 +269,41 @@ mod tests {
         assert!(lines.contains(&2000.0));
         assert!(lines.contains(&4000.0)); // from the 2fs clock (m=2·k? k=2)
         assert!(!lines.contains(&8000.0) || lines.iter().all(|&l| (l - 8000.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn grid_allocation_lands_on_bins() {
+        // the paper group's Doppler bin spacing: 1 / (625 · 57.6 µs)
+        let bin = 1.0 / (625.0 * 57.6e-6);
+        let fs = allocate_frequencies_on_grid(8, 800.0, 2200.0, bin).unwrap();
+        assert_eq!(fs.len(), 8);
+        for &f in &fs {
+            let k = f / bin;
+            assert!((k - k.round()).abs() < 1e-9, "{f} Hz off the bin grid");
+            assert!((800.0..=2200.0).contains(&f));
+        }
+        // read lines of any tag never land on another tag's harmonics
+        for i in 0..fs.len() {
+            for j in 0..fs.len() {
+                if i == j {
+                    continue;
+                }
+                for rl in read_lines(fs[i]) {
+                    for l in occupied_lines(fs[j], 8) {
+                        assert!(
+                            (rl - l).abs() > 1e-6,
+                            "tag {i} read line {rl} collides with tag {j} line {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_allocation_band_full() {
+        let err = allocate_frequencies_on_grid(10, 1000.0, 1100.0, 27.0).unwrap_err();
+        assert!(matches!(err, AllocError::BandFull { .. }));
     }
 
     #[test]

@@ -206,6 +206,21 @@ impl PipelineHealth {
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
     }
+
+    /// Looks up an observation summary by name.
+    pub fn observation(&self, name: &str) -> Option<&ObservationStats> {
+        self.observations.iter().find(|o| o.name == name)
+    }
+
+    /// Gauges whose name starts with `prefix` — the per-stream view of a
+    /// batch run (`batch.stream.<name>.*`), in sorted-name order.
+    pub fn gauges_with_prefix(&self, prefix: &str) -> Vec<(&str, f64)> {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect()
+    }
 }
 
 #[cfg(test)]

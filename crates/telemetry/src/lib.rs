@@ -301,6 +301,47 @@ pub fn observe(name: &'static str, v: f64) {
     });
 }
 
+/// Like [`counter`], but with a runtime-built name — for per-stream or
+/// per-shard metrics (`batch.stream.<name>.presses_ok`) whose identity is
+/// only known at run time. No-op while disabled; the `String` is only
+/// built by callers when [`enabled`] says recording is on.
+#[inline]
+pub fn counter_owned(name: String, n: u64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        *r.borrow_mut().data.counters.entry(name).or_insert(0) += n;
+    });
+}
+
+/// Like [`gauge`], but with a runtime-built name. No-op while disabled.
+#[inline]
+pub fn gauge_owned(name: String, v: f64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        r.borrow_mut().data.gauges.insert(name, v);
+    });
+}
+
+/// Like [`observe`], but with a runtime-built name. No-op while disabled.
+#[inline]
+pub fn observe_owned(name: String, v: f64) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        r.borrow_mut()
+            .data
+            .observations
+            .entry(name)
+            .or_default()
+            .record(v);
+    });
+}
+
 /// An open timing span. Created by [`span!`]; records its elapsed wall
 /// time under the hierarchical path of enclosing spans when dropped.
 /// When telemetry is disabled the constructor returns an inert value and
@@ -444,6 +485,30 @@ mod tests {
         assert_eq!(h.min, 0.25);
         assert_eq!(h.max, 4.0);
         assert!((h.sum - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owned_names_record_like_static_ones() {
+        let snap = with_enabled(|| {
+            counter_owned(format!("batch.stream.{}.presses", 3), 2);
+            counter("batch.stream.3.presses", 1);
+            gauge_owned("batch.stream.3.ok".to_string(), 1.0);
+            observe_owned("batch.queue_depth".to_string(), 2.0);
+            take()
+        });
+        assert_eq!(snap.counters["batch.stream.3.presses"], 3);
+        assert_eq!(snap.gauges["batch.stream.3.ok"], 1.0);
+        assert_eq!(snap.observations["batch.queue_depth"].count, 1);
+    }
+
+    #[test]
+    fn owned_names_noop_while_disabled() {
+        reset();
+        set_enabled(false);
+        counter_owned("c".into(), 1);
+        gauge_owned("g".into(), 1.0);
+        observe_owned("o".into(), 1.0);
+        assert!(take().is_empty());
     }
 
     #[test]

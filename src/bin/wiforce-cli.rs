@@ -9,7 +9,17 @@
 //! wiforce-cli spectrum --in capture.wifs [--snr-db 10] [--waterfall 1]
 //! wiforce-cli calibrate --out model.wfm [--carrier-ghz 2.4]
 //! wiforce-cli health   [--health-json health.json] [--carrier-ghz 2.4] [--seed 11]
+//! wiforce-cli serve    [--streams 4] [--presses 4] [--readers 1] [--workers 4]
+//!                      [--queue 4] [--faults none|harsh|saturating] [--seed 5]
 //! ```
+//!
+//! `serve` drives the multi-stream batch engine (`wiforce::batch`): it
+//! builds `--readers` simulated reader front ends, each carrying
+//! `--streams` frequency-multiplexed tags with `--presses` scheduled
+//! presses per stream, and runs them through `run_batch` on a
+//! `--workers`-thread pool with `--queue`-deep per-stream snapshot
+//! queues. It prints a per-stream result table plus aggregate throughput,
+//! latency, and backpressure statistics.
 //!
 //! `press` and `replay` accept `--model model.wfm` to reuse a saved
 //! calibration instead of re-deriving it.
@@ -30,11 +40,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use wiforce::batch::{run_batch, BatchConfig, ReaderSpec};
 use wiforce::estimator::{EstimatorConfig, ForceEstimator};
 use wiforce::pipeline::{Simulation, TagClock};
 use wiforce::record::Recording;
 use wiforce::spectrum::{discover_tags, DopplerSpectrum};
 use wiforce::tracking::{Tracker, TrackerConfig};
+use wiforce_channel::faults::FaultConfig;
 use wiforce_telemetry::PipelineHealth;
 
 /// Minimal `--key value` argument map.
@@ -91,7 +103,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wiforce-cli <press|sweep|record|replay|spectrum|calibrate|health> [--key value ...]\n\
+    "usage: wiforce-cli <press|sweep|record|replay|spectrum|calibrate|health|serve> [--key value ...]\n\
      \n\
      press    simulate one calibrated press and print the estimate\n\
      sweep    run a small Monte-Carlo press sweep and print error medians\n\
@@ -100,9 +112,12 @@ fn usage() -> &'static str {
      spectrum Doppler spectrum + tag discovery of a .wifs capture\n\
      calibrate derive the sensor model and save it to a .wfm file\n\
      health   run the full stack with telemetry on and emit a health report\n\
+     serve    run N frequency-multiplexed streams through the batch engine\n\
      \n\
      common flags: --carrier-ghz F  --force N  --location-mm MM  --seed N  --model F.wfm\n\
-     press/sweep/replay/health: --health-json PATH  write a PipelineHealth report"
+     press/sweep/replay/health/serve: --health-json PATH  write a PipelineHealth report\n\
+     serve: --streams N  --presses N  --readers N  --workers N  --queue N\n\
+     \x20       --faults none|harsh|saturating"
 }
 
 /// `--health-json` handling: when the flag is present, [`enable`]
@@ -154,6 +169,7 @@ fn main() -> ExitCode {
         "spectrum" => cmd_spectrum(&args),
         "calibrate" => cmd_calibrate(&args),
         "health" => cmd_health(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     };
     match result {
@@ -464,4 +480,74 @@ fn cmd_health(args: &Args) -> Result<(), String> {
         None => print!("{}", report.to_json()),
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let sim = sim_from(args)?;
+    let streams = args.u64_or("streams", 4)?.max(1) as usize;
+    let presses = args.u64_or("presses", 4)?.max(1) as usize;
+    let readers = args.u64_or("readers", 1)?.max(1) as usize;
+    let workers = args.u64_or("workers", 4)?.max(1) as usize;
+    let queue = args.u64_or("queue", 4)?.max(1) as usize;
+    let seed = args.u64_or("seed", 5)?;
+    let faults = match args.get("faults").unwrap_or("none") {
+        "none" => FaultConfig::none(),
+        "harsh" => FaultConfig::harsh(),
+        "saturating" => FaultConfig::saturating(),
+        other => {
+            return Err(format!(
+                "--faults '{other}': expected none|harsh|saturating"
+            ))
+        }
+    };
+    let model = std::sync::Arc::new(model_from(args, &sim)?);
+    let health = HealthSink::enable(args);
+
+    let specs: Vec<ReaderSpec> = (0..readers)
+        .map(|r| {
+            ReaderSpec::frequency_multiplexed(streams, presses, seed + r as u64, &sim.group)
+                .map(|s| s.with_faults(faults))
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let cfg = BatchConfig {
+        workers,
+        queue_capacity: queue,
+        ..BatchConfig::wiforce(workers)
+    };
+    let report = run_batch(&sim, &model, &specs, &cfg).map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<12} {:>6} {:>9} {:>9} {:>6} {:>12}",
+        "stream", "reader", "clock Hz", "readings", "fail", "p95 lat ms"
+    );
+    for s in &report.streams {
+        println!(
+            "{:<12} {:>6} {:>9.1} {:>9} {:>6} {:>12.3}",
+            s.name,
+            s.reader,
+            s.fs_hz,
+            s.readings.len(),
+            s.failures,
+            s.p95_latency_ns() as f64 / 1e6
+        );
+    }
+    println!(
+        "\n{} streams on {} reader(s), {} workers: {} groups in {:.2} s",
+        report.streams.len(),
+        readers,
+        workers,
+        report.groups_produced,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput {:.1} presses/s, p95 group latency {:.3} ms",
+        report.presses_per_sec(),
+        report.p95_stream_latency_ns() as f64 / 1e6
+    );
+    println!(
+        "backpressure events {}, snapshots dropped {}, bursts injected {}",
+        report.backpressure_events, report.snapshots_dropped, report.bursts_injected
+    );
+    health.finish()
 }

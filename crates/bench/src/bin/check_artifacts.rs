@@ -72,6 +72,32 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
     c.number(root, "ns_per_group", true);
     c.number(root, "allocs_per_group", false);
 
+    // schema v4: per-stage breakdown + telemetry-overhead ceiling
+    let schema = root
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if schema >= 4.0 {
+        match root.get("stage_breakdown") {
+            None => c.fail("missing 'stage_breakdown' object (schema v4)".into()),
+            Some(sb) => {
+                for key in regression::STAGE_BREAKDOWN_METRICS {
+                    if sb.get(key).and_then(Value::as_f64).is_none() {
+                        c.fail(format!("stage_breakdown missing numeric key '{key}'"));
+                    }
+                }
+            }
+        }
+        if let Some(v) = root.get("telemetry_overhead_pct").and_then(Value::as_f64) {
+            if v > regression::MAX_TELEMETRY_OVERHEAD_PCT {
+                c.fail(format!(
+                    "telemetry_overhead_pct = {v:.2} exceeds the {:.1}% ceiling",
+                    regression::MAX_TELEMETRY_OVERHEAD_PCT
+                ));
+            }
+        }
+    }
+
     // schema v3: the batch-engine throughput section
     match root.get("throughput").and_then(Value::as_array) {
         None => c.fail("missing 'throughput' array (batch engine section)".into()),

@@ -1,0 +1,288 @@
+//! Press-invariant channel cache.
+//!
+//! Everything the pipeline derives from a [`Scene`] at a fixed frequency
+//! grid — static multipath response, backscatter path gain, AGC full
+//! scale — is invariant across presses: only the tag's reflection and the
+//! receiver noise change snapshot to snapshot. Yet the seed pipeline
+//! re-evaluated all of it (per subcarrier, with tissue-stack ABCD
+//! products inside) on every `run_snapshots` call. [`ChannelCache`] holds
+//! that invariant slice, and [`SharedChannelCache`] shares one entry
+//! read-only between the pipeline and every `wiforce::batch` worker.
+//!
+//! Invalidation is by value, not by notification: an entry stores the
+//! FNV-1a [`scene_fingerprint`] of every scene and grid field it was
+//! built from, and [`SharedChannelCache::get_or_build`] rebuilds whenever
+//! the fingerprint of the requested scene differs (a mover edit, a
+//! blockage change, a tag move — anything). A stale entry can therefore
+//! never be observed, which the cache-equivalence fixture tests pin.
+
+use crate::scene::Scene;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wiforce_dsp::Complex;
+
+/// The press-invariant part of the channel for one `(scene, grid)` pair.
+#[derive(Debug, Clone)]
+pub struct ChannelCache {
+    /// [`scene_fingerprint`] of the scene + grid this was built from.
+    pub fingerprint: u64,
+    /// Absolute grid frequencies, Hz (ascending).
+    pub freqs_hz: Vec<f64>,
+    /// Static response (direct + clutter) per grid frequency.
+    pub statics: Vec<Complex>,
+    /// Backscatter path gain (excluding the tag reflection) per grid
+    /// frequency.
+    pub gains: Vec<Complex>,
+    /// Direct-path amplitude at the carrier (burst-interference scale).
+    pub direct_amp: f64,
+    /// AGC full-scale amplitude: strongest static magnitude × 1.5.
+    pub full_scale: f64,
+}
+
+impl ChannelCache {
+    /// Evaluates the press-invariant channel state for `scene` at
+    /// `freqs_hz` — the same arithmetic, in the same order, as the
+    /// uncached pipeline setup, so cached and uncached runs agree
+    /// bit-for-bit.
+    pub fn build(scene: &Scene, freqs_hz: &[f64]) -> Self {
+        let statics: Vec<Complex> = freqs_hz.iter().map(|&f| scene.static_response(f)).collect();
+        let gains: Vec<Complex> = freqs_hz
+            .iter()
+            .map(|&f| scene.backscatter_gain(f))
+            .collect();
+        let direct_amp = scene.direct_response(scene.carrier_hz).abs();
+        let full_scale = statics.iter().map(|s| s.abs()).fold(0.0_f64, f64::max) * 1.5;
+        ChannelCache {
+            fingerprint: scene_fingerprint(scene, freqs_hz),
+            freqs_hz: freqs_hz.to_vec(),
+            statics,
+            gains,
+            direct_amp,
+            full_scale,
+        }
+    }
+}
+
+/// FNV-1a hash over the raw bits of every scene field (geometry, power,
+/// clutter paths, movers, tissue stack, blockage) plus the grid
+/// frequencies — the identity under which [`ChannelCache`] entries are
+/// valid. Any field change, however small, changes the fingerprint.
+pub fn scene_fingerprint(scene: &Scene, freqs_hz: &[f64]) -> u64 {
+    let mut h = Fnv::new();
+    h.f64(scene.carrier_hz);
+    for p in [scene.tx_pos_m, scene.rx_pos_m, scene.tag_pos_m] {
+        for v in p {
+            h.f64(v);
+        }
+    }
+    h.f64(scene.tx_power_dbm);
+    h.f64(scene.antenna_gain_dbi);
+    h.u64(scene.multipath.len() as u64);
+    for path in scene.multipath.paths() {
+        h.f64(path.distance_m);
+        h.f64(path.gain.re);
+        h.f64(path.gain.im);
+    }
+    h.u64(scene.movers.len() as u64);
+    for m in &scene.movers {
+        h.f64(m.distance0_m);
+        h.f64(m.speed_m_per_s);
+        h.f64(m.gain.re);
+        h.f64(m.gain.im);
+    }
+    match &scene.tissue {
+        None => h.u64(0),
+        Some(layers) => {
+            h.u64(1 + layers.len() as u64);
+            for l in layers {
+                h.f64(l.dielectric.rel_permittivity);
+                h.f64(l.dielectric.loss_tangent);
+                h.f64(l.dielectric.conductivity_s_per_m);
+                h.f64(l.thickness_m);
+            }
+        }
+    }
+    h.f64(scene.direct_blockage_db);
+    h.f64(scene.tissue_excess_db_per_pass);
+    h.u64(freqs_hz.len() as u64);
+    for &f in freqs_hz {
+        h.f64(f);
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A process-shareable slot holding the current [`ChannelCache`] entry.
+///
+/// `Clone` shares the underlying slot (it is an `Arc`), so a cloned
+/// `Simulation` — as `wiforce::batch` makes per worker — reuses the same
+/// entry instead of rebuilding per thread. Readers get an
+/// `Arc<ChannelCache>` and never block each other beyond the lookup lock.
+///
+/// Hit/miss statistics live on the shared slot as atomics, NOT in the
+/// telemetry stream: which thread performs the single build is a
+/// scheduling accident, and a warm slot survives across runs, so
+/// per-thread telemetry counters would break the sweep's
+/// deterministic-merge guarantee. [`Self::stats`] reads the totals.
+#[derive(Debug, Clone, Default)]
+pub struct SharedChannelCache {
+    slot: Arc<Mutex<Option<Arc<ChannelCache>>>>,
+    stats: Arc<CacheStats>,
+}
+
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedChannelCache {
+    /// An empty cache slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached entry for `(scene, freqs_hz)`, building (and
+    /// storing) it when the slot is empty or fingerprint-stale.
+    pub fn get_or_build(&self, scene: &Scene, freqs_hz: &[f64]) -> Arc<ChannelCache> {
+        let fp = scene_fingerprint(scene, freqs_hz);
+        let mut slot = self.slot.lock().expect("channel cache poisoned");
+        if let Some(entry) = slot.as_ref() {
+            if entry.fingerprint == fp {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(entry);
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(ChannelCache::build(scene, freqs_hz));
+        *slot = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Lifetime `(hits, misses)` totals across every clone of this slot.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.stats.hits.load(Ordering::Relaxed),
+            self.stats.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes the hit/miss totals (the entry itself is kept).
+    pub fn reset_stats(&self) {
+        self.stats.hits.store(0, Ordering::Relaxed);
+        self.stats.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops the current entry (the next lookup rebuilds). Fingerprint
+    /// checks already catch every scene mutation; this exists for tests
+    /// and for callers that want to bound memory.
+    pub fn invalidate(&self) {
+        *self.slot.lock().expect("channel cache poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movers::MovingScatterer;
+
+    fn freqs() -> Vec<f64> {
+        (0..8).map(|i| 0.9e9 + i as f64 * 195.3e3).collect()
+    }
+
+    #[test]
+    fn build_matches_direct_evaluation_bitwise() {
+        let scene = Scene::tissue_phantom(0.9e9, 45.0);
+        let f = freqs();
+        let c = ChannelCache::build(&scene, &f);
+        for (k, &fk) in f.iter().enumerate() {
+            let s = scene.static_response(fk);
+            let g = scene.backscatter_gain(fk);
+            assert_eq!(c.statics[k].re.to_bits(), s.re.to_bits());
+            assert_eq!(c.statics[k].im.to_bits(), s.im.to_bits());
+            assert_eq!(c.gains[k].re.to_bits(), g.re.to_bits());
+            assert_eq!(c.gains[k].im.to_bits(), g.im.to_bits());
+        }
+        let fs = f
+            .iter()
+            .map(|&fk| scene.static_response(fk).abs())
+            .fold(0.0_f64, f64::max)
+            * 1.5;
+        assert_eq!(c.full_scale.to_bits(), fs.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field_class() {
+        let base = Scene::fig12(0.9e9);
+        let f = freqs();
+        let fp0 = scene_fingerprint(&base, &f);
+        assert_eq!(fp0, scene_fingerprint(&base.clone(), &f), "deterministic");
+
+        let mut moved = base.clone();
+        moved.tag_pos_m[0] += 1e-9;
+        assert_ne!(fp0, scene_fingerprint(&moved, &f), "geometry");
+
+        let mut blocked = base.clone();
+        blocked.direct_blockage_db = 45.0;
+        assert_ne!(fp0, scene_fingerprint(&blocked, &f), "blockage");
+
+        let mut mover = base.clone();
+        mover.movers.push(MovingScatterer::walker(0.1));
+        assert_ne!(fp0, scene_fingerprint(&mover, &f), "movers");
+
+        let tissue = Scene::tissue_phantom(0.9e9, 0.0);
+        assert_ne!(fp0, scene_fingerprint(&tissue, &f), "tissue");
+
+        let mut f2 = f.clone();
+        f2[3] += 1.0;
+        assert_ne!(fp0, scene_fingerprint(&base, &f2), "grid");
+    }
+
+    #[test]
+    fn shared_cache_hits_and_invalidates() {
+        let shared = SharedChannelCache::new();
+        let scene = Scene::fig12(0.9e9);
+        let f = freqs();
+        let a = shared.get_or_build(&scene, &f);
+        let b = shared.get_or_build(&scene, &f);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits");
+        // clones share the slot (what batch workers rely on) — and the
+        // hit/miss totals, which clones also share
+        let c = shared.clone().get_or_build(&scene, &f);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(shared.stats(), (2, 1), "two hits, one build");
+
+        let mut mutated = scene.clone();
+        mutated.direct_blockage_db = 10.0;
+        let d = shared.get_or_build(&mutated, &f);
+        assert!(!Arc::ptr_eq(&a, &d), "scene mutation rebuilds");
+        assert_eq!(d.fingerprint, scene_fingerprint(&mutated, &f));
+
+        shared.invalidate();
+        let e = shared.get_or_build(&mutated, &f);
+        assert!(!Arc::ptr_eq(&d, &e), "invalidate drops the entry");
+        assert_eq!(d.full_scale.to_bits(), e.full_scale.to_bits());
+
+        shared.reset_stats();
+        assert_eq!(shared.stats(), (0, 0));
+    }
+}

@@ -97,11 +97,23 @@ impl Frontend {
             Complex::ONE
         };
         let sigma2 = (self.noise_floor * noise_scale).powi(2);
+        if sigma2 == 0.0 {
+            // noiseless path (how the pipeline calls this, via `process`):
+            // bulk rotate then one dispatched quantization pass — the same
+            // arithmetic as the general loop below, element for element
+            for h in estimates.iter_mut() {
+                *h *= jitter;
+            }
+            if self.adc_enob_bits > 0 && full_scale > 0.0 {
+                let levels = (1u64 << self.adc_enob_bits.min(62)) as f64;
+                let step = 2.0 * full_scale / levels;
+                wiforce_dsp::kernels::quantize_complex(estimates, full_scale, step);
+            }
+            return;
+        }
         for h in estimates.iter_mut() {
             let mut v = *h * jitter;
-            if sigma2 > 0.0 {
-                v += complex_gaussian(rng, sigma2);
-            }
+            v += complex_gaussian(rng, sigma2);
             if self.adc_enob_bits > 0 && full_scale > 0.0 {
                 v = quantize(v, full_scale, self.adc_enob_bits);
             }

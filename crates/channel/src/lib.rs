@@ -17,6 +17,9 @@
 //! 60 dB USRP limitation that forces the paper's metal-plate isolation in
 //! the phantom experiment), and injectable faults.
 //!
+//! * [`cache`] — press-invariant channel cache (static response,
+//!   backscatter gain, AGC full scale) shared read-only by the pipeline
+//!   and batch workers, fingerprint-invalidated on any scene change.
 //! * [`pathloss`] — Friis one-way and radar-style two-way backscatter
 //!   budgets.
 //! * [`multipath`] — static indoor clutter as a sum of discrete paths.
@@ -29,6 +32,7 @@
 //! * [`faults`] — snapshot dropouts, tag clock drift, interference bursts
 //!   (for robustness testing, smoltcp-style).
 
+pub mod cache;
 pub mod faults;
 pub mod frontend;
 pub mod movers;
@@ -36,6 +40,7 @@ pub mod multipath;
 pub mod pathloss;
 pub mod scene;
 
+pub use cache::{ChannelCache, SharedChannelCache};
 pub use frontend::Frontend;
 pub use multipath::StaticMultipath;
 pub use scene::Scene;

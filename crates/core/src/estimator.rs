@@ -105,12 +105,17 @@ impl ForceEstimator {
         &mut self,
         snapshot: &[Complex],
     ) -> Result<Option<ForceReading>, WiForceError> {
-        wiforce_telemetry::counter!("estimator.snapshots_pushed", 1);
         self.buffer.push_row(snapshot);
         if self.buffer.n_rows() < self.cfg.group.n_snapshots {
             return Ok(None);
         }
         let _span = wiforce_telemetry::span!("estimator.group");
+        // counted once per completed group (not per push): the per-sample
+        // counter lookup was a measurable share of telemetry-on overhead
+        wiforce_telemetry::counter!(
+            "estimator.snapshots_pushed",
+            self.cfg.group.n_snapshots as u64
+        );
         let start_s = self.groups_seen as f64
             * self.cfg.group.n_snapshots as f64
             * self.cfg.group.snapshot_period_s;

@@ -48,8 +48,9 @@ impl DopplerSpectrum {
                 }
                 mean = mean.scale(1.0 / n as f64);
                 for (i, snap) in snapshots.rows().enumerate() {
-                    col[i] = (snap[k] - mean) * w[i];
+                    col[i] = snap[k] - mean;
                 }
+                wiforce_dsp::kernels::apply_window(&mut col[..n], &w);
                 col[n..].iter_mut().for_each(|z| *z = Complex::ZERO);
                 plan.forward_inplace(&mut col);
                 for (b, p) in power.iter_mut().enumerate() {

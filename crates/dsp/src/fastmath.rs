@@ -16,10 +16,11 @@
 //!   [`standard_normals_from_uniforms`] produce bit-identical values for
 //!   the same inputs — the batch is the same arithmetic, evaluated
 //!   lane-parallel;
-//! * the AVX2 instantiation is semantics-preserving auto-vectorization of
-//!   the scalar code (no FMA contraction, no reassociation), so results do
-//!   not depend on which path the runtime dispatch picks — simulations
-//!   reproduce bit-for-bit across x86-64 machines.
+//! * the SIMD instantiations (dispatched via [`crate::kernels`]) are
+//!   semantics-preserving auto-vectorization of the scalar code (no FMA
+//!   contraction, no reassociation), so results do not depend on which
+//!   path the runtime dispatch picks — simulations reproduce bit-for-bit
+//!   across machines.
 
 const TAU: f64 = std::f64::consts::TAU;
 const SQRT_2: f64 = std::f64::consts::SQRT_2;
@@ -115,44 +116,21 @@ pub fn box_muller(u1: f64, u2: f64) -> f64 {
     (-2.0 * ln_fast(u1)).sqrt() * cos_tau(u2)
 }
 
-/// The batched transform body. `#[inline(always)]` so the AVX2 wrapper
-/// below re-instantiates (and auto-vectorizes) this exact code.
-#[inline(always)]
-fn transform(u1s: &[f64], u2s: &[f64], out: &mut [f64]) {
-    for ((o, &u1), &u2) in out.iter_mut().zip(u1s).zip(u2s) {
-        *o = box_muller(u1, u2);
-    }
-}
-
-/// [`transform`] compiled with AVX2 enabled: identical Rust code, so LLVM
-/// may only vectorize it in ways that preserve per-element semantics —
-/// the results are bit-identical to the scalar path (a test asserts it).
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-fn transform_avx2(u1s: &[f64], u2s: &[f64], out: &mut [f64]) {
-    transform(u1s, u2s, out);
-}
-
 /// Transforms pre-drawn Box–Muller uniform pairs into standard normals:
 /// `out[i] = √(−2 ln u1s[i]) · cos(2π u2s[i])`.
 ///
 /// Every `u1s[i]` must be positive and normal (see
-/// [`crate::rng::draw_box_muller_uniforms`], which guarantees it). Uses
-/// the AVX2 instantiation when the CPU supports it; both paths produce
-/// the same bits.
+/// [`crate::rng::draw_box_muller_uniforms`], which guarantees it).
+/// Delegates to the runtime-dispatched
+/// [`crate::kernels::box_muller_normals`] kernel; every backend produces
+/// the same bits as the scalar [`box_muller`].
 ///
 /// # Panics
 /// Panics if the three slices differ in length.
 pub fn standard_normals_from_uniforms(u1s: &[f64], u2s: &[f64], out: &mut [f64]) {
     assert_eq!(u1s.len(), out.len(), "one u1 per output normal");
     assert_eq!(u2s.len(), out.len(), "one u2 per output normal");
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // Safety: `transform_avx2` only requires AVX2, which was just
-        // detected at runtime.
-        return unsafe { transform_avx2(u1s, u2s, out) };
-    }
-    transform(u1s, u2s, out);
+    crate::kernels::box_muller_normals(u1s, u2s, out);
 }
 
 #[cfg(test)]

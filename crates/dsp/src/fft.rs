@@ -412,20 +412,18 @@ pub fn goertzel_columns(
     let mut phases = vec![Complex::ONE; ws.len()];
     let mut out = vec![vec![Complex::ZERO; n_cols]; ws.len()];
     for row in data.chunks_exact(n_cols) {
+        // One dispatched row pass per line: each acc[j][k] still receives
+        // exactly one add per row, so the result is bit-identical to the
+        // per-column formulation this replaces.
         match col_offsets {
             Some(off) => {
-                for (k, (&x, &o)) in row.iter().zip(off).enumerate() {
-                    let d = x - o;
-                    for (acc, &phase) in out.iter_mut().zip(&phases) {
-                        acc[k] += d * phase;
-                    }
+                for (acc, &phase) in out.iter_mut().zip(&phases) {
+                    crate::kernels::cmac_sub_scaled(acc, row, off, phase);
                 }
             }
             None => {
-                for (k, &x) in row.iter().enumerate() {
-                    for (acc, &phase) in out.iter_mut().zip(&phases) {
-                        acc[k] += x * phase;
-                    }
+                for (acc, &phase) in out.iter_mut().zip(&phases) {
+                    crate::kernels::cmac_scaled(acc, row, phase);
                 }
             }
         }

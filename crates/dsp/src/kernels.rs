@@ -1,0 +1,577 @@
+//! Runtime-dispatched SIMD kernels for the pipeline's inner loops.
+//!
+//! Every hot per-sample loop in the simulator — Box–Muller noise fill,
+//! complex multiply-accumulate (Goertzel row passes, tag-response
+//! synthesis, preamble repeat averaging), phase wrapping, window
+//! application, ADC quantization — funnels through this module. Each
+//! kernel is written once as an explicitly chunked, autovectorization-
+//! friendly scalar body; `#[target_feature]` wrappers re-instantiate the
+//! *same Rust code* with AVX2 / AVX-512F (x86-64) or NEON (aarch64)
+//! enabled, so LLVM may only vectorize it in semantics-preserving ways:
+//! no FMA contraction, no reassociation, identical rounding. The runtime
+//! [`backend`] dispatch therefore never changes results — a simulation
+//! reproduces bit-for-bit whichever path the CPU takes, which the
+//! property tests in this module pin down.
+//!
+//! Setting the `WIFORCE_FORCE_SCALAR` environment variable (to anything
+//! but `""`/`"0"`) before first use forces the scalar bodies, keeping the
+//! fallback path exercised in CI and giving a ground truth to diff
+//! against when debugging a vector unit.
+
+use crate::Complex;
+use std::sync::OnceLock;
+
+/// Which instantiation of the kernel bodies the runtime dispatch picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar bodies (also the `WIFORCE_FORCE_SCALAR` override).
+    Scalar,
+    /// x86-64 AVX2 instantiation.
+    Avx2,
+    /// x86-64 AVX-512 (F+DQ+VL) instantiation.
+    Avx512,
+    /// aarch64 NEON instantiation.
+    Neon,
+}
+
+impl Backend {
+    /// Short lowercase name (`"scalar"`, `"avx2"`, `"avx512"`, `"neon"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+/// Names of every dispatched kernel, for health-report introspection.
+pub const KERNEL_NAMES: &[&str] = &[
+    "box_muller_normals",
+    "cmac_scaled",
+    "cmac_sub_scaled",
+    "synth_truth",
+    "accumulate_state",
+    "blend_states",
+    "accumulate_noisy",
+    "wrap_phases",
+    "apply_window",
+    "quantize_complex",
+];
+
+fn detect(force_scalar: bool) -> Backend {
+    if force_scalar {
+        return Backend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            return Backend::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Backend::Neon;
+        }
+    }
+    Backend::Scalar
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+/// The backend the dispatch table resolved to (decided once per process:
+/// `WIFORCE_FORCE_SCALAR` override first, then CPUID/NEON detection,
+/// scalar fallback).
+pub fn backend() -> Backend {
+    *BACKEND.get_or_init(|| {
+        let force =
+            std::env::var_os("WIFORCE_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+        detect(force)
+    })
+}
+
+/// `true` when the scalar override environment variable took effect.
+pub fn forced_scalar() -> bool {
+    backend() == Backend::Scalar && detect(false) != Backend::Scalar
+}
+
+/// The dispatched kernel set: `(kernel name, backend name)` per kernel.
+/// All kernels share one backend decision; the pairs exist so health
+/// reports can enumerate exactly what ran.
+pub fn active_kernels() -> Vec<(&'static str, &'static str)> {
+    let b = backend().name();
+    KERNEL_NAMES.iter().map(|&k| (k, b)).collect()
+}
+
+/// Declares one dispatched kernel: a shared `#[inline(always)]` body,
+/// per-ISA `#[target_feature]` instantiations of that same body, and the
+/// public entry point that routes through [`backend`].
+macro_rules! simd_kernel {
+    (
+        $(#[$doc:meta])*
+        pub fn $name:ident($($arg:ident: $ty:ty),* $(,)?)
+            = $body:ident / $avx2:ident / $avx512:ident / $neon:ident
+    ) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        fn $avx2($($arg: $ty),*) {
+            $body($($arg),*)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+        fn $avx512($($arg: $ty),*) {
+            $body($($arg),*)
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        #[target_feature(enable = "neon")]
+        fn $neon($($arg: $ty),*) {
+            $body($($arg),*)
+        }
+
+        $(#[$doc])*
+        pub fn $name($($arg: $ty),*) {
+            match backend() {
+                // Safety: each arm was gated on runtime detection of the
+                // exact feature its wrapper enables.
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => unsafe { $avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx512 => unsafe { $avx512($($arg),*) },
+                #[cfg(target_arch = "aarch64")]
+                Backend::Neon => unsafe { $neon($($arg),*) },
+                _ => $body($($arg),*),
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Box–Muller noise fill
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn box_muller_normals_body(u1s: &[f64], u2s: &[f64], out: &mut [f64]) {
+    for ((o, &u1), &u2) in out.iter_mut().zip(u1s).zip(u2s) {
+        *o = crate::fastmath::box_muller(u1, u2);
+    }
+}
+
+simd_kernel! {
+    /// Transforms Box–Muller uniform pairs into standard normals:
+    /// `out[i] = √(−2 ln u1s[i]) · cos(2π u2s[i])`, bit-identical to the
+    /// scalar [`crate::fastmath::box_muller`] per element. Every `u1s[i]`
+    /// must be positive and normal (see
+    /// [`crate::rng::draw_box_muller_uniforms`]). Slices must share one
+    /// length (debug-asserted; the zip truncates in release).
+    pub fn box_muller_normals(u1s: &[f64], u2s: &[f64], out: &mut [f64])
+        = box_muller_normals_body / box_muller_normals_avx2
+        / box_muller_normals_avx512 / box_muller_normals_neon
+}
+
+// ---------------------------------------------------------------------
+// Complex multiply-accumulate family
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn cmac_scaled_body(acc: &mut [Complex], x: &[Complex], s: Complex) {
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += v * s;
+    }
+}
+
+simd_kernel! {
+    /// `acc[i] += x[i] · s` — the offset-free Goertzel row update.
+    pub fn cmac_scaled(acc: &mut [Complex], x: &[Complex], s: Complex)
+        = cmac_scaled_body / cmac_scaled_avx2 / cmac_scaled_avx512 / cmac_scaled_neon
+}
+
+#[inline(always)]
+fn cmac_sub_scaled_body(acc: &mut [Complex], x: &[Complex], off: &[Complex], s: Complex) {
+    for ((a, &v), &o) in acc.iter_mut().zip(x).zip(off) {
+        *a += (v - o) * s;
+    }
+}
+
+simd_kernel! {
+    /// `acc[i] += (x[i] − off[i]) · s` — the mean-removed Goertzel row
+    /// update.
+    pub fn cmac_sub_scaled(acc: &mut [Complex], x: &[Complex], off: &[Complex], s: Complex)
+        = cmac_sub_scaled_body / cmac_sub_scaled_avx2
+        / cmac_sub_scaled_avx512 / cmac_sub_scaled_neon
+}
+
+#[inline(always)]
+fn synth_truth_body(
+    out: &mut [Complex],
+    statics: &[Complex],
+    gains: &[Complex],
+    table: &[[Complex; 4]],
+    state: usize,
+) {
+    for (((h, &s), &g), row) in out.iter_mut().zip(statics).zip(gains).zip(table) {
+        *h = s + g * row[state];
+    }
+}
+
+simd_kernel! {
+    /// Per-subcarrier channel synthesis for one pure tag state:
+    /// `out[k] = statics[k] + gains[k] · table[k][state]`.
+    pub fn synth_truth(out: &mut [Complex], statics: &[Complex], gains: &[Complex], table: &[[Complex; 4]], state: usize)
+        = synth_truth_body / synth_truth_avx2 / synth_truth_avx512 / synth_truth_neon
+}
+
+#[inline(always)]
+fn accumulate_state_body(
+    acc: &mut [Complex],
+    gains: &[Complex],
+    table: &[[Complex; 4]],
+    state: usize,
+) {
+    for ((h, &g), row) in acc.iter_mut().zip(gains).zip(table) {
+        *h += g * row[state];
+    }
+}
+
+simd_kernel! {
+    /// Adds one tag stream's pure-state backscatter:
+    /// `acc[k] += gains[k] · table[k][state]`.
+    pub fn accumulate_state(acc: &mut [Complex], gains: &[Complex], table: &[[Complex; 4]], state: usize)
+        = accumulate_state_body / accumulate_state_avx2
+        / accumulate_state_avx512 / accumulate_state_neon
+}
+
+#[inline(always)]
+fn blend_states_body(acc: &mut [Complex], gains: &[Complex], table: &[[Complex; 4]], w: &[f64; 4]) {
+    for ((h, &g), row) in acc.iter_mut().zip(gains).zip(table) {
+        let avg = row[0].scale(w[0]) + row[1].scale(w[1]) + row[2].scale(w[2]) + row[3].scale(w[3]);
+        *h += g * avg;
+    }
+}
+
+simd_kernel! {
+    /// Adds one tag stream's backscatter with the four switch states
+    /// blended by integration-window weights `w` (summed in state order,
+    /// matching the reference evaluation bit-for-bit).
+    pub fn blend_states(acc: &mut [Complex], gains: &[Complex], table: &[[Complex; 4]], w: &[f64; 4])
+        = blend_states_body / blend_states_avx2 / blend_states_avx512 / blend_states_neon
+}
+
+#[inline(always)]
+fn accumulate_noisy_body(acc: &mut [Complex], signal: &[Complex], noise_pairs: &[f64], amp: f64) {
+    for ((a, &x), g) in acc.iter_mut().zip(signal).zip(noise_pairs.chunks_exact(2)) {
+        *a += x + Complex::new(amp * g[0], amp * g[1]);
+    }
+}
+
+simd_kernel! {
+    /// One noisy preamble repeat:
+    /// `acc[i] += signal[i] + amp·(noise_pairs[2i] + j·noise_pairs[2i+1])`.
+    /// `noise_pairs` holds `2·acc.len()` interleaved standard normals.
+    pub fn accumulate_noisy(acc: &mut [Complex], signal: &[Complex], noise_pairs: &[f64], amp: f64)
+        = accumulate_noisy_body / accumulate_noisy_avx2
+        / accumulate_noisy_avx512 / accumulate_noisy_neon
+}
+
+// ---------------------------------------------------------------------
+// Phase wrap, window application, quantization
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn wrap_phases_body(vals: &mut [f64]) {
+    for v in vals.iter_mut() {
+        *v = crate::phase::wrap_to_pi(*v);
+    }
+}
+
+simd_kernel! {
+    /// Wraps every element to `(−π, π]` in place (elementwise
+    /// [`crate::phase::wrap_to_pi`]).
+    pub fn wrap_phases(vals: &mut [f64])
+        = wrap_phases_body / wrap_phases_avx2 / wrap_phases_avx512 / wrap_phases_neon
+}
+
+#[inline(always)]
+fn apply_window_body(frame: &mut [Complex], window: &[f64]) {
+    for (z, &w) in frame.iter_mut().zip(window) {
+        *z = z.scale(w);
+    }
+}
+
+simd_kernel! {
+    /// Multiplies a complex frame by a real window in place.
+    pub fn apply_window(frame: &mut [Complex], window: &[f64])
+        = apply_window_body / apply_window_avx2 / apply_window_avx512 / apply_window_neon
+}
+
+#[inline(always)]
+fn quantize_complex_body(row: &mut [Complex], full_scale: f64, step: f64) {
+    for z in row.iter_mut() {
+        let re = (z.re.clamp(-full_scale, full_scale) / step).round() * step;
+        let im = (z.im.clamp(-full_scale, full_scale) / step).round() * step;
+        *z = Complex::new(re, im);
+    }
+}
+
+simd_kernel! {
+    /// Mid-tread uniform quantization of both components to multiples of
+    /// `step`, clamped to `±full_scale` — the bulk form of an ADC
+    /// transfer curve. Callers pass the same `step = 2·full_scale/levels`
+    /// as their scalar reference so results agree bit-for-bit.
+    pub fn quantize_complex(row: &mut [Complex], full_scale: f64, step: f64)
+        = quantize_complex_body / quantize_complex_avx2
+        / quantize_complex_avx512 / quantize_complex_neon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn complexes(rng: &mut StdRng, n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|_| Complex::new(rng.gen::<f64>() * 4.0 - 2.0, rng.gen::<f64>() * 4.0 - 2.0))
+            .collect()
+    }
+
+    fn table(rng: &mut StdRng, n: usize) -> Vec<[Complex; 4]> {
+        (0..n)
+            .map(|_| {
+                [
+                    Complex::new(rng.gen(), rng.gen()),
+                    Complex::new(rng.gen(), rng.gen()),
+                    Complex::new(rng.gen(), rng.gen()),
+                    Complex::new(rng.gen(), rng.gen()),
+                ]
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[Complex], b: &[Complex]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re mismatch at {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn backend_is_detected_and_named() {
+        let b = backend();
+        assert!(!b.name().is_empty());
+        let kernels = active_kernels();
+        assert_eq!(kernels.len(), KERNEL_NAMES.len());
+        assert!(kernels.iter().all(|&(_, back)| back == b.name()));
+    }
+
+    #[test]
+    fn forced_scalar_detection_prefers_override() {
+        assert_eq!(detect(true), Backend::Scalar);
+        // with no override, detection picks whatever the CPU supports —
+        // on x86-64/aarch64 CI machines that is at least AVX2/NEON, but
+        // scalar is a valid answer on anything else
+        let _ = detect(false);
+    }
+
+    // Every kernel below: dispatched entry point vs scalar body must be
+    // bit-identical, at lengths straddling the chunk width.
+
+    #[test]
+    fn box_muller_kernel_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0, 1, 7, 8, 9, 64, 640, 1013] {
+            let u1s: Vec<f64> = (0..n)
+                .map(|_| rng.gen::<f64>().max(f64::MIN_POSITIVE))
+                .collect();
+            let u2s: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let mut fast = vec![0.0; n];
+            box_muller_normals(&u1s, &u2s, &mut fast);
+            for i in 0..n {
+                let want = crate::fastmath::box_muller(u1s[i], u2s[i]);
+                assert_eq!(fast[i].to_bits(), want.to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmac_kernels_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1, 5, 8, 64, 127] {
+            let x = complexes(&mut rng, n);
+            let off = complexes(&mut rng, n);
+            let s = Complex::new(rng.gen(), rng.gen());
+            let base = complexes(&mut rng, n);
+
+            let mut got = base.clone();
+            cmac_scaled(&mut got, &x, s);
+            let mut want = base.clone();
+            cmac_scaled_body(&mut want, &x, s);
+            assert_bits_eq(&got, &want);
+
+            let mut got = base.clone();
+            cmac_sub_scaled(&mut got, &x, &off, s);
+            let mut want = base.clone();
+            cmac_sub_scaled_body(&mut want, &x, &off, s);
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn synthesis_kernels_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1, 8, 64, 65] {
+            let statics = complexes(&mut rng, n);
+            let gains = complexes(&mut rng, n);
+            let tab = table(&mut rng, n);
+            let w = [0.25, 0.125, 0.5, 0.125];
+            for state in 0..4 {
+                let mut got = vec![Complex::ZERO; n];
+                synth_truth(&mut got, &statics, &gains, &tab, state);
+                let mut want = vec![Complex::ZERO; n];
+                synth_truth_body(&mut want, &statics, &gains, &tab, state);
+                assert_bits_eq(&got, &want);
+
+                let mut got = statics.clone();
+                accumulate_state(&mut got, &gains, &tab, state);
+                let mut want = statics.clone();
+                accumulate_state_body(&mut want, &gains, &tab, state);
+                assert_bits_eq(&got, &want);
+            }
+            let mut got = statics.clone();
+            blend_states(&mut got, &gains, &tab, &w);
+            let mut want = statics.clone();
+            blend_states_body(&mut want, &gains, &tab, &w);
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn accumulate_noisy_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1, 8, 64, 100] {
+            let signal = complexes(&mut rng, n);
+            let pairs: Vec<f64> = (0..2 * n).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let base = complexes(&mut rng, n);
+            let mut got = base.clone();
+            accumulate_noisy(&mut got, &signal, &pairs, 0.37);
+            let mut want = base.clone();
+            accumulate_noisy_body(&mut want, &signal, &pairs, 0.37);
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn wrap_window_quantize_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1, 8, 64, 99] {
+            let phases: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 50.0 - 25.0).collect();
+            let mut got = phases.clone();
+            wrap_phases(&mut got);
+            let mut want = phases.clone();
+            wrap_phases_body(&mut want);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+
+            let frame = complexes(&mut rng, n);
+            let win: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let mut got = frame.clone();
+            apply_window(&mut got, &win);
+            let mut want = frame.clone();
+            apply_window_body(&mut want, &win);
+            assert_bits_eq(&got, &want);
+
+            let row = complexes(&mut rng, n);
+            let full_scale = 1.5;
+            let step = 2.0 * full_scale / 1024.0;
+            let mut got = row.clone();
+            quantize_complex(&mut got, full_scale, step);
+            let mut want = row.clone();
+            quantize_complex_body(&mut want, full_scale, step);
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    #[ignore = "manual micro-benchmark of the per-ISA instantiations"]
+    fn timing_per_isa() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 640;
+        let u1s: Vec<f64> = (0..n)
+            .map(|_| rng.gen::<f64>().max(f64::MIN_POSITIVE))
+            .collect();
+        let u2s: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let mut out = vec![0.0; n];
+        let iters = 20000;
+        type FillFn<'a> = &'a mut dyn FnMut(&[f64], &[f64], &mut [f64]);
+        let mut time = |f: FillFn| {
+            let t = std::time::Instant::now();
+            for _ in 0..iters {
+                f(&u1s, &u2s, &mut out);
+            }
+            t.elapsed().as_secs_f64() / iters as f64 * 1e6
+        };
+        println!("scalar body: {:.2} us", time(&mut box_muller_normals_body));
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                println!(
+                    "avx2: {:.2} us",
+                    time(&mut |a, b, o| unsafe { box_muller_normals_avx2(a, b, o) })
+                );
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                println!(
+                    "avx512: {:.2} us",
+                    time(&mut |a, b, o| unsafe { box_muller_normals_avx512(a, b, o) })
+                );
+            }
+        }
+    }
+
+    /// The per-ISA instantiations themselves (not just whatever backend
+    /// dispatch picked) must agree with the scalar body on machines that
+    /// have the features.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn isa_instantiations_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 1013;
+        let u1s: Vec<f64> = (0..n)
+            .map(|_| rng.gen::<f64>().max(f64::MIN_POSITIVE))
+            .collect();
+        let u2s: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let mut scalar = vec![0.0; n];
+        box_muller_normals_body(&u1s, &u2s, &mut scalar);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut v = vec![0.0; n];
+            // Safety: AVX2 support was just detected.
+            unsafe { box_muller_normals_avx2(&u1s, &u2s, &mut v) };
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            let mut v = vec![0.0; n];
+            // Safety: AVX-512 F+DQ+VL support was just detected.
+            unsafe { box_muller_normals_avx512(&u1s, &u2s, &mut v) };
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+}

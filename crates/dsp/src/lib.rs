@@ -29,6 +29,9 @@
 //! * [`rng`] — seeded Gaussian / complex-Gaussian sampling (Box–Muller).
 //! * [`fastmath`] — vectorizable polynomial `ln`/`cos` kernels backing the
 //!   bulk noise synthesis.
+//! * [`kernels`] — runtime-dispatched (AVX2/AVX-512/NEON, scalar
+//!   fallback, `WIFORCE_FORCE_SCALAR` override) SIMD instantiations of
+//!   every hot inner loop; all paths bit-identical.
 //!
 //! Everything is deterministic given caller-provided RNGs and is `f64`
 //! throughout.
@@ -37,6 +40,7 @@ pub mod complex;
 pub mod fastmath;
 pub mod fft;
 pub mod interp;
+pub mod kernels;
 pub mod linalg;
 pub mod phase;
 pub mod polyfit;

@@ -47,8 +47,9 @@ pub fn spectrogram(x: &[Complex], fs_hz: f64, frame_len: usize, hop: usize) -> S
         }
         mean = mean.scale(1.0 / frame_len as f64);
         for i in 0..frame_len {
-            buf[i] = (x[start + i] - mean) * w[i];
+            buf[i] = x[start + i] - mean;
         }
+        crate::kernels::apply_window(&mut buf[..frame_len], &w);
         buf[frame_len..].iter_mut().for_each(|z| *z = Complex::ZERO);
         let spec = fft(&buf);
         rows.push(spec[..n_bins].iter().map(|z| z.norm_sqr()).collect());

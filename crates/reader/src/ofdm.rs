@@ -6,11 +6,13 @@
 //!
 //! The estimator here is the real thing: the preamble is synthesized in
 //! the time domain, passed through the (per-subcarrier) channel, hit with
-//! AWGN, then block-averaged and least-squares equalized. Averaging the
-//! five repeats buys the expected √5 noise reduction, which the tests
-//! verify.
+//! AWGN, then block-averaged and least-squares equalized. The receiver
+//! averages the five repeats for the expected √5 noise reduction; since
+//! the mean of five iid AWGN draws is exactly one Gaussian of variance
+//! σ²/5, the simulation samples that averaged frame directly — one noise
+//! pass instead of five, same distribution, which the tests verify.
 
-use crate::sounder::ChannelSounder;
+use crate::sounder::{ChannelSounder, PreparedChannel};
 use rand::RngCore;
 use std::cell::RefCell;
 use wiforce_dsp::fastmath::standard_normals_from_uniforms;
@@ -19,11 +21,14 @@ use wiforce_dsp::rng::draw_box_muller_uniforms;
 use wiforce_dsp::Complex;
 
 /// Per-thread scratch for the allocation-free OFDM estimation path:
-/// cached preamble symbols (keyed by configuration) and two reusable
-/// frame-sized buffers.
+/// cached preamble symbols and their equalization reciprocals (keyed by
+/// configuration) and two reusable frame-sized buffers.
 struct OfdmScratch {
     key: (usize, u64),
     symbols: Vec<Complex>,
+    /// `1 / (√n · s[bin])` per bin — the LS equalization collapses to one
+    /// complex multiply instead of two divisions per subcarrier.
+    eq: Vec<Complex>,
     rx_sym: Vec<Complex>,
     avg: Vec<Complex>,
     u1s: Vec<f64>,
@@ -31,11 +36,26 @@ struct OfdmScratch {
     normals: Vec<f64>,
 }
 
+impl OfdmScratch {
+    /// Recomputes the cached preamble symbols (and their equalization
+    /// reciprocals) when the sounder configuration changed.
+    fn refresh_symbols(&mut self, sounder: &OfdmSounder) {
+        let n = sounder.n_subcarriers;
+        if self.key != (n, sounder.preamble_seed) || self.symbols.len() != n {
+            self.symbols = sounder.preamble_symbols();
+            let inv_scale = Complex::new(1.0 / (n as f64).sqrt(), 0.0);
+            self.eq = self.symbols.iter().map(|&s| inv_scale / s).collect();
+            self.key = (n, sounder.preamble_seed);
+        }
+    }
+}
+
 thread_local! {
     static OFDM_SCRATCH: RefCell<OfdmScratch> = const {
         RefCell::new(OfdmScratch {
             key: (0, 0),
             symbols: Vec::new(),
+            eq: Vec::new(),
             rx_sym: Vec::new(),
             avg: Vec::new(),
             u1s: Vec::new(),
@@ -170,11 +190,7 @@ impl ChannelSounder for OfdmSounder {
         let scale = (n as f64).sqrt();
         OFDM_SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
-            // cache the known preamble symbols for this configuration
-            if scratch.key != (n, self.preamble_seed) || scratch.symbols.len() != n {
-                scratch.symbols = self.preamble_symbols();
-                scratch.key = (n, self.preamble_seed);
-            }
+            scratch.refresh_symbols(self);
             let s = &scratch.symbols;
 
             // TX symbol → channel (freq-domain multiply, in bin order) →
@@ -187,34 +203,111 @@ impl ChannelSounder for OfdmSounder {
             with_plan(n, |plan| plan.inverse_inplace(&mut scratch.rx_sym));
             scratch.rx_sym.iter_mut().for_each(|z| *z = *z * scale);
 
-            // receive n_repeats noisy copies and average: draw the whole
-            // frame's Box-Muller uniforms in stream order, run the batched
-            // (vectorized, bit-identical) transform, then accumulate in the
-            // same per-sample order as the scalar path
-            let n_normals = 2 * self.n_repeats * n;
+            // the averaged frame: the mean of n_repeats iid noisy copies is
+            // the payload plus one complex Gaussian of variance σ²/n_repeats
+            // per sample, so draw that directly (batched Box-Muller uniforms
+            // in stream order, then the vectorized transform)
+            let n_normals = 2 * n;
             draw_box_muller_uniforms(rng, n_normals, &mut scratch.u1s, &mut scratch.u2s);
             scratch.normals.clear();
             scratch.normals.resize(n_normals, 0.0);
             standard_normals_from_uniforms(&scratch.u1s, &scratch.u2s, &mut scratch.normals);
-            let amp = (noise_std * noise_std / 2.0).sqrt();
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
             scratch.avg.clear();
             scratch.avg.resize(n, Complex::ZERO);
-            let mut pair = scratch.normals.chunks_exact(2);
-            for _ in 0..self.n_repeats {
-                for (a, &x) in scratch.avg.iter_mut().zip(&scratch.rx_sym) {
-                    let g = pair.next().expect("one normal pair per sample");
-                    *a += x + Complex::new(amp * g[0], amp * g[1]);
-                }
+            {
+                let OfdmScratch {
+                    avg,
+                    rx_sym,
+                    normals,
+                    ..
+                } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy(avg, rx_sym, normals, amp);
             }
-            let inv = 1.0 / self.n_repeats as f64;
-            scratch.avg.iter_mut().for_each(|z| *z = z.scale(inv));
 
-            // LS equalization: FFT, divide by the known symbols, and map
-            // bin order back to ascending offsets directly into `out`
+            // LS equalization: FFT, multiply by the precomputed per-bin
+            // reciprocals, and map bin order back to ascending offsets
+            // directly into `out`
             with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
             for (i, slot) in out.iter_mut().enumerate() {
                 let bin = (i + n - half) % n;
-                *slot = (scratch.avg[bin] / scale) / s[bin];
+                *slot = scratch.avg[bin] * scratch.eq[bin];
+            }
+        });
+    }
+
+    /// Precomputes the noiseless received preamble symbol (symbol
+    /// multiply, IFFT, power scaling) so [`Self::estimate_prepared_into`]
+    /// can skip straight to the noisy-repeat averaging. A phase-group
+    /// revisits only the tag's four switch states, so four of these
+    /// replace hundreds of per-snapshot IFFTs.
+    fn prepare(&self, true_channel: &[Complex]) -> PreparedChannel {
+        let n = self.n_subcarriers;
+        assert_eq!(
+            true_channel.len(),
+            n,
+            "true_channel must have one entry per subcarrier"
+        );
+        let half = n / 2;
+        let scale = (n as f64).sqrt();
+        let mut payload = vec![Complex::ZERO; n];
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+            for (i, &h) in true_channel.iter().enumerate() {
+                let bin = (i + n - half) % n;
+                payload[bin] = scratch.symbols[bin] * h;
+            }
+        });
+        with_plan(n, |plan| plan.inverse_inplace(&mut payload));
+        payload.iter_mut().for_each(|z| *z = *z * scale);
+        PreparedChannel {
+            truth: true_channel.to_vec(),
+            payload,
+        }
+    }
+
+    /// The prepared fast path: identical RNG draws and floating-point
+    /// operations as [`Self::estimate_into`] — the precomputed payload *is*
+    /// the `rx_sym` that path would have built — so estimates match
+    /// bit-for-bit (pinned by a test).
+    fn estimate_prepared_into(
+        &self,
+        prepared: &PreparedChannel,
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [Complex],
+    ) {
+        let n = self.n_subcarriers;
+        assert_eq!(
+            prepared.payload.len(),
+            n,
+            "prepared payload must match the sounder configuration"
+        );
+        assert_eq!(out.len(), n, "output buffer must match the estimate grid");
+        let half = n / 2;
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+
+            // identical draws and arithmetic as `estimate_into` from here
+            let n_normals = 2 * n;
+            draw_box_muller_uniforms(rng, n_normals, &mut scratch.u1s, &mut scratch.u2s);
+            scratch.normals.clear();
+            scratch.normals.resize(n_normals, 0.0);
+            standard_normals_from_uniforms(&scratch.u1s, &scratch.u2s, &mut scratch.normals);
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(n, Complex::ZERO);
+            {
+                let OfdmScratch { avg, normals, .. } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy(avg, &prepared.payload, normals, amp);
+            }
+
+            with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bin = (i + n - half) % n;
+                *slot = scratch.avg[bin] * scratch.eq[bin];
             }
         });
     }
@@ -358,6 +451,30 @@ mod tests {
         let est = s.estimate(&truth, 0.001, &mut rng);
         for (e, t) in est.iter().zip(&truth) {
             assert!((*e - *t).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn prepared_path_is_bit_identical() {
+        let s = OfdmSounder::wiforce();
+        let truth: Vec<Complex> = (0..64)
+            .map(|k| Complex::from_polar(1.0 + 0.01 * k as f64, 0.05 * k as f64))
+            .collect();
+        let prepared = s.prepare(&truth);
+        assert_eq!(prepared.truth, truth);
+        for noise in [0.0, 0.05] {
+            let mut a = StdRng::seed_from_u64(31);
+            let mut b = StdRng::seed_from_u64(31);
+            let mut direct = [Complex::ZERO; 64];
+            let mut fast = [Complex::ZERO; 64];
+            s.estimate_into(&truth, noise, &mut a, &mut direct);
+            s.estimate_prepared_into(&prepared, noise, &mut b, &mut fast);
+            for (d, f) in direct.iter().zip(&fast) {
+                assert_eq!(d.re.to_bits(), f.re.to_bits());
+                assert_eq!(d.im.to_bits(), f.im.to_bits());
+            }
+            // same RNG stream consumed
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

@@ -9,6 +9,26 @@
 use rand::RngCore;
 use wiforce_dsp::Complex;
 
+/// A true channel pre-processed by a sounder for repeated estimation.
+///
+/// Simulations evaluate the same true channel many times (a tag's switch
+/// only has four states, so a whole phase-group revisits four channels
+/// over hundreds of snapshots). [`ChannelSounder::prepare`] folds the
+/// channel-dependent, noise-independent part of the estimation forward
+/// model — for OFDM, the symbol multiply and the IFFT to the time domain —
+/// into this struct once, and
+/// [`ChannelSounder::estimate_prepared_into`] reuses it per snapshot.
+#[derive(Debug, Clone)]
+pub struct PreparedChannel {
+    /// The true per-frequency channel this was prepared from (ascending
+    /// grid order, one entry per estimate frequency).
+    pub truth: Vec<Complex>,
+    /// Sounder-specific precomputation (for OFDM: the noiseless received
+    /// preamble symbol in the time domain, post-IFFT and scaling). Empty
+    /// when the sounder has no prepared fast path.
+    pub payload: Vec<Complex>,
+}
+
 /// A device that periodically estimates the channel at a fixed grid of
 /// frequency offsets around the carrier.
 pub trait ChannelSounder {
@@ -71,6 +91,35 @@ pub trait ChannelSounder {
             "output buffer must match the estimate grid"
         );
         out.copy_from_slice(&est);
+    }
+
+    /// Folds the channel-dependent, noise-independent part of the
+    /// estimation forward model into a [`PreparedChannel`] for repeated
+    /// use with [`Self::estimate_prepared_into`].
+    ///
+    /// The default keeps only the truth (no precomputation), which the
+    /// default `estimate_prepared_into` feeds back through
+    /// [`Self::estimate_into`] — correct for every sounder, fast for none.
+    fn prepare(&self, true_channel: &[Complex]) -> PreparedChannel {
+        PreparedChannel {
+            truth: true_channel.to_vec(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Like [`Self::estimate_into`], but starting from a
+    /// [`PreparedChannel`] built by [`Self::prepare`] on the same sounder
+    /// configuration. Must draw the identical RNG sequence and produce
+    /// bit-identical estimates to
+    /// `estimate_into(&prepared.truth, noise_std, rng, out)`.
+    fn estimate_prepared_into(
+        &self,
+        prepared: &PreparedChannel,
+        noise_std: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [Complex],
+    ) {
+        self.estimate_into(&prepared.truth, noise_std, rng, out);
     }
 
     /// Maximum unambiguous modulation ("artificial Doppler") frequency,

@@ -1,0 +1,80 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wiforce_dsp::fastmath::standard_normals_from_uniforms;
+use wiforce_dsp::fft::with_plan;
+use wiforce_dsp::rng::draw_box_muller_uniforms;
+use wiforce_dsp::Complex;
+use wiforce_reader::ofdm::OfdmSounder;
+use wiforce_reader::sounder::ChannelSounder;
+
+#[test]
+#[ignore]
+fn microprof() {
+    let s = OfdmSounder::wiforce();
+    let truth: Vec<Complex> = (0..64)
+        .map(|k| Complex::from_polar(1.0, 0.05 * k as f64))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = vec![Complex::ZERO; 64];
+    let iters = 20000;
+    let t = Instant::now();
+    for _ in 0..iters {
+        s.estimate_into(&truth, 6e-6, &mut rng, &mut out);
+    }
+    println!(
+        "estimate_into: {:.2} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+
+    // the folded-average hot path draws 2·64 normals per snapshot
+    let mut u1 = Vec::new();
+    let mut u2 = Vec::new();
+    let t = Instant::now();
+    for _ in 0..iters {
+        draw_box_muller_uniforms(&mut rng, 128, &mut u1, &mut u2);
+    }
+    println!(
+        "draw_uniforms(128): {:.2} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+
+    let mut normals = vec![0.0; 128];
+    let t = Instant::now();
+    for _ in 0..iters {
+        standard_normals_from_uniforms(&u1, &u2, &mut normals);
+    }
+    println!(
+        "bm_transform(128): {:.2} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+
+    let mut buf: Vec<Complex> = (0..64)
+        .map(|k| Complex::from_polar(1.0, 0.1 * k as f64))
+        .collect();
+    let t = Instant::now();
+    for _ in 0..iters {
+        with_plan(64, |p| p.inverse_inplace(&mut buf));
+        with_plan(64, |p| p.forward_inplace(&mut buf));
+    }
+    println!(
+        "ifft+fft(64): {:.2} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+
+    let rx: Vec<Complex> = buf.clone();
+    let mut avg = vec![Complex::ZERO; 64];
+    let t = Instant::now();
+    for _ in 0..iters {
+        avg.iter_mut().for_each(|z| *z = Complex::ZERO);
+        let mut pair = normals.chunks_exact(2);
+        for (a, &x) in avg.iter_mut().zip(&rx) {
+            let g = pair.next().unwrap();
+            *a += x + Complex::new(3e-6 * g[0], 3e-6 * g[1]);
+        }
+    }
+    println!(
+        "accumulate(64): {:.2} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+}

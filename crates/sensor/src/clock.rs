@@ -176,6 +176,15 @@ impl ClockPair {
     /// Exact: walks the union of both clocks' edges inside the window and
     /// integrates each constant segment, so the weights always sum to 1.
     pub fn state_weights(&self, t0: f64, window_s: f64) -> [f64; 4] {
+        self.state_weights_into(t0, window_s, &mut Vec::new())
+    }
+
+    /// [`Self::state_weights`] with a caller-owned edge buffer, for hot
+    /// loops that evaluate one window per snapshot (the batch producer
+    /// calls this per stream per snapshot): the buffer is cleared and
+    /// refilled, so steady state performs no allocation. Bit-identical to
+    /// [`Self::state_weights`].
+    pub fn state_weights_into(&self, t0: f64, window_s: f64, edges: &mut Vec<f64>) -> [f64; 4] {
         let state_at =
             |t: f64| self.modulation1(t) as usize | ((self.modulation2(t) as usize) << 1);
         let mut w = [0.0; 4];
@@ -185,7 +194,9 @@ impl ClockPair {
         }
         // state-transition instants (relative to t0) from either clock;
         // inversion of switch 2 moves levels, not edge times
-        let mut edges = vec![0.0, window_s];
+        edges.clear();
+        edges.push(0.0);
+        edges.push(window_s);
         for clk in [&self.clock1, &self.clock2] {
             let mut k = ((t0 - clk.offset_s) / clk.period_s).floor();
             loop {
@@ -427,6 +438,23 @@ mod tests {
         assert!((w[1] - 0.25).abs() < 1e-9, "{w:?}");
         assert!((w[2] - 0.25).abs() < 1e-9, "{w:?}");
         assert_eq!(w[3], 0.0, "exclusive scheme hit both-on: {w:?}");
+    }
+
+    #[test]
+    fn state_weights_into_reuses_scratch_bitwise() {
+        let pair = ClockPair::wiforce(1234.5);
+        let mut edges = Vec::new();
+        for i in 0..200 {
+            let t0 = i as f64 * 7.3e-6;
+            for window in [0.0, 11.1e-6, 25.6e-6, 1.7e-3] {
+                let a = pair.state_weights(t0, window);
+                let b = pair.state_weights_into(t0, window, &mut edges);
+                for q in 0..4 {
+                    assert_eq!(a[q].to_bits(), b[q].to_bits(), "t0={t0} window={window}");
+                }
+            }
+        }
+        assert!(edges.capacity() > 0, "scratch was actually used");
     }
 
     #[test]

@@ -34,6 +34,71 @@ pub mod json;
 
 pub use health::PipelineHealth;
 
+/// Cheap timestamp source for per-item stage attribution inside hot
+/// loops.
+///
+/// The snapshot engine takes six timestamps per snapshot when telemetry
+/// is on; at ~40 ns per `Instant::now` that alone costs ~0.3 ms per
+/// press — several percent of the whole pipeline, breaching the
+/// telemetry-overhead budget. On x86_64 the TSC is constant-rate on
+/// every CPU this project targets and costs ~8 ns to read, so the stage
+/// clocks accumulate raw ticks and convert the *sums* to nanoseconds
+/// once per call with a lazily calibrated [`fastclock::ns_per_tick`].
+/// Non-x86 targets fall back to `Instant`, where a tick is a nanosecond.
+pub mod fastclock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Reads the raw tick counter (TSC on x86_64; monotonic nanoseconds
+    /// elsewhere). Only tick *differences* are meaningful.
+    #[inline(always)]
+    pub fn ticks() -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            core::arch::x86_64::_rdtsc()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            epoch().elapsed().as_nanos() as u64
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn epoch() -> &'static Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Nanoseconds per tick. On x86_64 this is calibrated once per
+    /// process against `Instant` over a ~1 ms busy wait (call it outside
+    /// hot loops — the stage clocks convert accumulated sums, never
+    /// individual deltas); elsewhere it is exactly 1.0.
+    pub fn ns_per_tick() -> f64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            static NS_PER_TICK: OnceLock<f64> = OnceLock::new();
+            *NS_PER_TICK.get_or_init(|| {
+                let t0 = Instant::now();
+                let c0 = ticks();
+                while t0.elapsed().as_micros() < 1000 {
+                    std::hint::spin_loop();
+                }
+                let dns = t0.elapsed().as_nanos() as f64;
+                let dticks = ticks().wrapping_sub(c0) as f64;
+                if dticks > 0.0 {
+                    dns / dticks
+                } else {
+                    1.0 // non-monotone TSC: degrade to "a tick is a ns"
+                }
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            1.0
+        }
+    }
+}
+
 /// The global enable gate. Off by default; every recording entry point
 /// checks it first with a relaxed load.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -106,6 +171,22 @@ impl Histogram {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Records `count` occurrences totalling `total` — the bulk form of
+    /// [`Self::record`] for per-sample events accumulated over a chunk.
+    /// `count` and `sum` stay exact; the samples land in the bucket of
+    /// their chunk mean, so quantiles are chunk-resolution.
+    pub fn record_bulk(&mut self, count: u64, total: f64) {
+        if count == 0 {
+            return;
+        }
+        let mean = total / count as f64;
+        self.count += count;
+        self.sum += total;
+        self.min = self.min.min(mean);
+        self.max = self.max.max(mean);
+        self.buckets[Self::bucket_index(mean)] += count;
     }
 
     /// Merges another histogram into this one (bucket counts add; the
@@ -342,6 +423,36 @@ pub fn observe_owned(name: String, v: f64) {
     });
 }
 
+/// Records `count` span occurrences totalling `total_ns` nanoseconds
+/// under `name`, joined beneath the currently-open span path — the bulk
+/// companion to [`span!`] for per-sample stages. Hot loops accumulate a
+/// stage's elapsed nanoseconds manually (taking `Instant`s only while
+/// [`enabled`]) and record once per chunk, which removes the thread-local
+/// borrow + path join + map lookup from every sample while keeping the
+/// same hierarchical span path and exact count/total. No-op while
+/// disabled or when `count` is zero.
+#[inline]
+pub fn span_bulk(name: &'static str, count: u64, total_ns: f64) {
+    if count == 0 || !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        let rec = &mut *r.borrow_mut();
+        let path = rec
+            .stack
+            .iter()
+            .chain(std::iter::once(&name))
+            .copied()
+            .collect::<Vec<_>>()
+            .join("/");
+        rec.data
+            .spans
+            .entry(path)
+            .or_default()
+            .record_bulk(count, total_ns);
+    });
+}
+
 /// An open timing span. Created by [`span!`]; records its elapsed wall
 /// time under the hierarchical path of enclosing spans when dropped.
 /// When telemetry is disabled the constructor returns an inert value and
@@ -455,6 +566,23 @@ mod tests {
     }
 
     #[test]
+    fn fastclock_tracks_wall_time() {
+        // ticks × ns_per_tick over a busy wait should agree with Instant
+        // to well within the accuracy spans need (the tolerance is loose
+        // because CI boxes jitter)
+        let _ = fastclock::ns_per_tick(); // calibrate outside the window
+        let t0 = Instant::now();
+        let c0 = fastclock::ticks();
+        while t0.elapsed().as_millis() < 20 {
+            std::hint::spin_loop();
+        }
+        let wall = t0.elapsed().as_nanos() as f64;
+        let fast = fastclock::ticks().wrapping_sub(c0) as f64 * fastclock::ns_per_tick();
+        let ratio = fast / wall;
+        assert!((0.7..1.3).contains(&ratio), "fast/wall ratio {ratio}");
+    }
+
+    #[test]
     fn disabled_records_nothing() {
         reset();
         set_enabled(false);
@@ -527,6 +655,37 @@ mod tests {
         assert_eq!(snap.spans["outer/inner"].count, 1);
         assert_eq!(snap.spans["inner"].count, 1);
         assert!(snap.spans["outer"].max >= snap.spans["outer/inner"].min);
+    }
+
+    #[test]
+    fn span_bulk_records_under_open_path() {
+        let snap = with_enabled(|| {
+            {
+                let _outer = span!("outer");
+                span_bulk("stage", 625, 625.0 * 2000.0);
+            }
+            span_bulk("stage", 0, 123.0); // zero-count is a no-op
+            take()
+        });
+        let h = &snap.spans["outer/stage"];
+        assert_eq!(h.count, 625);
+        assert!((h.sum - 1_250_000.0).abs() < 1e-6);
+        assert_eq!(h.min, 2000.0);
+        assert_eq!(h.max, 2000.0);
+        assert!(!snap.spans.contains_key("stage"));
+    }
+
+    #[test]
+    fn record_bulk_matches_repeated_record_counts() {
+        let mut bulk = Histogram::default();
+        bulk.record_bulk(4, 8.0);
+        let mut each = Histogram::default();
+        for _ in 0..4 {
+            each.record(2.0);
+        }
+        assert_eq!(bulk.count, each.count);
+        assert_eq!(bulk.sum, each.sum);
+        assert_eq!(bulk.buckets, each.buckets);
     }
 
     #[test]

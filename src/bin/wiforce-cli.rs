@@ -426,6 +426,22 @@ fn cmd_health(args: &Args) -> Result<(), String> {
     let seed = args.u64_or("seed", 11)?;
     let model = model_from(args, &sim)?;
 
+    // surface which SIMD backend the DSP kernels dispatched to (stderr,
+    // so piped JSON output stays clean); WIFORCE_FORCE_SCALAR=1 shows the
+    // scalar fallback here
+    eprintln!(
+        "dsp kernels: {} backend{}",
+        wiforce_dsp::kernels::backend().name(),
+        if wiforce_dsp::kernels::forced_scalar() {
+            " (WIFORCE_FORCE_SCALAR)"
+        } else {
+            ""
+        }
+    );
+    for (kernel, backend) in wiforce_dsp::kernels::active_kernels() {
+        eprintln!("  {kernel:<24} {backend}");
+    }
+
     wiforce_telemetry::reset();
     wiforce_telemetry::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -9,10 +9,14 @@
 //! - `ns_per_press_telemetry_on` / `telemetry_overhead_pct` — the same
 //!   loop with the recorder enabled, quantifying the cost of spans,
 //!   counters, and histograms on the hot path;
-//! - `ns_per_group` — one 625×64 phase group synthesized through
-//!   `run_snapshots_into` into a reused [`wiforce_dsp::SnapshotMatrix`];
-//! - `allocs_per_group` — heap allocations per steady-state group (the
-//!   flat snapshot engine's target is 0);
+//! - `ns_per_group` — one 625×64 phase group synthesized through the
+//!   sequential `run_snapshots_into` reference path into a reused
+//!   [`wiforce_dsp::SnapshotMatrix`];
+//! - `ns_per_group_parallel` / `synth_workers` — the same group through
+//!   the counter-addressed parallel path (`run_snapshots_counter_into`)
+//!   at the session's worker count (`WIFORCE_SYNTH_WORKERS`);
+//! - `allocs_per_group` — heap allocations per steady-state group on the
+//!   sequential path (the flat snapshot engine's target is 0);
 //! - `throughput` — the multi-stream batch engine (`wiforce::batch`) at
 //!   1/4/8 frequency-multiplexed streams: aggregate `presses_per_sec`
 //!   and `p95_stream_latency_ns` per point. Because every stream of a
@@ -35,15 +39,19 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wiforce::batch::{run_batch, BatchConfig, ReaderSpec};
-use wiforce::pipeline::{Simulation, TagClock};
+use wiforce::pipeline::{PressNoise, Simulation, TagClock};
 use wiforce::tracking::{Tracker, TrackerConfig};
 use wiforce_dsp::SnapshotMatrix;
 use wiforce_telemetry::json::JsonWriter;
 
 /// Version of the BENCH_pipeline.json layout, bumped on breaking changes.
 /// v3 added the `throughput` batch-engine section; v4 the
-/// `stage_breakdown` section (per-stage ns-per-press + cache hit rate).
-const BENCH_SCHEMA_VERSION: u32 = 4;
+/// `stage_breakdown` section (per-stage ns-per-press + cache hit rate);
+/// v5 the counter-synthesis fields: `synth_workers` (worker threads the
+/// press loop ran with), `ns_per_group_parallel` (one phase group through
+/// the parallel counter path), and `telemetry_overhead_raw_pct` (the
+/// signed measured ratio behind the floored `telemetry_overhead_pct`).
+const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// A pass-through allocator that counts every allocation, so the bench
 /// can assert the steady-state snapshot loop is allocation-free.
@@ -153,7 +161,11 @@ fn main() {
     let telemetry = wiforce_telemetry::take();
     ratios.sort_by(f64::total_cmp);
     let presses_per_sec = 1e9 / ns_per_press;
-    let overhead_pct = 100.0 * (ratios[ratios.len() / 2] - 1.0);
+    // the raw median ratio can dip below zero when block noise exceeds
+    // the true overhead; report the signed measurement for diagnostics
+    // but floor the headline (an overhead cannot be negative)
+    let overhead_raw_pct = 100.0 * (ratios[ratios.len() / 2] - 1.0);
+    let overhead_pct = overhead_raw_pct.max(0.0);
 
     // --- stage breakdown from the telemetry-on loop -------------------
     let synth_ns = stage_ns_per_press(&telemetry, "pipeline.run_snapshots", press_iters);
@@ -190,6 +202,23 @@ fn main() {
     let ns_per_group = group_elapsed.as_nanos() as f64 / group_iters as f64;
     let allocs_per_group = allocs as f64 / group_iters as f64;
 
+    // --- parallel counter-synthesis groups -----------------------------
+    // the same steady-state group through the counter-addressed path at
+    // the session's worker count (bit-identical output at any setting;
+    // the wall time is what parallelism buys)
+    let synth_workers = wiforce::parallel::default_workers();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut clock = TagClock::new(&mut rng);
+    let mut noise = PressNoise::from_seed(0xBE7C);
+    stream.clear();
+    sim.run_snapshots_counter_into(None, 1, &mut clock, &mut noise, &mut stream);
+    let t0 = Instant::now();
+    for _ in 0..group_iters {
+        stream.clear();
+        sim.run_snapshots_counter_into(None, 1, &mut clock, &mut noise, &mut stream);
+    }
+    let ns_per_group_parallel = t0.elapsed().as_nanos() as f64 / group_iters as f64;
+
     // --- multi-stream batch throughput --------------------------------
     // one reader, N frequency-multiplexed tags sharing its snapshots:
     // the expensive channel sounding amortizes across streams, so
@@ -224,12 +253,18 @@ fn main() {
         "telemetry_overhead_pct",
         (overhead_pct * 100.0).round() / 100.0,
     );
+    w.number(
+        "telemetry_overhead_raw_pct",
+        (overhead_raw_pct * 100.0).round() / 100.0,
+    );
     w.integer(
         "telemetry_spans_recorded",
         telemetry.spans.values().map(|s| s.count).sum::<u64>(),
     );
+    w.integer("synth_workers", synth_workers as u64);
     w.integer("group_iters", group_iters as u64);
     w.number("ns_per_group", ns_per_group.round());
+    w.number("ns_per_group_parallel", ns_per_group_parallel.round());
     w.number(
         "allocs_per_group",
         (allocs_per_group * 100.0).round() / 100.0,

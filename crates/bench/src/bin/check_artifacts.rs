@@ -18,6 +18,13 @@
 //! beyond the limit or a missing/flat batch `throughput` section fails
 //! the run. The before/after table is printed to stdout and, when
 //! `$GITHUB_STEP_SUMMARY` is set, appended to the CI job summary.
+//!
+//! The separate `--diff A.json B.json` mode backs the CI determinism
+//! job: it compares two artifacts field-by-field with
+//! [`wiforce_bench::regression::diff_ignoring_timing`], ignoring only
+//! timing-derived keys, and exits non-zero on any other difference —
+//! counter-based synthesis must produce identical results at any
+//! `WIFORCE_SYNTH_WORKERS` setting.
 
 use wiforce_bench::regression;
 use wiforce_telemetry::json::{parse, Value};
@@ -94,6 +101,59 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
                     "telemetry_overhead_pct = {v:.2} exceeds the {:.1}% ceiling",
                     regression::MAX_TELEMETRY_OVERHEAD_PCT
                 ));
+            }
+        }
+    }
+
+    // schema v5: counter-synthesis fields, floored overhead, and the
+    // stage-sum reconciliation gate
+    if schema >= 5.0 {
+        c.number(root, "synth_workers", true);
+        c.number(root, "ns_per_group_parallel", true);
+        c.number(root, "telemetry_overhead_raw_pct", false);
+        if let Some(v) = root.get("telemetry_overhead_pct").and_then(Value::as_f64) {
+            if v < 0.0 {
+                c.fail(format!(
+                    "telemetry_overhead_pct = {v:.2} is negative — schema v5 floors it at 0 \
+                     (the signed measurement belongs in telemetry_overhead_raw_pct)"
+                ));
+            }
+        }
+        // the four per-stage times must add up to roughly the measured
+        // press: a stage that silently stops being recorded collapses
+        // the sum, a double-counted one inflates it
+        let stage = |key: &str| {
+            root.get("stage_breakdown")
+                .and_then(|sb| sb.get(key))
+                .and_then(Value::as_f64)
+        };
+        let sum: Option<f64> = [
+            "synth_ns_per_press",
+            "spectrum_ns_per_press",
+            "estimator_ns_per_press",
+            "tracker_ns_per_press",
+        ]
+        .iter()
+        .map(|k| stage(k))
+        .sum();
+        if let (Some(sum), Some(total)) = (
+            sum,
+            root.get("ns_per_press_telemetry_on")
+                .and_then(Value::as_f64),
+        ) {
+            if total > 0.0 {
+                let ratio = sum / total;
+                if !(regression::STAGE_SUM_MIN_RATIO..=regression::STAGE_SUM_MAX_RATIO)
+                    .contains(&ratio)
+                {
+                    c.fail(format!(
+                        "stage_breakdown sums to {sum:.0} ns = {ratio:.2}× \
+                         ns_per_press_telemetry_on ({total:.0} ns), outside the \
+                         [{:.2}, {:.2}] reconciliation band",
+                        regression::STAGE_SUM_MIN_RATIO,
+                        regression::STAGE_SUM_MAX_RATIO
+                    ));
+                }
             }
         }
     }
@@ -190,10 +250,38 @@ fn main() {
     let bench = arg("--bench");
     let health = arg("--health");
     let baseline = arg("--baseline");
+
+    // determinism mode: `--diff A B` compares two artifacts produced by
+    // the same build under different worker counts / SIMD backends and
+    // fails on any difference outside timing-derived keys
+    if let Some(i) = argv.iter().position(|a| a == "--diff") {
+        let (Some(a_path), Some(b_path)) = (argv.get(i + 1), argv.get(i + 2)) else {
+            eprintln!("--diff requires two file arguments");
+            std::process::exit(2);
+        };
+        match (load(a_path), load(b_path)) {
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
+            }
+            (Ok(a), Ok(b)) => {
+                let diffs = regression::diff_ignoring_timing(&a, &b);
+                if diffs.is_empty() {
+                    println!("{a_path} vs {b_path}: identical modulo timing keys");
+                    std::process::exit(0);
+                }
+                for d in &diffs {
+                    eprintln!("FAIL {a_path} vs {b_path}: {d}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
     if bench.is_none() && health.is_none() {
         eprintln!(
             "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
-             [--baseline BENCH_baseline.json]"
+             [--baseline BENCH_baseline.json] | --diff A.json B.json"
         );
         std::process::exit(2);
     }

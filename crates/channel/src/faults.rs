@@ -59,6 +59,35 @@ impl FaultConfig {
     pub fn drifted_clock_hz(&self, nominal_hz: f64) -> f64 {
         nominal_hz * (1.0 + self.tag_clock_ppm * 1e-6)
     }
+
+    /// Stateless drop decision: draws one uniform from `rng` iff
+    /// `snapshot_drop_prob > 0`. This is the pure predicate under
+    /// [`FaultInjector::drops_snapshot`], exposed so counter-addressed
+    /// synthesis can make the same decision from a snapshot-local cursor
+    /// (no injector state, no telemetry) and tally events in bulk.
+    pub fn decide_drop<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.snapshot_drop_prob > 0.0 && uniform(rng, 0.0, 1.0) < self.snapshot_drop_prob
+    }
+
+    /// Stateless burst decision + injection twin of
+    /// [`FaultInjector::maybe_burst`]: returns `true` when a burst was
+    /// applied to `estimates`.
+    pub fn apply_burst<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        estimates: &mut [Complex],
+        direct_amp: f64,
+    ) -> bool {
+        if self.burst_prob > 0.0 && uniform(rng, 0.0, 1.0) < self.burst_prob {
+            let var = (self.burst_rel_amp * direct_amp).powi(2);
+            for h in estimates.iter_mut() {
+                *h += complex_gaussian(rng, var);
+            }
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Stateful fault injector for one capture run.
@@ -86,9 +115,7 @@ impl FaultInjector {
 
     /// Decides whether snapshot `_n` is dropped entirely.
     pub fn drops_snapshot<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
-        if self.config.snapshot_drop_prob > 0.0
-            && uniform(rng, 0.0, 1.0) < self.config.snapshot_drop_prob
-        {
+        if self.config.decide_drop(rng) {
             self.dropped += 1;
             wiforce_telemetry::counter!("faults.snapshots_dropped", 1);
             true
@@ -104,14 +131,20 @@ impl FaultInjector {
         estimates: &mut [Complex],
         direct_amp: f64,
     ) {
-        if self.config.burst_prob > 0.0 && uniform(rng, 0.0, 1.0) < self.config.burst_prob {
+        if self.config.apply_burst(rng, estimates, direct_amp) {
             self.bursts += 1;
             wiforce_telemetry::counter!("faults.bursts_injected", 1);
-            let var = (self.config.burst_rel_amp * direct_amp).powi(2);
-            for h in estimates.iter_mut() {
-                *h += complex_gaussian(rng, var);
-            }
         }
+    }
+
+    /// Folds fault tallies made outside the injector (parallel synthesis
+    /// workers decide drops/bursts from counter cursors and report their
+    /// totals here) into the run's counts and the telemetry counters.
+    pub fn add_external(&mut self, dropped: usize, bursts: usize) {
+        self.dropped += dropped;
+        self.bursts += bursts;
+        wiforce_telemetry::counter!("faults.snapshots_dropped", dropped as u64);
+        wiforce_telemetry::counter!("faults.bursts_injected", bursts as u64);
     }
 
     /// Snapshots dropped so far.
@@ -231,6 +264,41 @@ mod tests {
             snap.counters.get("faults.bursts_injected").copied(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn stateless_predicates_match_injector_stream() {
+        // decide_drop/apply_burst must consume the same draws and make
+        // the same decisions as the stateful injector methods — the
+        // counter-addressed synthesis path depends on this equivalence.
+        let cfg = FaultConfig::saturating();
+        let mut inj = FaultInjector::new(cfg);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut est_a = vec![Complex::ZERO; 8];
+        let mut est_b = vec![Complex::ZERO; 8];
+        let mut external = (0, 0);
+        for _ in 0..500 {
+            let da = inj.drops_snapshot(&mut a);
+            let db = cfg.decide_drop(&mut b);
+            assert_eq!(da, db);
+            if !da {
+                inj.maybe_burst(&mut a, &mut est_a, 1.0);
+                if cfg.apply_burst(&mut b, &mut est_b, 1.0) {
+                    external.1 += 1;
+                }
+            } else {
+                external.0 += 1;
+            }
+        }
+        assert_eq!(est_a, est_b);
+        assert_eq!(inj.dropped_count(), external.0);
+        assert_eq!(inj.burst_count(), external.1);
+        // and folding external tallies reproduces the injector's counts
+        let mut fold = FaultInjector::new(cfg);
+        fold.add_external(external.0, external.1);
+        assert_eq!(fold.dropped_count(), inj.dropped_count());
+        assert_eq!(fold.burst_count(), inj.burst_count());
     }
 
     #[test]

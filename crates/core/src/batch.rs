@@ -399,6 +399,9 @@ struct ReaderProducer {
 impl ReaderProducer {
     fn build(sim: &Simulation, spec: &ReaderSpec, reference_groups: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(spec.seed);
+        // the subcarrier grid depends only on the sounder and scene, both
+        // shared across streams — compute it once for every table below
+        let freqs = sim.subcarrier_freqs_hz();
         let streams = spec
             .streams
             .iter()
@@ -407,10 +410,10 @@ impl ReaderProducer {
                 sim_s.tag = SensorTag::wiforce_prototype(s.fs_hz);
                 sim_s.group.line1_hz = s.fs_hz;
                 sim_s.group.line2_hz = 4.0 * s.fs_hz;
-                let mut tables = vec![sim_s.tag_response_table(None)];
+                let mut tables = vec![sim_s.tag_response_table(&freqs, None)];
                 for p in &s.presses {
                     let contact = sim_s.contact_for(p.force_n, p.location_m);
-                    tables.push(sim_s.tag_response_table(contact.as_ref()));
+                    tables.push(sim_s.tag_response_table(&freqs, contact.as_ref()));
                 }
                 StreamSynth {
                     tag: sim_s.tag,
@@ -420,7 +423,6 @@ impl ReaderProducer {
                 }
             })
             .collect();
-        let freqs = sim.subcarrier_freqs_hz();
         let cache = if sim.use_channel_cache {
             sim.channel_cache.get_or_build(&sim.scene, &freqs)
         } else {

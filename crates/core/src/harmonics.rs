@@ -105,50 +105,25 @@ impl GroupLines {
 /// each subcarrier's column — same floating-point results, cache-friendly
 /// access.
 pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f64) -> GroupLines {
-    assert_eq!(
-        group.n_rows(),
-        cfg.n_snapshots,
-        "group must hold n_snapshots snapshots"
-    );
     let _span = wiforce_telemetry::span!("harmonics.extract_lines");
-    let n = group.n_rows();
-    let k_sub = group.n_cols();
+    let lines = extract_lines_quiet(cfg, group, start_s);
+    emit_extraction_telemetry(cfg, &lines);
+    lines
+}
 
-    let f1_norm = cfg.line1_hz * cfg.snapshot_period_s;
-    let f2_norm = cfg.line2_hz * cfg.snapshot_period_s;
-    // absolute-time phase reference for each line
-    let ref1 = Complex::cis(-wiforce_dsp::TAU * cfg.line1_hz * start_s);
-    let ref2 = Complex::cis(-wiforce_dsp::TAU * cfg.line2_hz * start_s);
-
-    let lines = match cfg.method {
+/// Records the counters/gauges [`extract_lines`] emits for one extracted
+/// group. Split out so the fused parallel path can run the extraction
+/// math telemetry-silent on a worker and re-emit the events
+/// deterministically (in group order, on the main thread) afterwards.
+pub(crate) fn emit_extraction_telemetry(cfg: &PhaseGroupConfig, lines: &GroupLines) {
+    match cfg.method {
         ExtractionMethod::MeanSubtractedDft => {
-            // pass 1: per-subcarrier means, accumulated in row order (the
-            // same addition order as the former per-column gather)
-            let mut means = vec![Complex::ZERO; k_sub];
-            for row in group.rows() {
-                for (m, &x) in means.iter_mut().zip(row) {
-                    *m += x;
-                }
-            }
-            let inv_n = 1.0 / n as f64;
-            means.iter_mut().for_each(|m| *m = m.scale(inv_n));
-            // pass 2: batched mean-subtracted Goertzel, both lines at once
             wiforce_telemetry::counter!("harmonics.goertzel_groups", 1);
-            let acc = goertzel_columns(group.as_slice(), k_sub, &[f1_norm, f2_norm], Some(&means));
-            // normalize by N so line values approximate the per-snapshot
-            // modulated amplitude times the clock Fourier coefficient
-            let p1 = acc[0].iter().map(|z| z.scale(inv_n) * ref1).collect();
-            let p2 = acc[1].iter().map(|z| z.scale(inv_n) * ref2).collect();
-            GroupLines { p1, p2 }
         }
         ExtractionMethod::LeastSquares => {
             wiforce_telemetry::counter!("harmonics.least_squares_groups", 1);
-            let mut lines = extract_least_squares(cfg, group, f1_norm, f2_norm);
-            lines.p1.iter_mut().for_each(|z| *z *= ref1);
-            lines.p2.iter_mut().for_each(|z| *z *= ref2);
-            lines
         }
-    };
+    }
     if wiforce_telemetry::enabled() {
         // per-line signal power: the quality gauge behind the paper's
         // Fig. 4/7 line-SNR discussion (see DESIGN.md "Observability")
@@ -161,7 +136,58 @@ pub fn extract_lines(cfg: &PhaseGroupConfig, group: SnapshotView<'_>, start_s: f
         wiforce_telemetry::observe!("harmonics.line1_power", p1);
         wiforce_telemetry::observe!("harmonics.line2_power", p2);
     }
-    lines
+}
+
+/// [`extract_lines`] without any telemetry (no span, no counters, no
+/// gauges) — the form workers call inside the fused synth→spectrum path,
+/// where per-thread recorders would make reports depend on the worker
+/// count. Identical floating-point results.
+pub(crate) fn extract_lines_quiet(
+    cfg: &PhaseGroupConfig,
+    group: SnapshotView<'_>,
+    start_s: f64,
+) -> GroupLines {
+    assert_eq!(
+        group.n_rows(),
+        cfg.n_snapshots,
+        "group must hold n_snapshots snapshots"
+    );
+    let n = group.n_rows();
+    let k_sub = group.n_cols();
+
+    let f1_norm = cfg.line1_hz * cfg.snapshot_period_s;
+    let f2_norm = cfg.line2_hz * cfg.snapshot_period_s;
+    // absolute-time phase reference for each line
+    let ref1 = Complex::cis(-wiforce_dsp::TAU * cfg.line1_hz * start_s);
+    let ref2 = Complex::cis(-wiforce_dsp::TAU * cfg.line2_hz * start_s);
+
+    match cfg.method {
+        ExtractionMethod::MeanSubtractedDft => {
+            // pass 1: per-subcarrier means, accumulated in row order (the
+            // same addition order as the former per-column gather)
+            let mut means = vec![Complex::ZERO; k_sub];
+            for row in group.rows() {
+                for (m, &x) in means.iter_mut().zip(row) {
+                    *m += x;
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            means.iter_mut().for_each(|m| *m = m.scale(inv_n));
+            // pass 2: batched mean-subtracted Goertzel, both lines at once
+            let acc = goertzel_columns(group.as_slice(), k_sub, &[f1_norm, f2_norm], Some(&means));
+            // normalize by N so line values approximate the per-snapshot
+            // modulated amplitude times the clock Fourier coefficient
+            let p1 = acc[0].iter().map(|z| z.scale(inv_n) * ref1).collect();
+            let p2 = acc[1].iter().map(|z| z.scale(inv_n) * ref2).collect();
+            GroupLines { p1, p2 }
+        }
+        ExtractionMethod::LeastSquares => {
+            let mut lines = extract_least_squares(cfg, group, f1_norm, f2_norm);
+            lines.p1.iter_mut().for_each(|z| *z *= ref1);
+            lines.p2.iter_mut().for_each(|z| *z *= ref2);
+            lines
+        }
+    }
 }
 
 /// Joint LS fit of DC + three tone amplitudes per subcarrier.

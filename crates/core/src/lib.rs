@@ -61,6 +61,7 @@ pub mod gestures;
 pub mod harmonics;
 pub mod model;
 pub mod multisensor;
+pub mod parallel;
 pub mod pipeline;
 pub mod record;
 pub mod spectrum;

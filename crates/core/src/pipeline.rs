@@ -16,15 +16,18 @@
 use crate::calib::{CalibrationSample, LocationData, SensorModel};
 use crate::diffphase::{differential, Averaging, DiffPhases};
 use crate::estimator::ForceReading;
-use crate::harmonics::{extract_lines, GroupLines, PhaseGroupConfig};
-use crate::WiForceError;
+use crate::harmonics::{
+    emit_extraction_telemetry, extract_lines, extract_lines_quiet, GroupLines, PhaseGroupConfig,
+};
+use crate::{parallel, WiForceError};
 use rand::Rng;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use wiforce_channel::cache::{ChannelCache, SharedChannelCache};
 use wiforce_channel::faults::{FaultConfig, FaultInjector};
 use wiforce_channel::{Frontend, Scene, StaticMultipath};
-use wiforce_dsp::rng::standard_normal;
-use wiforce_dsp::{Complex, SnapshotMatrix};
+use wiforce_dsp::rng::{standard_normal, CounterRng};
+use wiforce_dsp::{Complex, SnapshotMatrix, SnapshotView};
 use wiforce_mech::contact::ContactSolver;
 use wiforce_mech::{AnalyticContactModel, ContactPatch, ForceTransducer, Indenter, SensorMech};
 use wiforce_reader::fmcw::FmcwSounder;
@@ -134,6 +137,32 @@ impl ChannelSounder for Sounder {
             Sounder::Fmcw(s) => s.estimate_prepared_into(prepared, noise_std, rng, out),
         }
     }
+
+    fn estimate_counter_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        cursor: &mut CounterRng,
+        out: &mut [Complex],
+    ) {
+        match self {
+            Sounder::Ofdm(s) => s.estimate_counter_into(true_channel, noise_std, cursor, out),
+            Sounder::Fmcw(s) => s.estimate_counter_into(true_channel, noise_std, cursor, out),
+        }
+    }
+
+    fn estimate_prepared_counter_into(
+        &self,
+        prepared: &PreparedChannel,
+        noise_std: f64,
+        cursor: &mut CounterRng,
+        out: &mut [Complex],
+    ) {
+        match self {
+            Sounder::Ofdm(s) => s.estimate_prepared_counter_into(prepared, noise_std, cursor, out),
+            Sounder::Fmcw(s) => s.estimate_prepared_counter_into(prepared, noise_std, cursor, out),
+        }
+    }
 }
 
 /// A complete simulated experimental setup.
@@ -185,6 +214,19 @@ pub struct Simulation {
     /// re-evaluates the scene every call — bit-identical output, used by
     /// the cache-equivalence fixture tests.
     pub use_channel_cache: bool,
+    /// Synthesize press snapshots from the counter-addressed noise stream
+    /// (on by default): every Gaussian draw is a pure function of
+    /// `(press key, group, snapshot, lane)`, so groups synthesize in
+    /// parallel on the worker pool and each finished group streams
+    /// straight into spectrum extraction. Turning it off restores the
+    /// sequential `Rng`-threaded reference path (bit-identical to earlier
+    /// releases), kept for the equivalence fixtures.
+    pub counter_synth: bool,
+    /// Worker threads for counter synthesis. `None` defers to
+    /// `WIFORCE_SYNTH_WORKERS` / the machine's parallelism (see
+    /// [`crate::parallel::default_workers`]); results are bit-identical
+    /// at any setting.
+    pub synth_workers: Option<usize>,
     /// The shared cache slot. `Clone` shares it, so cloned simulations
     /// (batch workers) reuse one entry; fingerprint checks rebuild it on
     /// any scene mutation.
@@ -221,6 +263,8 @@ impl Simulation {
             patch_position_jitter_m: 1.0e-3,
             patch_edge_jitter_m: 0.25e-3,
             use_channel_cache: true,
+            counter_synth: true,
+            synth_workers: None,
             channel_cache: SharedChannelCache::new(),
         }
     }
@@ -273,10 +317,16 @@ impl Simulation {
     /// Precomputes the tag's antenna reflection per subcarrier for each of
     /// the four switch-state combinations, for a fixed contact. The clock
     /// pair then selects a column per snapshot — this turns the per-snapshot
-    /// tag evaluation into a table lookup.
-    pub(crate) fn tag_response_table(&self, contact: Option<&ContactState>) -> Vec<[Complex; 4]> {
+    /// tag evaluation into a table lookup. `freqs` is the absolute
+    /// subcarrier grid ([`Self::subcarrier_freqs_hz`]), computed once by
+    /// the caller and shared across every per-press consumer.
+    pub(crate) fn tag_response_table(
+        &self,
+        freqs: &[f64],
+        contact: Option<&ContactState>,
+    ) -> Vec<[Complex; 4]> {
         // state index: bit0 = switch1 on, bit1 = switch2 on
-        self.subcarrier_freqs_hz()
+        freqs
             .iter()
             .map(|&f| {
                 let mut row = [Complex::ZERO; 4];
@@ -324,11 +374,11 @@ impl Simulation {
     ) {
         let _span = wiforce_telemetry::span!("pipeline.run_snapshots");
         let telem = wiforce_telemetry::enabled();
+        let freqs = self.subcarrier_freqs_hz();
         let table = {
             let _s = wiforce_telemetry::span!("pipeline.em_transduction");
-            self.tag_response_table(contact)
+            self.tag_response_table(&freqs, contact)
         };
-        let freqs = self.subcarrier_freqs_hz();
         let cache: Arc<ChannelCache> = {
             let _s = wiforce_telemetry::span!("pipeline.channel_setup");
             if self.use_channel_cache {
@@ -494,6 +544,416 @@ impl Simulation {
         }
     }
 
+    /// Counter-addressed twin of [`Self::run_snapshots`]: synthesizes the
+    /// same kind of snapshot stream, but every noise draw comes from the
+    /// splittable Philox counter stream keyed by `noise` instead of a
+    /// sequential `Rng`, so snapshot groups are synthesized in parallel on
+    /// the worker pool. Output is bit-identical at any worker count (and
+    /// under `WIFORCE_FORCE_SCALAR`), but is a *different realization*
+    /// from the sequential path — the two are statistically, not bitwise,
+    /// interchangeable.
+    pub fn run_snapshots_counter(
+        &self,
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        noise: &mut PressNoise,
+    ) -> SnapshotMatrix {
+        let mut out = SnapshotMatrix::default();
+        self.run_snapshots_counter_into(contact, n_groups, clock_state, noise, &mut out);
+        out
+    }
+
+    /// [`Self::run_snapshots_counter`] appending into a caller-provided
+    /// matrix (the streaming path).
+    pub fn run_snapshots_counter_into(
+        &self,
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        noise: &mut PressNoise,
+        out: &mut SnapshotMatrix,
+    ) {
+        let freqs = self.subcarrier_freqs_hz();
+        self.synth_counter(&freqs, contact, n_groups, clock_state, noise, out, None);
+    }
+
+    /// Counter-addressed twin of [`Self::run_groups`], with the fused
+    /// synth→spectrum streaming path: each snapshot group is handed to
+    /// line extraction by whichever worker finishes it, while other
+    /// groups are still synthesizing.
+    pub fn run_groups_counter(
+        &self,
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        noise: &mut PressNoise,
+    ) -> Vec<GroupLines> {
+        let freqs = self.subcarrier_freqs_hz();
+        let spec = FusedExtraction {
+            cfg: &self.group,
+            floor_cfg: None,
+            first_start: clock_state.reader_time_s(),
+        };
+        let mut scratch = SnapshotMatrix::default();
+        self.synth_counter(
+            &freqs,
+            contact,
+            n_groups,
+            clock_state,
+            noise,
+            &mut scratch,
+            Some(&spec),
+        )
+        .0
+    }
+
+    /// The parallel counter-addressed synthesis engine behind
+    /// [`Self::run_snapshots_counter_into`] and the fused group path.
+    ///
+    /// The calling thread lays out per-group plans sequentially (the tag
+    /// clock walks group to group through the counter-addressed wander
+    /// stream), then the press becomes a bag of disjoint row-range chunks
+    /// over the preallocated region of `out`, executed by
+    /// [`parallel::run_chunks`]. Each snapshot draws its noise from
+    /// [`CounterRng::for_snapshot`]`(key, group, snapshot)` in a fixed
+    /// order (drop decision → sounder noise → burst → front end), so the
+    /// result is a pure function of the press key regardless of worker
+    /// count or chunk interleaving.
+    ///
+    /// With `fused`, the worker that completes a group's last chunk runs
+    /// line extraction on it immediately ([`extract_lines_quiet`] — no
+    /// telemetry from worker threads); the floor probe rides on group 0.
+    /// All telemetry is re-emitted deterministically on the calling
+    /// thread after the join.
+    #[allow(clippy::too_many_arguments)]
+    fn synth_counter(
+        &self,
+        freqs: &[f64],
+        contact: Option<&ContactState>,
+        n_groups: usize,
+        clock_state: &mut TagClock,
+        noise: &mut PressNoise,
+        out: &mut SnapshotMatrix,
+        fused: Option<&FusedExtraction<'_>>,
+    ) -> (Vec<GroupLines>, Option<GroupLines>) {
+        let _span = wiforce_telemetry::span!("pipeline.run_snapshots");
+        let telem = wiforce_telemetry::enabled();
+        use wiforce_telemetry::fastclock;
+        let table = {
+            let _s = wiforce_telemetry::span!("pipeline.em_transduction");
+            self.tag_response_table(freqs, contact)
+        };
+        let cache: Arc<ChannelCache> = {
+            let _s = wiforce_telemetry::span!("pipeline.channel_setup");
+            if self.use_channel_cache {
+                self.channel_cache.get_or_build(&self.scene, freqs)
+            } else {
+                Arc::new(ChannelCache::build(&self.scene, freqs))
+            }
+        };
+        let statics = &cache.statics;
+        let gains = &cache.gains;
+        let direct_amp = cache.direct_amp;
+        let full_scale = cache.full_scale;
+        let n_cols = statics.len();
+        let n = self.group.n_snapshots;
+        let t_snap = self.group.snapshot_period_s;
+        let has_movers = !self.scene.movers.is_empty();
+        let key = noise.key;
+
+        let prepared: Option<Vec<PreparedChannel>> = if has_movers {
+            None
+        } else {
+            let _s = wiforce_telemetry::span!("pipeline.prepare_states");
+            let mut state_truth = vec![Complex::ZERO; n_cols];
+            Some(
+                (0..4)
+                    .map(|state| {
+                        wiforce_dsp::kernels::synth_truth(
+                            &mut state_truth,
+                            statics,
+                            gains,
+                            &table,
+                            state,
+                        );
+                        self.sounder.prepare(&state_truth)
+                    })
+                    .collect(),
+            )
+        };
+
+        // group plans: the clock walk is inherently sequential, so it runs
+        // here (cheap — one wander draw per group) and hands each group a
+        // closed-form local clock: snapshot `s` of a group reads
+        // `t_tag0 + s·dt_eff`, where dt_eff folds the group's wander and
+        // the constant drift fault.
+        let mut plans = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let group_id = noise.next_group;
+            noise.next_group = noise.next_group.wrapping_add(1);
+            let mut group_rng = CounterRng::for_group(key, group_id);
+            clock_state.step_group(self.tag_clock_wander_ppm, &mut group_rng);
+            let dt_eff =
+                t_snap * (1.0 + (clock_state.wander_ppm + self.faults.tag_clock_ppm) * 1e-6);
+            plans.push(GroupPlan {
+                group_id,
+                t_tag0: clock_state.t_tag,
+                t_reader0: clock_state.t_reader,
+                dt_eff,
+            });
+            clock_state.t_tag += n as f64 * dt_eff;
+            clock_state.t_reader += n as f64 * t_snap;
+        }
+
+        out.set_width(n_cols);
+        if n_groups == 0 || n == 0 {
+            return (Vec::new(), None);
+        }
+        // snapshot drops hold the previous *row*, so a group with drops
+        // enabled must synthesize in order as one chunk (the fallback for
+        // a drop on a group's first snapshot is the noiseless truth —
+        // unlike the sequential path, the boundary is per group, not per
+        // call, which keeps groups independent)
+        const CHUNK_ROWS: usize = 64;
+        let chunk_rows = if self.faults.snapshot_drop_prob > 0.0 {
+            n
+        } else {
+            CHUNK_ROWS.min(n)
+        };
+        let chunks_per_group = n.div_ceil(chunk_rows);
+        let n_chunks = n_groups * chunks_per_group;
+        let region = out.extend_rows(n_groups * n);
+        let region_ptr = region.as_mut_ptr() as usize;
+
+        let group_s = n as f64 * t_snap;
+        let line_slots: Vec<OnceLock<GroupLines>> =
+            (0..n_groups).map(|_| OnceLock::new()).collect();
+        let floor_slot: OnceLock<GroupLines> = OnceLock::new();
+        let chunks_left: Vec<AtomicUsize> = (0..n_groups)
+            .map(|_| AtomicUsize::new(chunks_per_group))
+            .collect();
+        let (eval_ticks, eval_n) = (AtomicU64::new(0), AtomicU64::new(0));
+        let (sounder_ticks, sounder_n) = (AtomicU64::new(0), AtomicU64::new(0));
+        let (frontend_ticks, frontend_n) = (AtomicU64::new(0), AtomicU64::new(0));
+        let (extract_ticks, extract_n) = (AtomicU64::new(0), AtomicU64::new(0));
+        let dropped = AtomicUsize::new(0);
+        let bursts = AtomicUsize::new(0);
+
+        let worker = |ci: usize| {
+            let g = ci / chunks_per_group;
+            let c = ci % chunks_per_group;
+            let s0 = c * chunk_rows;
+            let s1 = ((c + 1) * chunk_rows).min(n);
+            let plan = &plans[g];
+            // Safety: chunk `ci` owns rows [g·n+s0, g·n+s1) of the region
+            // exclusively — chunk ranges are disjoint by construction and
+            // the region outlives the run_chunks call.
+            let base = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (region_ptr as *mut Complex).add((g * n + s0) * n_cols),
+                    (s1 - s0) * n_cols,
+                )
+            };
+            let mut truth = if has_movers {
+                vec![Complex::ZERO; n_cols]
+            } else {
+                Vec::new()
+            };
+            let (mut l_eval_t, mut l_eval_n) = (0_u64, 0_u64);
+            let (mut l_sounder_t, mut l_sounder_n) = (0_u64, 0_u64);
+            let (mut l_frontend_t, mut l_frontend_n) = (0_u64, 0_u64);
+            let (mut l_dropped, mut l_bursts) = (0_usize, 0_usize);
+            for s in s0..s1 {
+                let row_off = (s - s0) * n_cols;
+                let t_reader = plan.t_reader0 + s as f64 * t_snap;
+                let t_tag = plan.t_tag0 + s as f64 * plan.dt_eff;
+                let on1 = self.tag.clocks.modulation1(t_tag);
+                let on2 = self.tag.clocks.modulation2(t_tag);
+                let state_idx = on1 as usize | ((on2 as usize) << 1);
+                let mut cursor = CounterRng::for_snapshot(key, plan.group_id, s as u32);
+                match &prepared {
+                    Some(_) => l_eval_n += 1,
+                    None => {
+                        let t0 = telem.then(fastclock::ticks);
+                        for (k, h) in truth.iter_mut().enumerate() {
+                            *h = statics[k]
+                                + gains[k] * table[k][state_idx]
+                                + self.scene.dynamic_response(freqs[k], t_reader);
+                        }
+                        if let Some(t) = t0 {
+                            l_eval_t += fastclock::ticks().wrapping_sub(t);
+                            l_eval_n += 1;
+                        }
+                    }
+                }
+                if self.faults.decide_drop(&mut cursor) {
+                    l_dropped += 1;
+                    if s > s0 {
+                        base.copy_within((row_off - n_cols)..row_off, row_off);
+                    } else {
+                        let truth_row: &[Complex] = match &prepared {
+                            Some(states) => &states[state_idx].truth,
+                            None => &truth,
+                        };
+                        base[row_off..row_off + n_cols].copy_from_slice(truth_row);
+                    }
+                    continue;
+                }
+                let row = &mut base[row_off..row_off + n_cols];
+                let t1 = telem.then(fastclock::ticks);
+                match &prepared {
+                    Some(states) => self.sounder.estimate_prepared_counter_into(
+                        &states[state_idx],
+                        self.frontend.noise_floor,
+                        &mut cursor,
+                        row,
+                    ),
+                    None => self.sounder.estimate_counter_into(
+                        &truth,
+                        self.frontend.noise_floor,
+                        &mut cursor,
+                        row,
+                    ),
+                }
+                let t2 = telem.then(fastclock::ticks);
+                if let (Some(a), Some(b)) = (t1, t2) {
+                    l_sounder_t += b.wrapping_sub(a);
+                    l_sounder_n += 1;
+                }
+                if self.faults.apply_burst(&mut cursor, row, direct_amp) {
+                    l_bursts += 1;
+                }
+                self.frontend.process(&mut cursor, row, full_scale);
+                if let Some(b) = t2 {
+                    l_frontend_t += fastclock::ticks().wrapping_sub(b);
+                    l_frontend_n += 1;
+                }
+            }
+            eval_ticks.fetch_add(l_eval_t, Ordering::Relaxed);
+            eval_n.fetch_add(l_eval_n, Ordering::Relaxed);
+            sounder_ticks.fetch_add(l_sounder_t, Ordering::Relaxed);
+            sounder_n.fetch_add(l_sounder_n, Ordering::Relaxed);
+            frontend_ticks.fetch_add(l_frontend_t, Ordering::Relaxed);
+            frontend_n.fetch_add(l_frontend_n, Ordering::Relaxed);
+            if l_dropped > 0 {
+                dropped.fetch_add(l_dropped, Ordering::Relaxed);
+            }
+            if l_bursts > 0 {
+                bursts.fetch_add(l_bursts, Ordering::Relaxed);
+            }
+            // fused streaming: the worker that retires a group's last
+            // chunk extracts its lines right away (AcqRel pairs the row
+            // writes of every sibling chunk with this read)
+            if let Some(spec) = fused {
+                if chunks_left[g].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let t0 = telem.then(fastclock::ticks);
+                    // Safety: all chunks of group g have finished writing.
+                    let rows = unsafe {
+                        std::slice::from_raw_parts(
+                            (region_ptr as *const Complex).add(g * n * n_cols),
+                            n * n_cols,
+                        )
+                    };
+                    let start_s = spec.first_start + g as f64 * group_s;
+                    let lines = extract_lines_quiet(
+                        spec.cfg,
+                        SnapshotView::from_flat(n_cols, rows),
+                        start_s,
+                    );
+                    let mut extracted = 1;
+                    if g == 0 {
+                        if let Some(fc) = spec.floor_cfg {
+                            let fl = extract_lines_quiet(
+                                fc,
+                                SnapshotView::from_flat(n_cols, rows),
+                                spec.first_start,
+                            );
+                            let _ = floor_slot.set(fl);
+                            extracted += 1;
+                        }
+                    }
+                    let _ = line_slots[g].set(lines);
+                    if let Some(t) = t0 {
+                        extract_ticks
+                            .fetch_add(fastclock::ticks().wrapping_sub(t), Ordering::Relaxed);
+                        extract_n.fetch_add(extracted, Ordering::Relaxed);
+                    }
+                }
+            }
+        };
+        let workers = self.synth_workers.unwrap_or_else(parallel::default_workers);
+        parallel::run_chunks(workers, n_chunks, &worker);
+
+        // fold fault tallies through an injector so counts and telemetry
+        // counters match the sequential path exactly (including the
+        // declare-0 behaviour on clean runs)
+        let total_dropped = dropped.into_inner();
+        let mut injector = FaultInjector::new(self.faults);
+        injector.add_external(total_dropped, bursts.into_inner());
+
+        let lines: Vec<GroupLines> = if fused.is_some() {
+            line_slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("fused extraction ran for every group")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let floor = floor_slot.into_inner();
+
+        if telem {
+            let ns_per_tick = fastclock::ns_per_tick();
+            wiforce_telemetry::span_bulk(
+                "pipeline.channel_eval",
+                eval_n.into_inner(),
+                eval_ticks.into_inner() as f64 * ns_per_tick,
+            );
+            wiforce_telemetry::span_bulk(
+                "pipeline.sounder",
+                sounder_n.into_inner(),
+                sounder_ticks.into_inner() as f64 * ns_per_tick,
+            );
+            wiforce_telemetry::span_bulk(
+                "pipeline.frontend",
+                frontend_n.into_inner(),
+                frontend_ticks.into_inner() as f64 * ns_per_tick,
+            );
+            let total = (n_groups * n) as u64;
+            wiforce_telemetry::counter!("pipeline.snapshots_total", total);
+            let yielded = total.saturating_sub(total_dropped as u64);
+            wiforce_telemetry::gauge!(
+                "pipeline.snapshot_yield",
+                if total == 0 {
+                    1.0
+                } else {
+                    yielded as f64 / total as f64
+                }
+            );
+            // deterministic re-emission of the extraction telemetry the
+            // workers withheld: one bulk span for the thread time, then
+            // the per-group counters/gauges in group order (floor last,
+            // matching the sequential call order in measure_phases)
+            if let Some(spec) = fused {
+                wiforce_telemetry::span_bulk(
+                    "harmonics.extract_lines",
+                    extract_n.into_inner(),
+                    extract_ticks.into_inner() as f64 * ns_per_tick,
+                );
+                for l in &lines {
+                    emit_extraction_telemetry(spec.cfg, l);
+                }
+                if let (Some(fc), Some(fl)) = (spec.floor_cfg, floor.as_ref()) {
+                    emit_extraction_telemetry(fc, fl);
+                }
+            }
+        }
+        (lines, floor)
+    }
+
     /// Simulates `n_groups` phase groups for a fixed contact state,
     /// returning the extracted line values per group.
     pub fn run_groups<R: Rng>(
@@ -540,6 +1000,9 @@ impl Simulation {
     ) -> Result<DiffPhases, WiForceError> {
         let _span = wiforce_telemetry::span!("pipeline.measure_phases");
         let mut clock = TagClock::new(rng);
+        if self.counter_synth {
+            return self.measure_phases_counter(contact, &mut clock, rng);
+        }
         // synthesize the reference snapshots once; both the tag lines and
         // the off-line floor probe below read from this matrix, so the
         // floor no longer costs a dedicated snapshot group per press
@@ -602,6 +1065,108 @@ impl Simulation {
         }
         // average the differential phases across measurement groups
         // (coherently, via the summed conj products)
+        let mut acc1 = Complex::ZERO;
+        let mut acc2 = Complex::ZERO;
+        let mut power = 0.0;
+        for m in &meass {
+            let d = differential(&reference, m, self.averaging);
+            acc1 += Complex::cis(d.dphi1_rad);
+            acc2 += Complex::cis(d.dphi2_rad);
+            power += d.line_power;
+        }
+        Ok(DiffPhases {
+            dphi1_rad: acc1.arg(),
+            dphi2_rad: acc2.arg(),
+            line_power: power / meass.len() as f64,
+        })
+    }
+
+    /// The counter-synthesis arm of [`Self::measure_phases`]: same
+    /// reference → floor-check → measurement structure, but groups
+    /// synthesize in parallel and stream straight into extraction. The
+    /// only draws taken from `rng` are the clock phase (by the caller)
+    /// and the press key, so a press costs two sequential draws total.
+    fn measure_phases_counter<R: Rng>(
+        &self,
+        contact: Option<&ContactState>,
+        clock: &mut TagClock,
+        rng: &mut R,
+    ) -> Result<DiffPhases, WiForceError> {
+        let mut noise = PressNoise::from_rng(rng);
+        // the subcarrier grid is press-invariant: compute it once and
+        // share it with both synthesis calls (and everything downstream)
+        let freqs = self.subcarrier_freqs_hz();
+        let group_s = self.group.n_snapshots as f64 * self.group.snapshot_period_s;
+        let mut scratch = SnapshotMatrix::default();
+
+        // the off-line floor probe (1.37·fs and 2.61·fs) fuses onto the
+        // first reference group — extracted by the same worker that
+        // finishes that group's rows
+        let off_cfg = PhaseGroupConfig {
+            line1_hz: self.group.line1_hz * 1.37,
+            line2_hz: self.group.line1_hz * 2.61,
+            ..self.group
+        };
+        let ref_spec = FusedExtraction {
+            cfg: &self.group,
+            floor_cfg: Some(&off_cfg),
+            first_start: clock.reader_time_s(),
+        };
+        let (mut refs, floor_lines) = self.synth_counter(
+            &freqs,
+            None,
+            self.reference_groups,
+            clock,
+            &mut noise,
+            &mut scratch,
+            Some(&ref_spec),
+        );
+        let floor = floor_lines
+            .expect("floor probe rides on the first reference group")
+            .mean_power();
+
+        let df_hz = if self.track_tag_clock && refs.len() >= 2 {
+            estimate_line_offset_hz(&refs, group_s)
+        } else {
+            0.0
+        };
+        if df_hz != 0.0 {
+            for (g, lines) in refs.iter_mut().enumerate() {
+                derotate(lines, df_hz, g as f64 * group_s);
+            }
+        }
+        let reference = average_lines(&refs);
+
+        let line_db = 10.0 * (reference.mean_power() / floor.max(1e-300)).log10();
+        wiforce_telemetry::gauge!("pipeline.line_to_floor_db", line_db);
+        if line_db < 6.0 {
+            wiforce_telemetry::counter!("pipeline.tag_not_detected", 1);
+            return Err(WiForceError::TagNotDetected {
+                line_to_floor_db: line_db,
+            });
+        }
+
+        scratch.clear();
+        let meas_spec = FusedExtraction {
+            cfg: &self.group,
+            floor_cfg: None,
+            first_start: clock.reader_time_s(),
+        };
+        let (mut meass, _) = self.synth_counter(
+            &freqs,
+            contact,
+            self.measure_groups,
+            clock,
+            &mut noise,
+            &mut scratch,
+            Some(&meas_spec),
+        );
+        if df_hz != 0.0 {
+            for (g, lines) in meass.iter_mut().enumerate() {
+                let t = (self.reference_groups + g) as f64 * group_s;
+                derotate(lines, df_hz, t);
+            }
+        }
         let mut acc1 = Complex::ZERO;
         let mut acc2 = Complex::ZERO;
         let mut power = 0.0;
@@ -787,6 +1352,59 @@ impl Simulation {
     }
 }
 
+/// The per-press handle on the counter-addressed noise stream: one Philox
+/// key (drawn once per press from the caller's `Rng`) plus the running
+/// group index. Every Gaussian the synthesis consumes is a pure function
+/// of `(key, group, snapshot, lane)`, so the same `PressNoise` always
+/// reproduces the same press regardless of worker count, chunking, or
+/// SIMD backend.
+#[derive(Debug, Clone)]
+pub struct PressNoise {
+    key: u64,
+    next_group: u32,
+}
+
+impl PressNoise {
+    /// Draws a fresh press key from the caller's RNG (the only draw the
+    /// counter path takes from it per press).
+    pub fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        PressNoise {
+            key: rng.gen::<u64>(),
+            next_group: 0,
+        }
+    }
+
+    /// A press keyed directly — for fixtures that pin exact realizations.
+    pub fn from_seed(key: u64) -> Self {
+        PressNoise { key, next_group: 0 }
+    }
+
+    /// The press key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Closed-form per-group clock handed to synthesis workers: snapshot `s`
+/// of the group evaluates the tag modulation at `t_tag0 + s·dt_eff` and
+/// the scene at `t_reader0 + s·t_snap`.
+struct GroupPlan {
+    group_id: u32,
+    t_tag0: f64,
+    t_reader0: f64,
+    dt_eff: f64,
+}
+
+/// Streaming-extraction request for [`Simulation::synth_counter`].
+struct FusedExtraction<'a> {
+    cfg: &'a PhaseGroupConfig,
+    /// Off-line floor probe configuration, extracted from group 0's rows
+    /// (the tag-detection floor rides on the first reference group).
+    floor_cfg: Option<&'a PhaseGroupConfig>,
+    /// Reader time of the first synthesized snapshot.
+    first_start: f64,
+}
+
 /// The tag's free-running clock: tracks accumulated time including drift
 /// and wander, so modulation edges stay phase-continuous across groups.
 #[derive(Debug, Clone)]
@@ -941,8 +1559,8 @@ mod tests {
     fn tag_table_matches_direct_evaluation() {
         let sim = fast_sim(0.9e9);
         let contact = sim.contact_for(4.0, 0.040);
-        let table = sim.tag_response_table(contact.as_ref());
         let freqs = sim.subcarrier_freqs_hz();
+        let table = sim.tag_response_table(&freqs, contact.as_ref());
         // compare against SensorTag::antenna_reflection at times with known
         // switch states: t=0 → switch1 on (25% duty), t chosen in switch2 window
         let t_s1_on = 0.1e-3; // inside [0, 0.25 ms)
@@ -1004,6 +1622,187 @@ mod tests {
             a2.as_slice()[0].re.to_bits(),
             "scene mutation should alter the synthesized snapshots"
         );
+    }
+
+    #[test]
+    fn counter_synthesis_is_worker_count_invariant() {
+        // the tentpole fixture: the counter-addressed path must produce
+        // bit-identical snapshots at any worker count — clean, under
+        // heavy fault injection (whole-group chunks), and with movers
+        // (per-snapshot channel evaluation)
+        let mut faulty = fast_sim(0.9e9);
+        faulty.faults = wiforce_channel::faults::FaultConfig::saturating();
+        let mut moving = fast_sim(0.9e9);
+        moving
+            .scene
+            .movers
+            .push(wiforce_channel::movers::MovingScatterer::walker(0.15));
+        for (name, base) in [
+            ("clean", fast_sim(0.9e9)),
+            ("faulty", faulty),
+            ("movers", moving),
+        ] {
+            let run = |workers: usize| {
+                let mut sim = base.clone();
+                sim.synth_workers = Some(workers);
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut clock = TagClock::new(&mut rng);
+                let mut noise = PressNoise::from_seed(0xFEED_F00D);
+                let contact = sim.contact_for(3.0, 0.030);
+                let m = sim.run_snapshots_counter(contact.as_ref(), 3, &mut clock, &mut noise);
+                (m, clock.t_tag.to_bits(), clock.t_reader.to_bits())
+            };
+            let (m1, t1, r1) = run(1);
+            let (m4, t4, r4) = run(4);
+            let (m8, t8, r8) = run(8);
+            assert_eq!(m1.n_rows(), m4.n_rows());
+            for (x, y) in m1.as_slice().iter().zip(m4.as_slice()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{name} 1 vs 4");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{name} 1 vs 4");
+            }
+            for (x, y) in m1.as_slice().iter().zip(m8.as_slice()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{name} 1 vs 8");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{name} 1 vs 8");
+            }
+            assert_eq!((t1, r1), (t4, r4), "{name} clock state");
+            assert_eq!((t1, r1), (t8, r8), "{name} clock state");
+        }
+    }
+
+    #[test]
+    fn counter_synthesis_is_a_pure_function_of_the_key() {
+        let sim = fast_sim(0.9e9);
+        let run = |key: u64| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut clock = TagClock::new(&mut rng);
+            let mut noise = PressNoise::from_seed(key);
+            sim.run_snapshots_counter(None, 1, &mut clock, &mut noise)
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.as_slice().iter().zip(c.as_slice()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn fused_extraction_matches_unfused_bitwise() {
+        // the streaming synth→spectrum path must yield the same lines as
+        // extracting from the assembled matrix afterwards
+        let mut sim = fast_sim(0.9e9);
+        sim.synth_workers = Some(4);
+        let contact = sim.contact_for(4.0, 0.040);
+        let n_groups = 3;
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut clock_a = TagClock::new(&mut rng);
+        let mut noise_a = PressNoise::from_seed(0xABCD);
+        let first_start = clock_a.reader_time_s();
+        let fused = sim.run_groups_counter(contact.as_ref(), n_groups, &mut clock_a, &mut noise_a);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut clock_b = TagClock::new(&mut rng);
+        let mut noise_b = PressNoise::from_seed(0xABCD);
+        let snaps =
+            sim.run_snapshots_counter(contact.as_ref(), n_groups, &mut clock_b, &mut noise_b);
+        let n = sim.group.n_snapshots;
+        let group_s = n as f64 * sim.group.snapshot_period_s;
+        assert_eq!(fused.len(), n_groups);
+        for (g, fused_lines) in fused.iter().enumerate() {
+            let lines = extract_lines(
+                &sim.group,
+                snaps.rows_view(g * n, n),
+                first_start + g as f64 * group_s,
+            );
+            for (a, b) in fused_lines.p1.iter().zip(&lines.p1) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            for (a, b) in fused_lines.p2.iter().zip(&lines.p2) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_reference_path_still_tracks_vna() {
+        // the Rng-threaded path stays as the cross-check reference; it
+        // must keep producing the pre-counter results
+        let mut sim = fast_sim(0.9e9);
+        sim.counter_synth = false;
+        let mut rng = StdRng::seed_from_u64(11);
+        let (v1, v2) = sim.vna_phases(4.0, 0.040);
+        let contact = sim.contact_for(4.0, 0.040);
+        let w = sim.measure_phases(contact.as_ref(), &mut rng).unwrap();
+        let tol = 3.0f64.to_radians();
+        assert!((w.dphi1_rad - v1).abs() < tol, "{} vs {v1}", w.dphi1_rad);
+        assert!((w.dphi2_rad - v2).abs() < tol, "{} vs {v2}", w.dphi2_rad);
+    }
+
+    #[test]
+    fn multi_tag_crosstalk_stays_low_under_parallel_synthesis() {
+        // two FMCW tags modulating at different fs share one scene; their
+        // backscatter superposes at the reader. Each tag's lines must
+        // survive the other's presence — the counter/fused path may not
+        // smear energy across tag bins (satellite check for the
+        // waveform-agnostic claim under parallel synthesis).
+        let mk = |fs: f64| {
+            let mut sim = fast_sim(0.9e9).with_fmcw_sounder();
+            sim.synth_workers = Some(8);
+            sim.tag = wiforce_sensor::SensorTag::wiforce_prototype(fs);
+            sim.group.line1_hz = fs;
+            sim.group.line2_hz = 4.0 * fs;
+            sim
+        };
+        let sim_a = mk(1000.0);
+        let sim_b = mk(1300.0);
+        let contact = sim_a.contact_for(4.0, 0.040);
+
+        let synth = |sim: &Simulation, key: u64, contact: Option<&ContactState>| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut clock = TagClock::new(&mut rng);
+            let mut noise = PressNoise::from_seed(key);
+            sim.run_snapshots_counter(contact, 1, &mut clock, &mut noise)
+        };
+        let a = synth(&sim_a, 0xA, contact.as_ref());
+        let b = synth(&sim_b, 0xB, None);
+        // superpose: both matrices contain the static scene once, so the
+        // two-tag channel is a + b − statics
+        let freqs = sim_a.subcarrier_freqs_hz();
+        let statics = ChannelCache::build(&sim_a.scene, &freqs).statics;
+        let n_cols = statics.len();
+        let combined: Vec<Complex> = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .enumerate()
+            .map(|(i, (&x, &y))| x + y - statics[i % n_cols])
+            .collect();
+        let combined = SnapshotView::from_flat(n_cols, &combined);
+
+        let n = sim_a.group.n_snapshots;
+        for (sim, solo) in [(&sim_a, &a), (&sim_b, &b)] {
+            let alone = extract_lines(&sim.group, solo.rows_view(0, n), 0.0);
+            let both = extract_lines(&sim.group, combined.rows_view(0, n), 0.0);
+            let d = differential(&alone, &both, Averaging::Coherent);
+            let tol = 5.0f64.to_radians();
+            assert!(
+                d.dphi1_rad.abs() < tol,
+                "fs {} line1 {}",
+                sim.group.line1_hz,
+                d.dphi1_rad
+            );
+            assert!(
+                d.dphi2_rad.abs() < tol,
+                "fs {} line2 {}",
+                sim.group.line1_hz,
+                d.dphi2_rad
+            );
+            // and the line power holds up (within 3 dB)
+            let ratio = both.mean_power() / alone.mean_power();
+            assert!((0.5..2.0).contains(&ratio), "power ratio {ratio}");
+        }
     }
 
     #[test]

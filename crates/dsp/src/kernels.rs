@@ -48,6 +48,7 @@ impl Backend {
 
 /// Names of every dispatched kernel, for health-report introspection.
 pub const KERNEL_NAMES: &[&str] = &[
+    "philox_normals",
     "box_muller_normals",
     "cmac_scaled",
     "cmac_sub_scaled",
@@ -153,6 +154,38 @@ macro_rules! simd_kernel {
             }
         }
     };
+}
+
+// ---------------------------------------------------------------------
+// Counter-based (Philox) noise fill
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn philox_normals_body(key: [u32; 2], ctr_hi: [u32; 3], lane0: u32, out: &mut [f64]) {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    for (i, o) in out.iter_mut().enumerate() {
+        let lane = lane0.wrapping_add(i as u32);
+        let b = crate::rng::philox4x32([lane, ctr_hi[0], ctr_hi[1], ctr_hi[2]], key);
+        let a = (u64::from(b[1]) << 32) | u64::from(b[0]);
+        let c = (u64::from(b[3]) << 32) | u64::from(b[2]);
+        // u1 ∈ (0, 1] (strictly positive without a redraw loop, so the
+        // body stays branch-free and vectorizable); u2 ∈ [0, 1).
+        let u1 = ((a >> 11) + 1) as f64 * SCALE;
+        let u2 = (c >> 11) as f64 * SCALE;
+        *o = crate::fastmath::box_muller(u1, u2);
+    }
+}
+
+simd_kernel! {
+    /// Fills `out` with standard normals drawn from the Philox 4x32-10
+    /// counter stream at `(key, ctr_hi, lane0 + i)`: one counter block
+    /// yields the two 53-bit uniforms of one Box–Muller sample, so
+    /// `out[i]` is a pure function of its coordinates — independent of
+    /// call order, chunking, and thread count. Bit-identical to the
+    /// scalar [`crate::rng::philox_normal_at`] per element.
+    pub fn philox_normals(key: [u32; 2], ctr_hi: [u32; 3], lane0: u32, out: &mut [f64])
+        = philox_normals_body / philox_normals_avx2
+        / philox_normals_avx512 / philox_normals_neon
 }
 
 // ---------------------------------------------------------------------
@@ -403,6 +436,41 @@ mod tests {
     }
 
     #[test]
+    fn philox_kernel_matches_scalar_bitwise() {
+        let key = [0xDEAD_BEEF, 0x0123_4567];
+        let ctr_hi = [17, 3, 1];
+        for n in [0, 1, 7, 8, 9, 64, 128, 1013] {
+            let mut fast = vec![0.0; n];
+            philox_normals(key, ctr_hi, 5, &mut fast);
+            let mut want = vec![0.0; n];
+            philox_normals_body(key, ctr_hi, 5, &mut want);
+            for i in 0..n {
+                assert_eq!(fast[i].to_bits(), want[i].to_bits(), "n={n} i={i}");
+                let scalar = crate::rng::philox_normal_at(key, ctr_hi, 5u32.wrapping_add(i as u32));
+                assert_eq!(fast[i].to_bits(), scalar.to_bits(), "n={n} i={i} vs scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn philox_kernel_is_offset_invariant() {
+        // Drawing lanes [0, 64) in one call or two must agree bitwise:
+        // each element depends only on its own counter coordinates.
+        let key = [1, 2];
+        let ctr_hi = [9, 9, 0];
+        let mut whole = vec![0.0; 64];
+        philox_normals(key, ctr_hi, 0, &mut whole);
+        let mut lo = vec![0.0; 24];
+        let mut hi = vec![0.0; 40];
+        philox_normals(key, ctr_hi, 0, &mut lo);
+        philox_normals(key, ctr_hi, 24, &mut hi);
+        for (i, w) in whole.iter().enumerate() {
+            let part = if i < 24 { lo[i] } else { hi[i - 24] };
+            assert_eq!(w.to_bits(), part.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
     fn cmac_kernels_match_scalar_bitwise() {
         let mut rng = StdRng::seed_from_u64(2);
         for n in [1, 5, 8, 64, 127] {
@@ -568,6 +636,39 @@ mod tests {
             let mut v = vec![0.0; n];
             // Safety: AVX-512 F+DQ+VL support was just detected.
             unsafe { box_muller_normals_avx512(&u1s, &u2s, &mut v) };
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    /// Same per-ISA check for the Philox counter kernel: the RNG family
+    /// must reproduce bit-for-bit on every vector unit it dispatches to.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn philox_isa_instantiations_match_scalar_bitwise() {
+        let key = [0x9E37_79B9, 0x7F4A_7C15];
+        let ctr_hi = [611, 2, 1];
+        let n = 1013;
+        let mut scalar = vec![0.0; n];
+        philox_normals_body(key, ctr_hi, 0, &mut scalar);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut v = vec![0.0; n];
+            // Safety: AVX2 support was just detected.
+            unsafe { philox_normals_avx2(key, ctr_hi, 0, &mut v) };
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            let mut v = vec![0.0; n];
+            // Safety: AVX-512 F+DQ+VL support was just detected.
+            unsafe { philox_normals_avx512(key, ctr_hi, 0, &mut v) };
             assert_eq!(
                 v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),

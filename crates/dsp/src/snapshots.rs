@@ -145,6 +145,21 @@ impl SnapshotMatrix {
         &mut self.data[start..]
     }
 
+    /// Appends `rows` zeroed snapshots in one resize and returns the new
+    /// region as a flat mutable slice (`rows × n_cols` elements, row
+    /// major). Parallel producers split this region into disjoint
+    /// per-worker row ranges and fill them concurrently.
+    ///
+    /// # Panics
+    /// Panics if the width has not been set (via [`Self::set_width`] or a
+    /// prior row) — a zero-width bulk append would be unrecoverable.
+    pub fn extend_rows(&mut self, rows: usize) -> &mut [Complex] {
+        assert!(self.n_cols > 0, "set_width before extend_rows");
+        let start = self.data.len();
+        self.data.resize(start + rows * self.n_cols, Complex::ZERO);
+        &mut self.data[start..]
+    }
+
     /// Appends a copy of the last row (used to hold the previous estimate
     /// across a dropped snapshot).
     ///
@@ -356,6 +371,26 @@ mod tests {
         assert_eq!(r, &[Complex::ZERO, Complex::ZERO]);
         r[1] = c(5.0);
         assert_eq!(m.row(1)[1], c(5.0));
+    }
+
+    #[test]
+    fn extend_rows_appends_zeroed_region() {
+        let mut m = SnapshotMatrix::new(3);
+        m.push_row(&[c(1.0), c(2.0), c(3.0)]);
+        let region = m.extend_rows(4);
+        assert_eq!(region.len(), 12);
+        assert!(region.iter().all(|&z| z == Complex::ZERO));
+        region[3] = c(7.0); // row 2 (second appended), col 0
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.row(0)[0], c(1.0));
+        assert_eq!(m.row(2)[0], c(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_width")]
+    fn extend_rows_requires_width() {
+        let mut m = SnapshotMatrix::default();
+        let _ = m.extend_rows(2);
     }
 
     #[test]

@@ -145,6 +145,61 @@ mod tests {
     }
 
     #[test]
+    fn prepared_path_is_bit_identical() {
+        // FMCW rides the trait's default prepare/estimate_prepared_into;
+        // pin that the prepared path draws the same stream and produces
+        // the same bits as the full path, so a future override can't
+        // silently diverge.
+        use rand::RngCore;
+        let f = FmcwSounder::matched_to_ofdm();
+        let truth: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
+        let prepared = f.prepare(&truth);
+        assert_eq!(prepared.truth, truth);
+        for noise in [0.0, 0.2] {
+            let mut a = StdRng::seed_from_u64(23);
+            let mut b = StdRng::seed_from_u64(23);
+            let mut direct = vec![Complex::ZERO; 64];
+            let mut fast = vec![Complex::ZERO; 64];
+            f.estimate_into(&truth, noise, &mut a, &mut direct);
+            f.estimate_prepared_into(&prepared, noise, &mut b, &mut fast);
+            for (d, g) in direct.iter().zip(&fast) {
+                assert_eq!(d.re.to_bits(), g.re.to_bits());
+                assert_eq!(d.im.to_bits(), g.im.to_bits());
+            }
+            // same RNG stream consumed
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn counter_prepared_path_is_bit_identical() {
+        // Same pin for the counter-cursor path: prepared and full
+        // variants at one coordinate must agree bitwise and consume the
+        // same lanes.
+        use wiforce_dsp::rng::CounterRng;
+        let f = FmcwSounder::matched_to_ofdm();
+        let truth: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.2)).collect();
+        let prepared = f.prepare(&truth);
+        let mut a = CounterRng::for_snapshot(0x51CA, 1, 7);
+        let mut b = CounterRng::for_snapshot(0x51CA, 1, 7);
+        let mut direct = vec![Complex::ZERO; 64];
+        let mut fast = vec![Complex::ZERO; 64];
+        f.estimate_counter_into(&truth, 0.2, &mut a, &mut direct);
+        f.estimate_prepared_counter_into(&prepared, 0.2, &mut b, &mut fast);
+        for (d, g) in direct.iter().zip(&fast) {
+            assert_eq!(d.re.to_bits(), g.re.to_bits());
+            assert_eq!(d.im.to_bits(), g.im.to_bits());
+        }
+        assert_eq!(a.lane(), b.lane());
+        // counter draws are snapshot-local: a different snapshot gives
+        // different noise, the same snapshot reproduces
+        let mut c = CounterRng::for_snapshot(0x51CA, 1, 8);
+        let mut other = vec![Complex::ZERO; 64];
+        f.estimate_counter_into(&truth, 0.2, &mut c, &mut other);
+        assert!(direct.iter().zip(&other).any(|(x, y)| x != y));
+    }
+
+    #[test]
     fn noise_is_applied_per_point() {
         let f = FmcwSounder::matched_to_ofdm();
         let truth = vec![Complex::ZERO; 64];

@@ -311,6 +311,106 @@ impl ChannelSounder for OfdmSounder {
             }
         });
     }
+
+    /// Counter-addressed estimation: like [`Self::estimate_into`], but
+    /// the `2n` noise normals come from the SIMD-dispatched Philox bulk
+    /// kernel at the cursor's coordinates (one lane per normal) instead
+    /// of the sequential Box–Muller uniform draw — so the snapshot is a
+    /// pure function of `(press key, group, snapshot)`.
+    fn estimate_counter_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        cursor: &mut wiforce_dsp::rng::CounterRng,
+        out: &mut [Complex],
+    ) {
+        let n = self.n_subcarriers;
+        assert_eq!(
+            true_channel.len(),
+            n,
+            "true_channel must have one entry per subcarrier"
+        );
+        assert_eq!(out.len(), n, "output buffer must match the estimate grid");
+        let half = n / 2;
+        let scale = (n as f64).sqrt();
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+            let s = &scratch.symbols;
+
+            scratch.rx_sym.resize(n, Complex::ZERO);
+            for (i, &h) in true_channel.iter().enumerate() {
+                let bin = (i + n - half) % n;
+                scratch.rx_sym[bin] = s[bin] * h;
+            }
+            with_plan(n, |plan| plan.inverse_inplace(&mut scratch.rx_sym));
+            scratch.rx_sym.iter_mut().for_each(|z| *z = *z * scale);
+
+            scratch.normals.clear();
+            scratch.normals.resize(2 * n, 0.0);
+            cursor.fill_normals(&mut scratch.normals);
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(n, Complex::ZERO);
+            {
+                let OfdmScratch {
+                    avg,
+                    rx_sym,
+                    normals,
+                    ..
+                } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy(avg, rx_sym, normals, amp);
+            }
+
+            with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bin = (i + n - half) % n;
+                *slot = scratch.avg[bin] * scratch.eq[bin];
+            }
+        });
+    }
+
+    /// Counter-addressed prepared path: identical draws (the same `2n`
+    /// Philox lanes) and arithmetic as [`Self::estimate_counter_into`],
+    /// with the precomputed payload standing in for `rx_sym` — so the two
+    /// counter paths match bit-for-bit (pinned by a test).
+    fn estimate_prepared_counter_into(
+        &self,
+        prepared: &PreparedChannel,
+        noise_std: f64,
+        cursor: &mut wiforce_dsp::rng::CounterRng,
+        out: &mut [Complex],
+    ) {
+        let n = self.n_subcarriers;
+        assert_eq!(
+            prepared.payload.len(),
+            n,
+            "prepared payload must match the sounder configuration"
+        );
+        assert_eq!(out.len(), n, "output buffer must match the estimate grid");
+        let half = n / 2;
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+
+            scratch.normals.clear();
+            scratch.normals.resize(2 * n, 0.0);
+            cursor.fill_normals(&mut scratch.normals);
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(n, Complex::ZERO);
+            {
+                let OfdmScratch { avg, normals, .. } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy(avg, &prepared.payload, normals, amp);
+            }
+
+            with_plan(n, |plan| plan.forward_inplace(&mut scratch.avg));
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bin = (i + n - half) % n;
+                *slot = scratch.avg[bin] * scratch.eq[bin];
+            }
+        });
+    }
 }
 
 /// Reorders an ascending-frequency-offset vector into FFT bin order.
@@ -476,6 +576,92 @@ mod tests {
             // same RNG stream consumed
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn counter_prepared_path_is_bit_identical() {
+        use wiforce_dsp::rng::CounterRng;
+        let s = OfdmSounder::wiforce();
+        let truth: Vec<Complex> = (0..64)
+            .map(|k| Complex::from_polar(1.0 + 0.01 * k as f64, 0.05 * k as f64))
+            .collect();
+        let prepared = s.prepare(&truth);
+        for noise in [0.0, 0.05] {
+            let mut a = CounterRng::for_snapshot(0xABCD, 2, 41);
+            let mut b = CounterRng::for_snapshot(0xABCD, 2, 41);
+            let mut direct = [Complex::ZERO; 64];
+            let mut fast = [Complex::ZERO; 64];
+            s.estimate_counter_into(&truth, noise, &mut a, &mut direct);
+            s.estimate_prepared_counter_into(&prepared, noise, &mut b, &mut fast);
+            for (d, f) in direct.iter().zip(&fast) {
+                assert_eq!(d.re.to_bits(), f.re.to_bits());
+                assert_eq!(d.im.to_bits(), f.im.to_bits());
+            }
+            // both paths consumed the same 2n lanes
+            assert_eq!(a.lane(), 128);
+            assert_eq!(b.lane(), 128);
+        }
+    }
+
+    #[test]
+    fn counter_path_is_order_independent() {
+        // Snapshots estimated at distinct coordinates don't interact:
+        // evaluating 41 after 40 or on its own gives the same bits — this
+        // is the property that lets the pipeline parallelize synthesis.
+        use wiforce_dsp::rng::CounterRng;
+        let s = OfdmSounder::wiforce();
+        let truth = vec![Complex::ONE; 64];
+        let est = |snapshot: u32| {
+            let mut c = CounterRng::for_snapshot(77, 0, snapshot);
+            let mut out = [Complex::ZERO; 64];
+            s.estimate_counter_into(&truth, 0.05, &mut c, &mut out);
+            out
+        };
+        let alone = est(41);
+        let _ = est(40);
+        let after = est(41);
+        for (a, b) in alone.iter().zip(&after) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // distinct snapshots draw distinct noise
+        assert!(alone.iter().zip(est(40).iter()).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn counter_noise_matches_sequential_in_rms() {
+        // The counter path swaps the noise source, not the noise model:
+        // RMS estimation error over many snapshots must agree with the
+        // sequential path at the same σ.
+        use wiforce_dsp::rng::CounterRng;
+        let s = OfdmSounder::wiforce();
+        let truth = vec![Complex::ONE; 64];
+        let trials = 120;
+        let mut seq_rng = StdRng::seed_from_u64(8);
+        let mut acc_seq = 0.0;
+        let mut acc_ctr = 0.0;
+        let mut out = [Complex::ZERO; 64];
+        for t in 0..trials {
+            s.estimate_into(&truth, 0.05, &mut seq_rng, &mut out);
+            acc_seq += out
+                .iter()
+                .map(|e| (*e - Complex::ONE).norm_sqr())
+                .sum::<f64>()
+                / 64.0;
+            let mut c = CounterRng::for_snapshot(13, 0, t);
+            s.estimate_counter_into(&truth, 0.05, &mut c, &mut out);
+            acc_ctr += out
+                .iter()
+                .map(|e| (*e - Complex::ONE).norm_sqr())
+                .sum::<f64>()
+                / 64.0;
+        }
+        let rms_seq = (acc_seq / trials as f64).sqrt();
+        let rms_ctr = (acc_ctr / trials as f64).sqrt();
+        assert!(
+            (rms_ctr / rms_seq - 1.0).abs() < 0.1,
+            "counter {rms_ctr} vs sequential {rms_seq}"
+        );
     }
 
     #[test]

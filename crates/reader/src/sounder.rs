@@ -7,6 +7,7 @@
 //! `wiforce` is written against this trait.
 
 use rand::RngCore;
+use wiforce_dsp::rng::CounterRng;
 use wiforce_dsp::Complex;
 
 /// A true channel pre-processed by a sounder for repeated estimation.
@@ -122,6 +123,42 @@ pub trait ChannelSounder {
         self.estimate_into(&prepared.truth, noise_std, rng, out);
     }
 
+    /// Like [`Self::estimate_into`], but drawing noise from a
+    /// counter-addressed cursor instead of a sequential stream. The
+    /// cursor is pinned to one simulation coordinate (press key, group,
+    /// snapshot), so the produced estimate is a pure function of that
+    /// coordinate — snapshots can be synthesized out of order and across
+    /// threads with bit-identical results.
+    ///
+    /// The default drives the sequential path with the cursor's
+    /// [`RngCore`] view, which is already order-independent across
+    /// snapshots; sounders with a bulk noise fill override this to hit
+    /// the SIMD counter kernel directly. Implementations may consume the
+    /// cursor's lanes in a different pattern than the sequential path —
+    /// only self-consistency at a fixed coordinate is promised.
+    fn estimate_counter_into(
+        &self,
+        true_channel: &[Complex],
+        noise_std: f64,
+        cursor: &mut CounterRng,
+        out: &mut [Complex],
+    ) {
+        self.estimate_into(true_channel, noise_std, cursor, out);
+    }
+
+    /// Counter-cursor twin of [`Self::estimate_prepared_into`]: must be
+    /// bit-identical to `estimate_counter_into(&prepared.truth, …)` with
+    /// a cursor at the same coordinates.
+    fn estimate_prepared_counter_into(
+        &self,
+        prepared: &PreparedChannel,
+        noise_std: f64,
+        cursor: &mut CounterRng,
+        out: &mut [Complex],
+    ) {
+        self.estimate_counter_into(&prepared.truth, noise_std, cursor, out);
+    }
+
     /// Maximum unambiguous modulation ("artificial Doppler") frequency,
     /// Hz: `1/(2T)` (the paper's Nyquist argument in §4.4).
     fn max_doppler_hz(&self) -> f64 {
@@ -179,6 +216,25 @@ mod tests {
         let mut out = [Complex::ZERO; 1];
         d.estimate_into(&[Complex::I], 0.0, &mut rng, &mut out);
         assert_eq!(out[0], Complex::I);
+    }
+
+    #[test]
+    fn default_counter_paths_agree() {
+        // For a sounder with no override, the counter methods delegate
+        // through the sequential path with the cursor as its RNG — the
+        // full and prepared variants must agree bitwise at one coordinate.
+        let d = Dummy;
+        let truth = [Complex::new(0.3, -1.2)];
+        let mut a = CounterRng::for_snapshot(9, 0, 4);
+        let mut out_full = [Complex::ZERO; 1];
+        d.estimate_counter_into(&truth, 0.1, &mut a, &mut out_full);
+        let prepared = d.prepare(&truth);
+        let mut b = CounterRng::for_snapshot(9, 0, 4);
+        let mut out_prep = [Complex::ZERO; 1];
+        d.estimate_prepared_counter_into(&prepared, 0.1, &mut b, &mut out_prep);
+        assert_eq!(out_full[0].re.to_bits(), out_prep[0].re.to_bits());
+        assert_eq!(out_full[0].im.to_bits(), out_prep[0].im.to_bits());
+        assert_eq!(a.lane(), b.lane());
     }
 
     #[test]

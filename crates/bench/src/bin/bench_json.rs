@@ -23,6 +23,10 @@
 //!   reader rides the *same* channel sounding, aggregate throughput must
 //!   scale superlinearly in wall-clock terms (≥ 2.5× at 8 streams vs 1) —
 //!   `check_artifacts` gates on this;
+//! - `observability` — trace-ring totals from the telemetry-on loop
+//!   (events captured, ring-overflow drops, configured ring capacity)
+//!   plus the metrics-registry series count; the on-blocks run with the
+//!   ring and registry enabled, so the overhead gate covers them;
 //! - `stage_breakdown` — per-stage ns-per-press from the telemetry-on
 //!   loop's spans (synth = snapshot synthesis incl. sounding + frontend,
 //!   spectrum = harmonic extraction, estimator = model inversion,
@@ -50,8 +54,13 @@ use wiforce_telemetry::json::JsonWriter;
 /// v5 the counter-synthesis fields: `synth_workers` (worker threads the
 /// press loop ran with), `ns_per_group_parallel` (one phase group through
 /// the parallel counter path), and `telemetry_overhead_raw_pct` (the
-/// signed measured ratio behind the floored `telemetry_overhead_pct`).
-const BENCH_SCHEMA_VERSION: u32 = 5;
+/// signed measured ratio behind the floored `telemetry_overhead_pct`);
+/// v6 the `observability` section (trace-ring event/drop totals, ring
+/// capacity, metrics-registry series count) — and, significantly, the
+/// telemetry-on blocks now run with the trace ring *and* the metrics
+/// registry enabled, so `telemetry_overhead_pct` gates the full
+/// observability stack, not just the recorder.
+const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// A pass-through allocator that counts every allocation, so the bench
 /// can assert the steady-state snapshot loop is allocation-free.
@@ -146,19 +155,36 @@ fn main() {
     wiforce_telemetry::fastclock::ns_per_tick();
 
     wiforce_telemetry::reset();
+    wiforce_telemetry::trace::reset();
+    wiforce_telemetry::metrics::reset();
     let mut ns_per_press = f64::INFINITY;
     let mut ns_per_press_on = f64::INFINITY;
     let mut ratios = Vec::with_capacity(blocks);
+    let mut trace_events = 0u64;
+    let mut trace_dropped = 0u64;
     for _ in 0..blocks {
         let off = time_presses(&sim, &model, &mut rng, block_iters);
+        // the "on" cost covers the whole observability stack: recorder
+        // spans/counters, SPSC trace-ring events, and metrics-registry
+        // updates — the ≤12% gate holds with everything enabled
         wiforce_telemetry::set_enabled(true);
+        wiforce_telemetry::trace::set_trace_enabled(true);
+        wiforce_telemetry::metrics::set_metrics_enabled(true);
         let on = time_presses(&sim, &model, &mut rng, block_iters);
         wiforce_telemetry::set_enabled(false);
+        wiforce_telemetry::trace::set_trace_enabled(false);
+        wiforce_telemetry::metrics::set_metrics_enabled(false);
+        // drain the rings between blocks so a long bench can't overflow
+        // them; the drop counter is cumulative, so keep the latest
+        let ring = wiforce_telemetry::trace::collect();
+        trace_events += ring.total_events() as u64;
+        trace_dropped = ring.dropped;
         ns_per_press = ns_per_press.min(off);
         ns_per_press_on = ns_per_press_on.min(on);
         ratios.push(on / off);
     }
     let telemetry = wiforce_telemetry::take();
+    let metrics_series = wiforce_telemetry::metrics::snapshot().series_count() as u64;
     ratios.sort_by(f64::total_cmp);
     let presses_per_sec = 1e9 / ns_per_press;
     // the raw median ratio can dip below zero when block noise exceeds
@@ -269,6 +295,15 @@ fn main() {
         "allocs_per_group",
         (allocs_per_group * 100.0).round() / 100.0,
     );
+    w.begin_object_key("observability");
+    w.integer("trace_events", trace_events);
+    w.integer("trace_dropped", trace_dropped);
+    w.integer(
+        "trace_ring_capacity",
+        wiforce_telemetry::trace::ring_capacity() as u64,
+    );
+    w.integer("metrics_series", metrics_series);
+    w.end_object();
     w.begin_object_key("stage_breakdown");
     w.number("synth_ns_per_press", synth_ns.round());
     w.number("spectrum_ns_per_press", spectrum_ns.round());

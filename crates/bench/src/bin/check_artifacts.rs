@@ -5,12 +5,20 @@
 //!
 //! ```text
 //! check_artifacts --bench BENCH_pipeline.json --health health.json \
+//!                 [--trace trace.json] [--metrics metrics.prom] \
 //!                 [--baseline BENCH_baseline.json]
 //! ```
 //!
-//! Either `--bench`/`--health` flag may be omitted; at least one is
-//! required. Exits non-zero with a list of violations when a file fails
-//! validation.
+//! Any input flag may be omitted; at least one is required. Exits
+//! non-zero with a list of violations when a file fails validation.
+//!
+//! `--trace` validates a Chrome trace-event export (`wiforce-cli
+//! trace`): structure, span balance, flow binding, and the
+//! ring-overflow gate (`otherData.dropped_events` must be 0).
+//! `--metrics` validates Prometheus text exposition (`wiforce-cli
+//! metrics`): grammar, `# TYPE` coverage, summary completeness, and the
+//! presence of per-stream series. Both are backed by
+//! [`wiforce_bench::observability`].
 //!
 //! With `--baseline`, the `--bench` artifact is additionally compared
 //! against the given committed baseline with
@@ -26,7 +34,7 @@
 //! counter-based synthesis must produce identical results at any
 //! `WIFORCE_SYNTH_WORKERS` setting.
 
-use wiforce_bench::regression;
+use wiforce_bench::{observability, regression};
 use wiforce_telemetry::json::{parse, Value};
 
 /// Collects human-readable violations for one document.
@@ -118,6 +126,22 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
                      (the signed measurement belongs in telemetry_overhead_raw_pct)"
                 ));
             }
+            // the floored field must be exactly max(raw, 0): the two
+            // come from the same off/on pair, so any daylight between
+            // them means one was edited or computed from different runs
+            if let Some(raw) = root
+                .get("telemetry_overhead_raw_pct")
+                .and_then(Value::as_f64)
+            {
+                let floored = raw.max(0.0);
+                if (v - floored).abs() > 1e-9 {
+                    c.fail(format!(
+                        "telemetry_overhead_pct = {v:.4} but \
+                         max(telemetry_overhead_raw_pct, 0) = {floored:.4} — \
+                         the floored field must equal the raw field clamped at 0"
+                    ));
+                }
+            }
         }
         // the four per-stage times must add up to roughly the measured
         // press: a stage that silently stops being recorded collapses
@@ -153,6 +177,40 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
                         regression::STAGE_SUM_MIN_RATIO,
                         regression::STAGE_SUM_MAX_RATIO
                     ));
+                }
+            }
+        }
+    }
+
+    // schema v6: the observability section — the telemetry-on blocks run
+    // with the trace ring and metrics registry live, so events must have
+    // been recorded, nothing may have been dropped (the per-block drain
+    // keeps the rings far from full), and the registry must export series
+    if schema >= 6.0 {
+        match root.get("observability") {
+            None => c.fail("missing 'observability' object (schema v6)".into()),
+            Some(obs) => {
+                let mut obs_num = |key: &str, positive: bool| match obs
+                    .get(key)
+                    .and_then(Value::as_f64)
+                {
+                    None => c.fail(format!("observability missing numeric key '{key}'")),
+                    Some(v) if !v.is_finite() => c.fail(format!("observability.{key} not finite")),
+                    Some(v) if positive && v <= 0.0 => {
+                        c.fail(format!("observability.{key} = {v}, expected > 0"))
+                    }
+                    Some(_) => {}
+                };
+                obs_num("trace_events", true);
+                obs_num("trace_ring_capacity", true);
+                obs_num("metrics_series", true);
+                match obs.get("trace_dropped").and_then(Value::as_f64) {
+                    None => c.fail("observability missing numeric key 'trace_dropped'".into()),
+                    Some(d) if d > 0.0 => c.fail(format!(
+                        "observability.trace_dropped = {d} — the trace ring overflowed \
+                         during the benchmark, expected 0"
+                    )),
+                    _ => {}
                 }
             }
         }
@@ -250,6 +308,8 @@ fn main() {
     let bench = arg("--bench");
     let health = arg("--health");
     let baseline = arg("--baseline");
+    let trace = arg("--trace");
+    let metrics = arg("--metrics");
 
     // determinism mode: `--diff A B` compares two artifacts produced by
     // the same build under different worker counts / SIMD backends and
@@ -278,9 +338,10 @@ fn main() {
         }
     }
 
-    if bench.is_none() && health.is_none() {
+    if bench.is_none() && health.is_none() && trace.is_none() && metrics.is_none() {
         eprintln!(
             "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
+             [--trace trace.json] [--metrics metrics.prom] \
              [--baseline BENCH_baseline.json] | --diff A.json B.json"
         );
         std::process::exit(2);
@@ -296,6 +357,25 @@ fn main() {
     }
     if let Some(path) = &health {
         check_file(path, &mut errors, check_health);
+    }
+    if let Some(path) = &trace {
+        check_file(path, &mut errors, |file, root| {
+            observability::validate_chrome_trace(root)
+                .into_iter()
+                .map(|v| format!("{file}: {v}"))
+                .collect()
+        });
+    }
+    if let Some(path) = &metrics {
+        // Prometheus exposition is not JSON — read and validate as text
+        match std::fs::read_to_string(path) {
+            Err(e) => errors.push(format!("{path}: unreadable: {e}")),
+            Ok(text) => errors.extend(
+                observability::validate_prometheus(&text)
+                    .into_iter()
+                    .map(|v| format!("{path}: {v}")),
+            ),
+        }
     }
 
     // perf-regression gate: fresh --bench vs committed --baseline
@@ -324,7 +404,7 @@ fn main() {
     }
 
     if errors.is_empty() {
-        for path in [bench, health].into_iter().flatten() {
+        for path in [bench, health, trace, metrics].into_iter().flatten() {
             println!("{path}: OK");
         }
     } else {

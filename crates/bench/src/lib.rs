@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod montecarlo;
+pub mod observability;
 pub mod regression;
 pub mod report;
 pub mod table;

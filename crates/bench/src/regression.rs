@@ -318,6 +318,12 @@ pub fn is_timing_key(key: &str) -> bool {
         || key == "synth_workers"
         || key == "workers"
         || key == "git_rev"
+        // schema-v6 observability section: event counts vary with lane
+        // registration order and how work lands on workers, and the
+        // registry's per-worker label set follows the worker count
+        || key == "trace_events"
+        || key == "trace_dropped"
+        || key == "metrics_series"
 }
 
 fn diff_walk(path: &str, a: &Value, b: &Value, out: &mut Vec<String>) {

@@ -33,10 +33,28 @@
 //!
 //! ## Backpressure
 //!
-//! A producer is runnable only while **all** of its streams' queues have
-//! room ([`TagDemux::can_accept`]); a full queue anywhere stalls the
-//! whole reader until a consumer drains, and each stall transition is
-//! counted in [`BatchReport::backpressure_events`].
+//! Under the default [`OverflowPolicy::Stall`], a producer is runnable
+//! only while **all** of its streams' queues have room
+//! ([`TagDemux::can_accept`]); a full queue anywhere stalls the whole
+//! reader until a consumer drains, and each stall transition is counted
+//! in [`BatchReport::backpressure_events`]. Under
+//! [`OverflowPolicy::DropNewest`] the producer never stalls: streams
+//! whose queue is full lose the new group instead
+//! ([`TagDemux::fan_out_lossy`]), counted per stream in
+//! [`StreamResult::groups_dropped`]. Whichever policy runs, the
+//! accounting invariant `produced == consumed + dropped` holds per
+//! stream at any worker count.
+//!
+//! ## Observability
+//!
+//! All instrumentation is gated and free when off: recorder telemetry
+//! behind [`wiforce_telemetry::enabled`], trace events (spans, flow
+//! arrows produce→consume, queue-depth counter tracks) behind
+//! [`wiforce_telemetry::trace::trace_enabled`], and the process-wide
+//! metrics registry behind [`wiforce_telemetry::metrics::metrics_enabled`].
+//! [`run_batch_observed`] additionally folds per-group samples into a
+//! [`HealthAggregator`], emitting completed [`StreamWindow`]s to an
+//! optional observer callback while the batch runs.
 
 use crate::calib::SensorModel;
 use crate::estimator::{EstimatorConfig, ForceEstimator, ForceReading};
@@ -56,7 +74,12 @@ use wiforce_reader::stream::{GroupItem, TagDemux};
 use wiforce_reader::ChannelSounder;
 use wiforce_sensor::multi::allocate_frequencies_on_grid;
 use wiforce_sensor::SensorTag;
-use wiforce_telemetry::{Histogram, TelemetrySnapshot};
+use wiforce_telemetry::metrics;
+use wiforce_telemetry::trace;
+use wiforce_telemetry::{
+    AggregatorConfig, HealthAggregator, Histogram, StreamHealth, StreamWindow, TelemetrySnapshot,
+    WindowSample,
+};
 
 /// One scheduled press on a stream's force/location timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,6 +202,24 @@ impl ReaderSpec {
     }
 }
 
+/// What a reader's producer does when one of its stream queues is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Stall the whole reader until every queue has room (the default).
+    /// No group is ever lost, drop counters read 0, and per-stream
+    /// results stay bit-identical at any worker count.
+    #[default]
+    Stall,
+    /// Keep producing: a stream whose queue is full loses the new group
+    /// (via [`TagDemux::fan_out_lossy`]), counted in
+    /// [`StreamResult::groups_dropped`]. Models a live front end
+    /// outrunning a slow consumer. Which groups survive depends on
+    /// scheduling, so readings are **not** worker-count invariant under
+    /// this policy — only the per-stream accounting invariant
+    /// `produced == consumed + dropped` is.
+    DropNewest,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
@@ -190,6 +231,13 @@ pub struct BatchConfig {
     /// Quiet groups each stream's estimator averages into its no-touch
     /// reference before the press schedule starts.
     pub reference_groups: usize,
+    /// Full-queue behaviour; see [`OverflowPolicy`].
+    pub overflow: OverflowPolicy,
+    /// Artificial per-group delay inside every consumer — a testing aid
+    /// that makes consumers reliably slower than producers so
+    /// backpressure and overflow paths actually exercise. `None` (no
+    /// delay) outside tests.
+    pub consume_throttle: Option<Duration>,
 }
 
 impl BatchConfig {
@@ -199,6 +247,8 @@ impl BatchConfig {
             workers,
             queue_capacity: 4,
             reference_groups: 2,
+            overflow: OverflowPolicy::Stall,
+            consume_throttle: None,
         }
     }
 }
@@ -235,6 +285,12 @@ pub struct StreamResult {
     /// Wall-clock produce→consumed latency per consumed group, ns
     /// (scheduling-dependent; excluded from determinism).
     pub latencies_ns: Vec<u64>,
+    /// Groups this stream lost to a full queue under
+    /// [`OverflowPolicy::DropNewest`] (always 0 under `Stall`).
+    /// Scheduling-dependent, so excluded from
+    /// [`StreamResult::deterministic_eq`]; the per-stream accounting
+    /// `produced == consumed + dropped` holds at any worker count.
+    pub groups_dropped: u64,
 }
 
 fn bits_eq(a: f64, b: f64) -> bool {
@@ -298,6 +354,13 @@ pub struct BatchReport {
     pub snapshots_dropped: u64,
     /// Interference bursts injected across all readers.
     pub bursts_injected: u64,
+    /// Groups lost to full queues across all streams (0 under
+    /// [`OverflowPolicy::Stall`]).
+    pub groups_dropped: u64,
+    /// Rolling per-stream health (latency percentiles, degradation
+    /// flags) when the run was started through [`run_batch_observed`]
+    /// with an aggregator config; empty otherwise.
+    pub health: Vec<StreamHealth>,
     /// Deterministically merged telemetry of the run (already absorbed
     /// into the caller's recorder), plus the engine's wall-clock
     /// aggregates (`batch.queue_depth`, `batch.queue_occupancy`,
@@ -563,12 +626,18 @@ struct StreamConsumer {
     readings: Vec<StreamReading>,
     failures: u64,
     latencies_ns: Vec<u64>,
+    /// Testing aid: sleep this long per consumed group (see
+    /// [`BatchConfig::consume_throttle`]).
+    throttle: Option<Duration>,
 }
 
 impl StreamConsumer {
     fn consume(&mut self, items: &[GroupItem]) {
         let _span = wiforce_telemetry::span!("batch.consume");
         for item in items {
+            if let Some(delay) = self.throttle {
+                std::thread::sleep(delay);
+            }
             for row in item.snapshots.rows() {
                 match self.estimator.push_snapshot(row) {
                     Ok(Some(reading)) => {
@@ -616,6 +685,7 @@ impl StreamConsumer {
             readings: self.readings,
             failures: self.failures,
             latencies_ns: self.latencies_ns,
+            groups_dropped: 0,
         }
     }
 }
@@ -634,8 +704,16 @@ struct Sched {
     locate: Vec<(usize, usize)>,
     queue_peak: Vec<usize>,
     backpressure_events: u64,
+    overflow: OverflowPolicy,
+    /// Per flat stream: groups lost to a full queue (DropNewest only).
+    dropped: Vec<u64>,
+    /// Per flat stream: groups drained into the consumer.
+    consumed: Vec<u64>,
     depth_hist: Histogram,
     occupancy_hist: Histogram,
+    /// Rolling health windows, fed as consumers drain (present only on
+    /// observed runs).
+    health: Option<HealthAggregator>,
     prod_telem: Vec<Vec<(u64, TelemetrySnapshot)>>,
     cons_telem: Vec<Vec<(u64, TelemetrySnapshot)>>,
 }
@@ -657,41 +735,99 @@ struct Shared {
     cv: Condvar,
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, observer: Option<&(dyn Fn(&StreamWindow) + Sync)>) {
     let telemetry_on = wiforce_telemetry::enabled();
     let mut guard = shared.sched.lock().expect("scheduler lock");
     loop {
-        // 1. a stream with queued groups and an unclaimed consumer
+        let drop_newest = guard.overflow == OverflowPolicy::DropNewest;
+        // a stream with queued groups and an unclaimed consumer
         let consumable = (0..guard.consumers.len()).find(|&i| {
             let (r, l) = guard.locate[i];
             !guard.consumer_claimed[i] && guard.demux[r].depth(l) > 0
         });
-        if let Some(flat) = consumable {
+        // a reader with groups left — under Stall, also room in every
+        // stream queue; under DropNewest a full queue drops instead
+        let producible = (0..guard.producers.len()).find(|&r| {
+            !guard.producer_claimed[r]
+                && guard.produced[r] < guard.total[r]
+                && (drop_newest || guard.demux[r].can_accept())
+        });
+        // Stall drains ahead of producing (keeps queues shallow);
+        // DropNewest produces first, so a slow consumer genuinely sees
+        // the front end outrun it
+        let consume_now = match (drop_newest, consumable, producible) {
+            (false, Some(flat), _) => Some(flat),
+            (true, Some(flat), None) => Some(flat),
+            _ => None,
+        };
+        if let Some(flat) = consume_now {
             let (r, l) = guard.locate[flat];
             guard.consumer_claimed[flat] = true;
             let items = guard.demux[r].drain(l);
+            let capacity = guard.demux[r].capacity();
             let mut state = guard.consumers[flat].take().expect("consumer parked");
             drop(guard);
+            if trace::trace_enabled() {
+                trace::instant("batch.consume.stream", flat as u64);
+                for item in &items {
+                    trace::flow_end("batch.handoff", ((flat as u64) << 32) | item.seq);
+                }
+            }
             if telemetry_on {
                 wiforce_telemetry::reset();
             }
+            let latency_mark = state.latencies_ns.len();
+            let failure_mark = state.failures;
             state.consume(&items);
             let snap = telemetry_on.then(wiforce_telemetry::take);
+            // one health sample per drained group: its produce→consume
+            // latency, the backlog it sat in, and whether an estimate
+            // failed while working it off
+            let occupancy = items.len() as f64 / capacity as f64;
+            let mut failures_left = (state.failures - failure_mark) as usize;
+            let samples: Vec<WindowSample> = state.latencies_ns[latency_mark..]
+                .iter()
+                .map(|&ns| {
+                    let failed = failures_left > 0;
+                    failures_left = failures_left.saturating_sub(1);
+                    WindowSample {
+                        latency_ns: ns as f64,
+                        snr_db: None,
+                        queue_occupancy: occupancy,
+                        failed,
+                    }
+                })
+                .collect();
             guard = shared.sched.lock().expect("scheduler lock");
             if let Some(snap) = snap {
                 guard.cons_telem[flat].push((items[0].seq, snap));
             }
+            guard.consumed[flat] += items.len() as u64;
+            let mut windows = Vec::new();
+            if let Some(agg) = guard.health.as_mut() {
+                // key by reader as well: stream names are only unique
+                // within one reader spec
+                let scoped = format!("r{}/{}", state.reader, state.name);
+                for s in samples {
+                    if let Some(w) = agg.record(&scoped, s) {
+                        windows.push(w);
+                    }
+                }
+            }
             guard.consumers[flat] = Some(state);
             guard.consumer_claimed[flat] = false;
             shared.cv.notify_all();
+            if let (Some(observe), false) = (observer, windows.is_empty()) {
+                // emit completed windows outside the scheduler lock — the
+                // observer may print or write
+                drop(guard);
+                for w in &windows {
+                    observe(w);
+                }
+                guard = shared.sched.lock().expect("scheduler lock");
+            }
             continue;
         }
-        // 2. a reader with groups left and room in every stream queue
-        let producible = (0..guard.producers.len()).find(|&r| {
-            !guard.producer_claimed[r]
-                && guard.produced[r] < guard.total[r]
-                && guard.demux[r].can_accept()
-        });
         if let Some(r) = producible {
             guard.producer_claimed[r] = true;
             let mut prod = guard.producers[r].take().expect("producer parked");
@@ -710,9 +846,14 @@ fn worker_loop(shared: &Shared) {
             if let Some(snap) = snap {
                 guard.prod_telem[r].push((seq, snap));
             }
-            guard.demux[r]
-                .fan_out(item)
-                .expect("space was reserved under the lock");
+            let dropped_locals: Vec<usize> = if drop_newest {
+                guard.demux[r].fan_out_lossy(item)
+            } else {
+                guard.demux[r]
+                    .fan_out(item)
+                    .expect("space was reserved under the lock");
+                Vec::new()
+            };
             let occupancy = guard.demux[r].occupancy();
             guard.occupancy_hist.record(occupancy);
             let mut deepest = 0;
@@ -722,8 +863,17 @@ fn worker_loop(shared: &Shared) {
                     let depth = guard.demux[r].depth(local);
                     deepest = deepest.max(depth);
                     guard.queue_peak[flat] = guard.queue_peak[flat].max(depth);
+                    if dropped_locals.contains(&local) {
+                        guard.dropped[flat] += 1;
+                        trace::instant("batch.queue_drop", flat as u64);
+                    } else if trace::trace_enabled() {
+                        // flow arrow from this enqueue to the drain that
+                        // will consume it
+                        trace::flow_start("batch.handoff", ((flat as u64) << 32) | seq);
+                    }
                 }
             }
+            trace::counter_value("batch.queue_depth", deepest as u64, r as u64);
             guard.depth_hist.record(deepest as f64);
             guard.produced[r] += 1;
             guard.blocked[r] = false;
@@ -736,7 +886,7 @@ fn worker_loop(shared: &Shared) {
             shared.cv.notify_all();
             return;
         }
-        // 3. nothing runnable: count producers stalled on a full queue
+        // nothing runnable: count producers stalled on a full queue
         // (once per stall transition), then wait for a state change
         for r in 0..guard.producers.len() {
             if !guard.producer_claimed[r]
@@ -765,6 +915,24 @@ pub fn run_batch(
     model: &Arc<SensorModel>,
     readers: &[ReaderSpec],
     cfg: &BatchConfig,
+) -> Result<BatchReport, WiForceError> {
+    run_batch_observed(sim, model, readers, cfg, None, None)
+}
+
+/// [`run_batch`] with incremental health reporting: per-group samples
+/// (latency, backlog occupancy, failures) fold into a
+/// [`HealthAggregator`] as consumers drain, and every completed
+/// [`StreamWindow`] — percentiles plus degradation flags — is handed to
+/// `observer` while the batch is still running (from a worker thread,
+/// outside the scheduler lock). Partial windows are flushed at the end;
+/// the final per-stream rollup lands in [`BatchReport::health`].
+pub fn run_batch_observed(
+    sim: &Simulation,
+    model: &Arc<SensorModel>,
+    readers: &[ReaderSpec],
+    cfg: &BatchConfig,
+    health: Option<AggregatorConfig>,
+    observer: Option<&(dyn Fn(&StreamWindow) + Sync)>,
 ) -> Result<BatchReport, WiForceError> {
     if readers.is_empty() || readers.iter().any(|r| r.streams.is_empty()) {
         return Err(WiForceError::Config(
@@ -818,6 +986,7 @@ pub fn run_batch(
                 readings: Vec::new(),
                 failures: 0,
                 latencies_ns: Vec::new(),
+                throttle: cfg.consume_throttle,
             })));
         }
         producers.push(Some(Box::new(producer)));
@@ -838,8 +1007,12 @@ pub fn run_batch(
             locate,
             queue_peak: vec![0; n_streams],
             backpressure_events: 0,
+            overflow: cfg.overflow,
+            dropped: vec![0; n_streams],
+            consumed: vec![0; n_streams],
             depth_hist: Histogram::default(),
             occupancy_hist: Histogram::default(),
+            health: health.map(HealthAggregator::new),
             prod_telem: vec![Vec::new(); n_readers],
             cons_telem: vec![Vec::new(); n_streams],
         }),
@@ -849,7 +1022,7 @@ pub fn run_batch(
     let started = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| scope.spawn(|| worker_loop(&shared)))
+            .map(|_| scope.spawn(|| worker_loop(&shared, observer)))
             .collect();
         for handle in handles {
             handle.join().expect("batch worker panicked");
@@ -867,8 +1040,28 @@ pub fn run_batch(
     let streams: Vec<StreamResult> = sched
         .consumers
         .iter_mut()
-        .map(|c| c.take().expect("consumer parked at shutdown").into_result())
+        .enumerate()
+        .map(|(flat, c)| {
+            let mut result = c.take().expect("consumer parked at shutdown").into_result();
+            result.groups_dropped = sched.dropped[flat];
+            result
+        })
         .collect();
+    let groups_dropped: u64 = sched.dropped.iter().sum();
+
+    // close out partial health windows and take the final rollup
+    let health_rollup: Vec<StreamHealth> = match sched.health.as_mut() {
+        Some(agg) => {
+            let leftovers = agg.flush_all();
+            if let Some(observe) = observer {
+                for w in &leftovers {
+                    observe(w);
+                }
+            }
+            agg.health()
+        }
+        None => Vec::new(),
+    };
 
     // deterministic telemetry merge: producer snapshots in (reader, seq)
     // order, then consumer snapshots in (stream, first-seq) order —
@@ -906,17 +1099,48 @@ pub fn run_batch(
         "batch.backpressure_events".into(),
         sched.backpressure_events,
     );
+    // worker-count invariant under the default Stall policy (always 0)
+    merged
+        .counters
+        .insert("batch.groups_dropped".into(), groups_dropped);
     merged
         .gauges
         .insert("batch.streams".into(), n_streams as f64);
     merged.gauges.insert("batch.workers".into(), workers as f64);
     for (flat, s) in streams.iter().enumerate() {
+        // reader-scoped: same-named streams on different readers must
+        // not overwrite each other's peaks
         merged.gauges.insert(
-            format!("batch.stream.{}.queue_peak", s.name),
+            format!("batch.stream.r{}.{}.queue_peak", s.reader, s.name),
             sched.queue_peak[flat] as f64,
         );
     }
     wiforce_telemetry::absorb(&merged);
+
+    // feed the process-wide metrics registry from the already-merged
+    // per-stream accounting (deterministic order, no worker-side cost)
+    if metrics::metrics_enabled() {
+        metrics::counter_add("batch.runs", &[], 1);
+        metrics::counter_add("batch.backpressure_stalls", &[], sched.backpressure_events);
+        metrics::gauge_set("batch.workers", &[], workers as f64);
+        metrics::gauge_set("batch.streams", &[], n_streams as f64);
+        let (hits, misses) = sim.channel_cache.stats();
+        metrics::counter_add("channel_cache.hits", &[], hits);
+        metrics::counter_add("channel_cache.misses", &[], misses);
+        for (flat, s) in streams.iter().enumerate() {
+            let reader = s.reader.to_string();
+            let labels = [("reader", reader.as_str()), ("stream", s.name.as_str())];
+            metrics::counter_add("batch.groups_consumed", &labels, sched.consumed[flat]);
+            metrics::counter_add("batch.groups_dropped", &labels, sched.dropped[flat]);
+            let presses = s.readings.iter().filter(|r| r.press.is_some()).count();
+            metrics::counter_add("batch.presses_served", &labels, presses as u64);
+            metrics::counter_add("batch.estimate_failures", &labels, s.failures);
+            metrics::gauge_set("batch.queue_peak", &labels, sched.queue_peak[flat] as f64);
+            for &ns in &s.latencies_ns {
+                metrics::observe("batch.group_latency_ns", &labels, ns as f64);
+            }
+        }
+    }
 
     Ok(BatchReport {
         streams,
@@ -925,6 +1149,8 @@ pub fn run_batch(
         backpressure_events: sched.backpressure_events,
         snapshots_dropped,
         bursts_injected,
+        groups_dropped,
+        health: health_rollup,
         telemetry: merged,
     })
 }
@@ -1087,7 +1313,7 @@ mod tests {
         let cfg = BatchConfig {
             workers: 2,
             queue_capacity: 1,
-            reference_groups: 2,
+            ..BatchConfig::wiforce(2)
         };
         let report =
             run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs");
@@ -1095,7 +1321,7 @@ mod tests {
             let peak = report
                 .telemetry
                 .gauges
-                .get(&format!("batch.stream.{}.queue_peak", s.name))
+                .get(&format!("batch.stream.r{}.{}.queue_peak", s.reader, s.name))
                 .copied()
                 .expect("queue peak gauge");
             assert!(peak <= 1.0, "stream {} peak {}", s.name, peak);

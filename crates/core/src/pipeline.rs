@@ -35,6 +35,7 @@ use wiforce_reader::sounder::PreparedChannel;
 use wiforce_reader::{ChannelSounder, OfdmSounder};
 use wiforce_sensor::tag::ContactState;
 use wiforce_sensor::SensorTag;
+use wiforce_telemetry::trace;
 
 /// Which mechanical contact model drives the simulation.
 #[derive(Debug, Clone)]
@@ -846,7 +847,19 @@ impl Simulation {
             // chunk extracts its lines right away (AcqRel pairs the row
             // writes of every sibling chunk with this read)
             if let Some(spec) = fused {
+                // flow arrows tie every synthesis chunk to the extraction
+                // it feeds; ids are (group_id, chunk) so arrows from
+                // different groups never merge
+                let flow_id = ((plan.group_id as u64) << 16) | c as u64;
+                trace::flow_start("synth.handoff", flow_id);
                 if chunks_left[g].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _extract = trace::span_arg("spectrum.extract", plan.group_id as u64);
+                    if trace::trace_enabled() {
+                        for cc in 0..chunks_per_group {
+                            let id = ((plan.group_id as u64) << 16) | cc as u64;
+                            trace::flow_end("synth.handoff", id);
+                        }
+                    }
                     let t0 = telem.then(fastclock::ticks);
                     // Safety: all chunks of group g have finished writing.
                     let rows = unsafe {

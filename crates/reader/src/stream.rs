@@ -305,6 +305,23 @@ impl TagDemux {
         Ok(())
     }
 
+    /// Lossy fan-out for engines running a drop-newest overflow policy:
+    /// enqueues the group on every stream with room and *skips* streams
+    /// at capacity, returning the indices that dropped it (empty when
+    /// everyone accepted). The slow consumer loses data; the reader and
+    /// its other streams keep their cadence.
+    pub fn fan_out_lossy(&mut self, item: GroupItem) -> Vec<usize> {
+        let mut dropped = Vec::new();
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if q.len() >= self.capacity {
+                dropped.push(i);
+            } else {
+                q.push_back(item.clone());
+            }
+        }
+        dropped
+    }
+
     /// Routes an externally-tagged group to the single stream whose
     /// registered clock is nearest `line_hz` (within `tol_hz`), for
     /// fan-in of traffic that arrives already separated per tag. Returns
@@ -531,6 +548,27 @@ mod tests {
         assert!(d.can_accept());
         d.fan_out(group_item(2)).unwrap();
         assert_eq!(d.pop(a).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn lossy_fan_out_drops_only_full_streams() {
+        let mut d = TagDemux::new(2);
+        let a = d.register(1000.0);
+        let b = d.register(1500.0);
+        assert!(d.fan_out_lossy(group_item(0)).is_empty());
+        assert!(d.fan_out_lossy(group_item(1)).is_empty());
+        // b is drained, a stays full: only a drops the next group
+        d.drain(b);
+        assert_eq!(d.fan_out_lossy(group_item(2)), vec![a]);
+        assert_eq!(d.depth(a), 2);
+        assert_eq!(d.depth(b), 1);
+        // a keeps its FIFO prefix; b got the newer group
+        assert_eq!(d.pop(a).unwrap().seq, 0);
+        assert_eq!(d.pop(b).unwrap().seq, 2);
+        // everyone full: every stream reports the drop
+        d.fan_out_lossy(group_item(3));
+        d.fan_out_lossy(group_item(4));
+        assert_eq!(d.fan_out_lossy(group_item(5)), vec![a, b]);
     }
 
     #[test]

@@ -23,15 +23,28 @@
 //! No external dependencies — JSON serialization is the crate's own tiny
 //! writer ([`json`]), and a matching minimal parser is provided for
 //! artifact validation in tests and CI.
+//!
+//! Three continuous-observability layers build on the recorder, each
+//! behind its own gate (all off by default, all RNG-free):
+//! [`trace`] — per-thread lock-free event rings flushed to Chrome
+//! trace-event JSON; [`metrics`] — a process-wide labelled registry with
+//! Prometheus text exposition; [`aggregate`] — rolling per-stream window
+//! health with SLO degradation flags.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+pub mod aggregate;
 pub mod health;
 pub mod json;
+pub mod metrics;
+pub mod trace;
 
+pub use aggregate::{
+    AggregatorConfig, DegradationFlags, HealthAggregator, StreamHealth, StreamWindow, WindowSample,
+};
 pub use health::PipelineHealth;
 
 /// Cheap timestamp source for per-item stage attribution inside hot
@@ -465,17 +478,29 @@ pub struct Span {
     /// Stack depth at entry, so drop can restore it even if inner spans
     /// leaked (e.g. through an early return).
     depth: usize,
+    /// `true` when the trace ring was capturing at entry (the end event
+    /// must pair with the begin even if tracing is toggled mid-span).
+    traced: bool,
 }
 
 impl Span {
     /// Opens a span. Prefer the [`span!`] macro.
+    ///
+    /// When the trace ring is capturing ([`trace::trace_enabled`]) the
+    /// span also emits timeline begin/end events — every `span!` site is
+    /// a trace point without separate instrumentation.
     #[inline]
     pub fn enter(name: &'static str) -> Span {
+        let traced = trace::trace_enabled();
+        if traced {
+            trace::begin(name);
+        }
         if !enabled() {
             return Span {
                 start: None,
                 name,
                 depth: 0,
+                traced,
             };
         }
         let depth = RECORDER.with(|r| {
@@ -487,6 +512,7 @@ impl Span {
             start: Some(Instant::now()),
             name,
             depth,
+            traced,
         }
     }
 }
@@ -494,6 +520,9 @@ impl Span {
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
+        if self.traced {
+            trace::end(self.name);
+        }
         let Some(start) = self.start else { return };
         let elapsed_ns = start.elapsed().as_nanos() as f64;
         RECORDER.with(|r| {

@@ -1,0 +1,423 @@
+//! Process-wide metrics registry with Prometheus text exposition.
+//!
+//! The thread-local recorder ([`crate::Recorder`]) is built for
+//! deterministic per-run artifacts: each worker records privately and
+//! the engine merges snapshots in index order. A *serving* process needs
+//! the opposite shape — one live registry any thread can write and any
+//! scraper can read at any moment. This module provides that: named
+//! counters, gauges and histograms keyed by `(name, labels)` (labels
+//! carry the per-stream / per-worker dimensions), a [`snapshot`] API for
+//! the future daemon's `/metrics` endpoint, and a text renderer in
+//! Prometheus exposition format ([`MetricsSnapshot::prometheus`]).
+//!
+//! Writes go through one `Mutex` — metric updates happen at group /
+//! press / job granularity (milliseconds), not per sample, so contention
+//! is negligible; hot loops keep using the lock-free trace ring and the
+//! thread-local recorder. Like the other observability layers the whole
+//! module sits behind its own `AtomicBool` gate and is off by default;
+//! every entry point is a relaxed load + early return while disabled,
+//! and recording touches no RNG or numeric pipeline state.
+
+use crate::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One metric series identity: a family name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric family name (dotted WiForce convention, e.g.
+    /// `batch.presses_served`; sanitized for Prometheus on render).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `true` when this series carries the given label pair.
+    pub fn has_label(&self, key: &str, value: &str) -> bool {
+        self.labels.iter().any(|(k, v)| k == key && v == value)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+    });
+    &REGISTRY
+}
+
+/// `true` when the registry is accepting updates.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Turns the registry on or off (process-wide).
+pub fn set_metrics_enabled(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+/// Adds `n` to a labelled monotonic counter. No-op while disabled.
+pub fn counter_add(name: &str, labels: &[(&str, &str)], n: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let key = SeriesKey::new(name, labels);
+    let mut reg = registry().lock().expect("metrics registry");
+    *reg.counters.entry(key).or_insert(0) += n;
+}
+
+/// Sets a labelled gauge (last writer wins). No-op while disabled.
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let key = SeriesKey::new(name, labels);
+    let mut reg = registry().lock().expect("metrics registry");
+    reg.gauges.insert(key, v);
+}
+
+/// Records one value into a labelled histogram. No-op while disabled.
+pub fn observe(name: &str, labels: &[(&str, &str)], v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let key = SeriesKey::new(name, labels);
+    let mut reg = registry().lock().expect("metrics registry");
+    reg.histograms.entry(key).or_default().record(v);
+}
+
+/// Merges a pre-aggregated histogram into a labelled series — for
+/// folding an engine's per-run histogram (queue depth, latency) into
+/// the live registry in one call. No-op while disabled.
+pub fn merge_histogram(name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    if !metrics_enabled() || h.count == 0 {
+        return;
+    }
+    let key = SeriesKey::new(name, labels);
+    let mut reg = registry().lock().expect("metrics registry");
+    reg.histograms.entry(key).or_default().merge_from(h);
+}
+
+/// Clears every series (the gate state is untouched).
+pub fn reset() {
+    let mut reg = registry().lock().expect("metrics registry");
+    *reg = Registry::default();
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter series, sorted by key.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauge series, sorted by key.
+    pub gauges: Vec<(SeriesKey, f64)>,
+    /// Histogram series, sorted by key.
+    pub histograms: Vec<(SeriesKey, Histogram)>,
+}
+
+/// Copies the registry (works whether or not recording is enabled, so a
+/// scraper can read after the workload disabled updates).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry");
+    MetricsSnapshot {
+        counters: reg.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        gauges: reg.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect(),
+    }
+}
+
+/// Renders the current registry in Prometheus text exposition format.
+pub fn prometheus() -> String {
+    snapshot().prometheus()
+}
+
+/// Maps a dotted WiForce metric name onto the Prometheus grammar:
+/// `wiforce_` prefix, `[a-zA-Z0-9_:]` body, leading digits guarded.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("wiforce_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total number of exported series (histograms count once each).
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Looks up a counter by name and exact label subset.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = SeriesKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name and exact label set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = SeriesKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Renders Prometheus text exposition: counters and gauges as-is,
+    /// histograms as summaries (p50/p95/p99 quantile series plus `_sum`
+    /// and `_count`). Families are announced once with a `# TYPE` line;
+    /// series order is deterministic (sorted keys).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let type_line = |out: &mut String, last: &mut String, fam: &str, ty: &str| {
+            if *last != fam {
+                out.push_str("# TYPE ");
+                out.push_str(fam);
+                out.push(' ');
+                out.push_str(ty);
+                out.push('\n');
+                *last = fam.to_string();
+            }
+        };
+        for (key, v) in &self.counters {
+            let fam = sanitize(&key.name);
+            type_line(&mut out, &mut last_family, &fam, "counter");
+            out.push_str(&fam);
+            render_labels(&mut out, &key.labels, None);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        for (key, v) in &self.gauges {
+            let fam = sanitize(&key.name);
+            type_line(&mut out, &mut last_family, &fam, "gauge");
+            out.push_str(&fam);
+            render_labels(&mut out, &key.labels, None);
+            out.push(' ');
+            out.push_str(&render_f64(*v));
+            out.push('\n');
+        }
+        for (key, h) in &self.histograms {
+            let fam = sanitize(&key.name);
+            type_line(&mut out, &mut last_family, &fam, "summary");
+            for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&fam);
+                render_labels(&mut out, &key.labels, Some(("quantile", label)));
+                out.push(' ');
+                out.push_str(&render_f64(h.quantile(q)));
+                out.push('\n');
+            }
+            out.push_str(&fam);
+            out.push_str("_sum");
+            render_labels(&mut out, &key.labels, None);
+            out.push(' ');
+            out.push_str(&render_f64(h.sum));
+            out.push('\n');
+            out.push_str(&fam);
+            out.push_str("_count");
+            render_labels(&mut out, &key.labels, None);
+            out.push(' ');
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes access to the global registry across tests.
+    fn with_metrics<T>(f: impl FnOnce() -> T) -> T {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_metrics_enabled(true);
+        let out = f();
+        set_metrics_enabled(false);
+        reset();
+        out
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let snap = with_metrics(|| {
+            set_metrics_enabled(false);
+            counter_add("c", &[], 1);
+            gauge_set("g", &[], 1.0);
+            observe("o", &[], 1.0);
+            set_metrics_enabled(true);
+            snapshot()
+        });
+        assert_eq!(snap.series_count(), 0);
+    }
+
+    #[test]
+    fn labelled_series_accumulate_independently() {
+        let snap = with_metrics(|| {
+            counter_add("batch.presses_served", &[("stream", "s0")], 2);
+            counter_add("batch.presses_served", &[("stream", "s0")], 3);
+            counter_add("batch.presses_served", &[("stream", "s1")], 1);
+            gauge_set("batch.queue_peak", &[("stream", "s0")], 4.0);
+            observe("batch.latency_ns", &[("stream", "s0")], 1000.0);
+            observe("batch.latency_ns", &[("stream", "s0")], 3000.0);
+            snapshot()
+        });
+        assert_eq!(
+            snap.counter("batch.presses_served", &[("stream", "s0")]),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("batch.presses_served", &[("stream", "s1")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge("batch.queue_peak", &[("stream", "s0")]),
+            Some(4.0)
+        );
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let snap = with_metrics(|| {
+            counter_add("x", &[("a", "1"), ("b", "2")], 1);
+            counter_add("x", &[("b", "2"), ("a", "1")], 1);
+            snapshot()
+        });
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].1, 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = with_metrics(|| {
+            counter_add("batch.presses_served", &[("stream", "s0")], 7);
+            gauge_set("estimator.locked", &[("stream", "s0")], 1.0);
+            observe("batch.group_latency_ns", &[("stream", "s0")], 2048.0);
+            prometheus()
+        });
+        assert!(
+            text.contains("# TYPE wiforce_batch_presses_served counter"),
+            "{text}"
+        );
+        assert!(text.contains("wiforce_batch_presses_served{stream=\"s0\"} 7"));
+        assert!(text.contains("# TYPE wiforce_estimator_locked gauge"));
+        assert!(text.contains("# TYPE wiforce_batch_group_latency_ns summary"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("wiforce_batch_group_latency_ns_count{stream=\"s0\"} 1"));
+        assert!(text.contains("wiforce_batch_group_latency_ns_sum{stream=\"s0\"} 2048"));
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad value {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_histogram_folds_engine_runs() {
+        let snap = with_metrics(|| {
+            let mut h = Histogram::default();
+            h.record(10.0);
+            h.record(20.0);
+            merge_histogram("batch.queue_depth", &[], &h);
+            merge_histogram("batch.queue_depth", &[], &h);
+            merge_histogram("empty", &[], &Histogram::default());
+            snapshot()
+        });
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 4);
+        assert!((snap.histograms[0].1.sum - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_guards_digits() {
+        assert_eq!(sanitize("batch.queue_peak"), "wiforce_batch_queue_peak");
+        assert_eq!(sanitize("9lives"), "wiforce__9lives");
+        assert_eq!(sanitize("a-b c"), "wiforce_a_b_c");
+    }
+}

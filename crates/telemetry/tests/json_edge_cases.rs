@@ -1,0 +1,268 @@
+//! Edge-case and property tests for `wiforce_telemetry::json`: escape
+//! handling, non-finite canonicalization, nesting bounds, and
+//! writer→parser round trips over generated documents.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use wiforce_telemetry::json::{self, JsonWriter, Value};
+
+#[test]
+fn string_escapes_round_trip() {
+    let cases = [
+        "plain",
+        "quote \" backslash \\ slash /",
+        "newline\ntab\tcr\r",
+        "control \u{1} \u{1f} bell \u{7}",
+        "unicode ✓ λ 力 𝕊",
+        "",
+    ];
+    for s in cases {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.string("v", s);
+        w.end_object();
+        let text = w.finish();
+        let v = json::parse(&text).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+        assert_eq!(v.get("v").unwrap().as_str(), Some(s), "case {s:?}");
+    }
+}
+
+#[test]
+fn parser_accepts_standard_escapes() {
+    let v = json::parse(r#"{"s": "aA\n\t\"\\\/\b\f\r"}"#).expect("parses");
+    assert_eq!(
+        v.get("s").unwrap().as_str(),
+        Some("aA\n\t\"\\/\u{8}\u{c}\r")
+    );
+}
+
+#[test]
+fn non_finite_numbers_canonicalize_to_null() {
+    // the writer's documented behaviour: NaN and ±Inf become null, so an
+    // artifact can never carry a non-finite literal
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.number("nan", f64::NAN)
+        .number("pinf", f64::INFINITY)
+        .number("ninf", f64::NEG_INFINITY)
+        .number("fine", 1.5);
+    w.end_object();
+    let text = w.finish();
+    assert!(!text.contains("NaN") && !text.contains(": inf"), "{text}");
+    let v = json::parse(&text).unwrap();
+    assert_eq!(v.get("nan"), Some(&Value::Null));
+    assert_eq!(v.get("pinf"), Some(&Value::Null));
+    assert_eq!(v.get("ninf"), Some(&Value::Null));
+    assert_eq!(v.get("fine").unwrap().as_f64(), Some(1.5));
+    // and the parser rejects bare non-finite tokens (not JSON)
+    assert!(json::parse("{\"x\": NaN}").is_err());
+    assert!(json::parse("{\"x\": Infinity}").is_err());
+}
+
+#[test]
+fn deeply_nested_arrays_bounded() {
+    for depth in [1, 8, json::MAX_DEPTH] {
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(json::parse(&doc).is_ok(), "depth {depth} should parse");
+    }
+    for depth in [json::MAX_DEPTH + 1, json::MAX_DEPTH * 8] {
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let err = json::parse(&doc).expect_err("too deep");
+        assert!(err.contains("nesting"), "depth {depth}: {err}");
+    }
+}
+
+#[test]
+fn null_round_trips() {
+    let v = json::parse("{\"x\": null}").unwrap();
+    assert_eq!(v.get("x"), Some(&Value::Null));
+}
+
+// --- seed-driven generators (the vendored proptest has no recursive /
+// string strategies, so documents are pure functions of a u64 seed) ---
+
+const STRING_PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '_', '"', '\\', '/', '\n', '\t', '\r', '\u{1}', '✓', 'λ', '力', '𝕊',
+];
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| STRING_PALETTE[rng.below(STRING_PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+fn gen_key(rng: &mut TestRng, taken: &mut Vec<String>) -> String {
+    // unique keys: `Value::get` finds the first match, so duplicates
+    // would make the round-trip comparison ambiguous
+    loop {
+        let len = 1 + rng.below(6) as usize;
+        let key: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
+        if !taken.contains(&key) {
+            taken.push(key.clone());
+            return key;
+        }
+    }
+}
+
+fn gen_number(rng: &mut TestRng) -> f64 {
+    // spread across magnitudes, both signs; finite only (the writer
+    // canonicalizes non-finite to null)
+    let mag = (rng.unit_f64() * 2.0 - 1.0) * 10f64.powi(rng.below(25) as i32 - 12);
+    if mag.is_finite() {
+        mag
+    } else {
+        0.0
+    }
+}
+
+fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        rng.below(4)
+    } else {
+        rng.below(6)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Num(gen_number(rng)),
+        3 => Value::Str(gen_string(rng)),
+        4 => Value::Obj(gen_members(rng, depth - 1)),
+        _ => {
+            // arrays hold objects only — the writer's keyed API cannot
+            // produce bare scalars as array elements
+            let n = rng.below(3) as usize;
+            Value::Arr(
+                (0..n)
+                    .map(|_| Value::Obj(gen_members(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_members(rng: &mut TestRng, depth: u32) -> Vec<(String, Value)> {
+    let n = rng.below(4) as usize;
+    let mut taken = Vec::new();
+    (0..n)
+        .map(|_| {
+            let key = gen_key(rng, &mut taken);
+            (key, gen_value(rng, depth))
+        })
+        .collect()
+}
+
+fn write_value(w: &mut JsonWriter, key: &str, v: &Value) {
+    match v {
+        Value::Null => {
+            w.number(key, f64::NAN);
+        }
+        Value::Bool(b) => {
+            w.boolean(key, *b);
+        }
+        Value::Num(n) => {
+            w.number(key, *n);
+        }
+        Value::Str(s) => {
+            w.string(key, s);
+        }
+        Value::Obj(members) => {
+            w.begin_object_key(key);
+            for (k, mv) in members {
+                write_value(w, k, mv);
+            }
+            w.end_object();
+        }
+        Value::Arr(items) => {
+            w.begin_array_key(key);
+            for item in items {
+                let Value::Obj(members) = item else {
+                    unreachable!("generator only puts objects in arrays")
+                };
+                w.begin_object();
+                for (k, mv) in members {
+                    write_value(w, k, mv);
+                }
+                w.end_object();
+            }
+            w.end_array();
+        }
+    }
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        // the writer prints f64 with `{}` (shortest round-trippable
+        // form), so parse-back must be bit-exact
+        (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
+        (Value::Obj(x), Value::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && values_eq(va, vb))
+        }
+        (Value::Arr(x), Value::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(va, vb)| values_eq(va, vb))
+        }
+        (a, b) => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn writer_parser_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("doc-{seed}"));
+        let root = gen_members(&mut rng, 3);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        for (k, v) in &root {
+            write_value(&mut w, k, v);
+        }
+        w.end_object();
+        let text = w.finish();
+        let parsed = json::parse(&text).expect("generated document parses");
+        prop_assert!(values_eq(&parsed, &Value::Obj(root)), "round trip mismatch:\n{}", text);
+    }
+
+    #[test]
+    fn finite_numbers_round_trip_exactly(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("num-{seed}"));
+        let n = gen_number(&mut rng);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.number("n", n);
+        w.end_object();
+        let v = json::parse(&w.finish()).expect("parses");
+        prop_assert_eq!(
+            v.get("n").unwrap().as_f64().map(f64::to_bits),
+            Some(n.to_bits())
+        );
+    }
+
+    #[test]
+    fn arbitrary_strings_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("str-{seed}"));
+        let s = gen_string(&mut rng);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.string("s", &s);
+        w.end_object();
+        let v = json::parse(&w.finish()).expect("parses");
+        prop_assert_eq!(v.get("s").unwrap().as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("noise-{seed}"));
+        let palette = b"[]{}\",:0-9az .eE+-\\";
+        let len = rng.below(64) as usize;
+        let noise: String = (0..len)
+            .map(|_| palette[rng.below(palette.len() as u64) as usize] as char)
+            .collect();
+        let _ = json::parse(&noise); // Ok or Err are both fine; no panic, no hang
+    }
+}

@@ -11,6 +11,10 @@
 //! wiforce-cli health   [--health-json health.json] [--carrier-ghz 2.4] [--seed 11]
 //! wiforce-cli serve    [--streams 4] [--presses 4] [--readers 1] [--workers 4]
 //!                      [--queue 4] [--faults none|harsh|saturating] [--seed 5]
+//!                      [--overflow stall|drop-newest] [--throttle-ms N]
+//!                      [--watch 1] [--trace t.json] [--metrics m.prom]
+//! wiforce-cli trace    --out trace.json [serve flags]
+//! wiforce-cli metrics  [--out metrics.prom] [serve flags]
 //! ```
 //!
 //! `serve` drives the multi-stream batch engine (`wiforce::batch`): it
@@ -19,7 +23,19 @@
 //! presses per stream, and runs them through `run_batch` on a
 //! `--workers`-thread pool with `--queue`-deep per-stream snapshot
 //! queues. It prints a per-stream result table plus aggregate throughput,
-//! latency, and backpressure statistics.
+//! latency, and backpressure statistics. Health windows (rolling
+//! latency percentiles + degradation flags per stream) are aggregated
+//! during the run; `--watch 1` streams each completed window to stderr
+//! as single-line JSON while the batch is still running.
+//!
+//! `trace` runs the same workload with the per-worker trace rings
+//! enabled and writes a Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) with one lane per worker thread, span events for
+//! every instrumented stage, flow arrows for produce→consume and fused
+//! synth→extract handoffs, and queue-depth counter tracks. `metrics`
+//! runs it with the metrics registry enabled and emits Prometheus text
+//! exposition (per-stream and per-worker series) to `--out` or stdout.
+//! The same exports ride along with `serve` via `--trace`/`--metrics`.
 //!
 //! `press` and `replay` accept `--model model.wfm` to reuse a saved
 //! calibration instead of re-deriving it.
@@ -40,14 +56,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use wiforce::batch::{run_batch, BatchConfig, ReaderSpec};
+use wiforce::batch::{run_batch_observed, BatchConfig, BatchReport, OverflowPolicy, ReaderSpec};
 use wiforce::estimator::{EstimatorConfig, ForceEstimator};
 use wiforce::pipeline::{Simulation, TagClock};
 use wiforce::record::Recording;
 use wiforce::spectrum::{discover_tags, DopplerSpectrum};
 use wiforce::tracking::{Tracker, TrackerConfig};
 use wiforce_channel::faults::FaultConfig;
-use wiforce_telemetry::PipelineHealth;
+use wiforce_telemetry::{metrics, trace, AggregatorConfig, PipelineHealth, StreamWindow};
 
 /// Minimal `--key value` argument map.
 struct Args {
@@ -103,7 +119,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wiforce-cli <press|sweep|record|replay|spectrum|calibrate|health|serve> [--key value ...]\n\
+    "usage: wiforce-cli <press|sweep|record|replay|spectrum|calibrate|health|serve|trace|metrics> [--key value ...]\n\
      \n\
      press    simulate one calibrated press and print the estimate\n\
      sweep    run a small Monte-Carlo press sweep and print error medians\n\
@@ -113,11 +129,15 @@ fn usage() -> &'static str {
      calibrate derive the sensor model and save it to a .wfm file\n\
      health   run the full stack with telemetry on and emit a health report\n\
      serve    run N frequency-multiplexed streams through the batch engine\n\
+     trace    run the serve workload with trace rings on; write Chrome trace JSON\n\
+     metrics  run the serve workload with the metrics registry on; emit Prometheus text\n\
      \n\
      common flags: --carrier-ghz F  --force N  --location-mm MM  --seed N  --model F.wfm\n\
      press/sweep/replay/health/serve: --health-json PATH  write a PipelineHealth report\n\
-     serve: --streams N  --presses N  --readers N  --workers N  --queue N\n\
-     \x20       --faults none|harsh|saturating"
+     serve/trace/metrics: --streams N  --presses N  --readers N  --workers N  --queue N\n\
+     \x20       --faults none|harsh|saturating  --overflow stall|drop-newest\n\
+     \x20       --throttle-ms N  --watch 1\n\
+     serve: --trace PATH  --metrics PATH    trace: --out PATH    metrics: --out PATH"
 }
 
 /// `--health-json` handling: when the flag is present, [`enable`]
@@ -170,6 +190,8 @@ fn main() -> ExitCode {
         "calibrate" => cmd_calibrate(&args),
         "health" => cmd_health(&args),
         "serve" => cmd_serve(&args),
+        "trace" => cmd_trace(&args),
+        "metrics" => cmd_metrics(&args),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     };
     match result {
@@ -498,7 +520,11 @@ fn cmd_health(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &Args) -> Result<(), String> {
+/// Runs the `serve`-shaped batch workload from the shared flag set.
+/// Health windows are always aggregated; with `--watch 1` each completed
+/// window is streamed to stderr as single-line JSON while the batch
+/// runs. Returns the report plus the reader/worker counts for display.
+fn run_serve_workload(args: &Args) -> Result<(BatchReport, usize, usize), String> {
     let sim = sim_from(args)?;
     let streams = args.u64_or("streams", 4)?.max(1) as usize;
     let presses = args.u64_or("presses", 4)?.max(1) as usize;
@@ -516,8 +542,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             ))
         }
     };
+    let overflow = match args.get("overflow").unwrap_or("stall") {
+        "stall" => OverflowPolicy::Stall,
+        "drop-newest" => OverflowPolicy::DropNewest,
+        other => return Err(format!("--overflow '{other}': expected stall|drop-newest")),
+    };
+    let throttle_ms = args.f64_or("throttle-ms", 0.0)?;
+    let watch = args.u64_or("watch", 0)? != 0;
     let model = std::sync::Arc::new(model_from(args, &sim)?);
-    let health = HealthSink::enable(args);
 
     let specs: Vec<ReaderSpec> = (0..readers)
         .map(|r| {
@@ -529,22 +561,39 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let cfg = BatchConfig {
         workers,
         queue_capacity: queue,
+        overflow,
+        consume_throttle: (throttle_ms > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(throttle_ms * 1e-3)),
         ..BatchConfig::wiforce(workers)
     };
-    let report = run_batch(&sim, &model, &specs, &cfg).map_err(|e| e.to_string())?;
+    let emit = |w: &StreamWindow| eprintln!("{}", w.to_json());
+    let observer: Option<&(dyn Fn(&StreamWindow) + Sync)> = watch.then_some(&emit);
+    let report = run_batch_observed(
+        &sim,
+        &model,
+        &specs,
+        &cfg,
+        Some(AggregatorConfig::default()),
+        observer,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((report, readers, workers))
+}
 
+fn print_serve_report(report: &BatchReport, readers: usize, workers: usize) {
     println!(
-        "{:<12} {:>6} {:>9} {:>9} {:>6} {:>12}",
-        "stream", "reader", "clock Hz", "readings", "fail", "p95 lat ms"
+        "{:<12} {:>6} {:>9} {:>9} {:>6} {:>7} {:>12}",
+        "stream", "reader", "clock Hz", "readings", "fail", "drops", "p95 lat ms"
     );
     for s in &report.streams {
         println!(
-            "{:<12} {:>6} {:>9.1} {:>9} {:>6} {:>12.3}",
+            "{:<12} {:>6} {:>9.1} {:>9} {:>6} {:>7} {:>12.3}",
             s.name,
             s.reader,
             s.fs_hz,
             s.readings.len(),
             s.failures,
+            s.groups_dropped,
             s.p95_latency_ns() as f64 / 1e6
         );
     }
@@ -562,8 +611,98 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.p95_stream_latency_ns() as f64 / 1e6
     );
     println!(
-        "backpressure events {}, snapshots dropped {}, bursts injected {}",
-        report.backpressure_events, report.snapshots_dropped, report.bursts_injected
+        "backpressure events {}, queue drops {}, snapshots dropped {}, bursts injected {}",
+        report.backpressure_events,
+        report.groups_dropped,
+        report.snapshots_dropped,
+        report.bursts_injected
     );
+    for h in &report.health {
+        if h.flags.any() {
+            println!(
+                "degraded: {} ({} of {} windows; snr_below_floor={} queue_saturated={} worker_starved={})",
+                h.stream,
+                h.degraded_windows,
+                h.windows,
+                h.flags.snr_below_floor,
+                h.flags.queue_saturated,
+                h.flags.worker_starved
+            );
+        }
+    }
+}
+
+/// Writes the collected trace ring contents as Chrome trace-event JSON.
+fn export_trace(path: &str) -> Result<(), String> {
+    trace::set_trace_enabled(false);
+    let snap = trace::collect();
+    std::fs::write(path, snap.chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {} trace events across {} lanes ({} dropped) to {path}",
+        snap.total_events(),
+        snap.lanes.len(),
+        snap.dropped
+    );
+    Ok(())
+}
+
+/// Writes (or prints) the metrics registry as Prometheus text.
+fn export_metrics(path: Option<&str>) -> Result<(), String> {
+    metrics::set_metrics_enabled(false);
+    let text = metrics::snapshot().prometheus();
+    match path {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote metrics exposition to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let health = HealthSink::enable(args);
+    let tracing = args.get("trace").is_some();
+    if tracing {
+        trace::reset();
+        trace::set_trace_enabled(true);
+    }
+    if args.get("metrics").is_some() {
+        metrics::reset();
+        metrics::set_metrics_enabled(true);
+    }
+    let (report, readers, workers) = run_serve_workload(args)?;
+    print_serve_report(&report, readers, workers);
+    if let Some(path) = args.get("trace") {
+        export_trace(path)?;
+    }
+    if let Some(path) = args.get("metrics") {
+        export_metrics(Some(path))?;
+    }
     health.finish()
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let out = args.path("out")?;
+    trace::reset();
+    trace::set_trace_enabled(true);
+    let (report, readers, workers) = run_serve_workload(args)?;
+    print_serve_report(&report, readers, workers);
+    export_trace(&out.display().to_string())
+}
+
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    metrics::reset();
+    metrics::set_metrics_enabled(true);
+    let (report, readers, workers) = run_serve_workload(args)?;
+    // summary to stderr so a piped stdout stays pure Prometheus text
+    eprintln!(
+        "{} streams, {} reader(s), {} workers: {} groups in {:.2} s",
+        report.streams.len(),
+        readers,
+        workers,
+        report.groups_produced,
+        report.elapsed.as_secs_f64()
+    );
+    export_metrics(args.get("out"))
 }

@@ -76,6 +76,7 @@ fn saturated_streams_degrade_without_stalling() {
         workers: 2,
         queue_capacity: 1,
         reference_groups: 2,
+        ..BatchConfig::wiforce(2)
     };
     let spec = faulted_reader(&sim, 42);
     let expected_groups = 2 + 2; // reference + presses

@@ -59,8 +59,13 @@ use wiforce_telemetry::json::JsonWriter;
 /// capacity, metrics-registry series count) — and, significantly, the
 /// telemetry-on blocks now run with the trace ring *and* the metrics
 /// registry enabled, so `telemetry_overhead_pct` gates the full
-/// observability stack, not just the recorder.
-const BENCH_SCHEMA_VERSION: u32 = 6;
+/// observability stack, not just the recorder;
+/// v7 the `synth_wide` section: the counter group timed with the SoA
+/// wide path forced on vs off (`ns_per_group_on` / `ns_per_group_off`,
+/// bitwise-identical output either way) plus
+/// `adaptive_snapshot_yield` — the fraction of the snapshot budget an
+/// SNR-targeted adaptive press actually synthesized.
+const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// A pass-through allocator that counts every allocation, so the bench
 /// can assert the steady-state snapshot loop is allocation-free.
@@ -245,6 +250,51 @@ fn main() {
     }
     let ns_per_group_parallel = t0.elapsed().as_nanos() as f64 / group_iters as f64;
 
+    // --- wide vs row counter synthesis ---------------------------------
+    // the same counter group with the structure-of-arrays wide path
+    // forced on vs off; the outputs are bitwise identical, so the delta
+    // is purely what plane-major synthesis buys
+    let mut wide_times = [0.0f64; 2];
+    for (i, wide) in [true, false].into_iter().enumerate() {
+        let mut sim_w = sim.clone();
+        sim_w.synth_wide = Some(wide);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut clock = TagClock::new(&mut rng);
+        let mut noise = PressNoise::from_seed(0xBE7C);
+        stream.clear();
+        sim_w.run_snapshots_counter_into(None, 1, &mut clock, &mut noise, &mut stream);
+        let t0 = Instant::now();
+        for _ in 0..group_iters {
+            stream.clear();
+            sim_w.run_snapshots_counter_into(None, 1, &mut clock, &mut noise, &mut stream);
+        }
+        wide_times[i] = t0.elapsed().as_nanos() as f64 / group_iters as f64;
+    }
+    let [ns_per_group_wide_on, ns_per_group_wide_off] = wide_times;
+
+    // --- adaptive snapshot budget --------------------------------------
+    // one SNR-targeted press with the recorder on: the yield gauge says
+    // what fraction of the budget the adaptive path synthesized before
+    // the extracted lines cleared the target (deterministic for a fixed
+    // seed, so the determinism diff covers it)
+    let mut sim_a = Simulation::paper_default(2.4e9);
+    sim_a.reference_groups = 1;
+    sim_a.measure_groups = 1;
+    sim_a.adaptive = wiforce::pipeline::AdaptiveBudget::wiforce();
+    let model_a = sim_a.vna_calibration().expect("calibration");
+    let mut rng_a = StdRng::seed_from_u64(11);
+    wiforce_telemetry::reset();
+    wiforce_telemetry::set_enabled(true);
+    sim_a
+        .measure_press(&model_a, 4.0, 0.040, &mut rng_a)
+        .expect("adaptive press");
+    wiforce_telemetry::set_enabled(false);
+    let adaptive_snapshot_yield = wiforce_telemetry::take()
+        .gauges
+        .get("pipeline.adaptive_snapshot_yield")
+        .copied()
+        .unwrap_or(1.0);
+
     // --- multi-stream batch throughput --------------------------------
     // one reader, N frequency-multiplexed tags sharing its snapshots:
     // the expensive channel sounding amortizes across streams, so
@@ -295,6 +345,14 @@ fn main() {
         "allocs_per_group",
         (allocs_per_group * 100.0).round() / 100.0,
     );
+    w.begin_object_key("synth_wide");
+    w.number("ns_per_group_on", ns_per_group_wide_on.round());
+    w.number("ns_per_group_off", ns_per_group_wide_off.round());
+    w.number(
+        "adaptive_snapshot_yield",
+        (adaptive_snapshot_yield * 10000.0).round() / 10000.0,
+    );
+    w.end_object();
     w.begin_object_key("observability");
     w.integer("trace_events", trace_events);
     w.integer("trace_dropped", trace_dropped);

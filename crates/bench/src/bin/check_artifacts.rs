@@ -20,6 +20,10 @@
 //! presence of per-stream series. Both are backed by
 //! [`wiforce_bench::observability`].
 //!
+//! `--revs` takes a `git log` listing (one rev per line, short or full)
+//! and fails when the committed artifact's `git_rev` (`--baseline` when
+//! given, else `--bench`) names no commit in it — a stale-baseline trap.
+//!
 //! With `--baseline`, the `--bench` artifact is additionally compared
 //! against the given committed baseline with
 //! [`wiforce_bench::regression::compare`]: a `ns_per_press` regression
@@ -216,6 +220,34 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
         }
     }
 
+    // schema v7: the synth_wide section — wide vs row group timings plus
+    // the adaptive snapshot yield (a budget fraction, so (0, 1])
+    if schema >= 7.0 {
+        match root.get("synth_wide") {
+            None => c.fail("missing 'synth_wide' object (schema v7)".into()),
+            Some(sw) => {
+                for key in ["ns_per_group_on", "ns_per_group_off"] {
+                    match sw.get(key).and_then(Value::as_f64) {
+                        None => c.fail(format!("synth_wide missing numeric key '{key}'")),
+                        Some(v) if !(v > 0.0 && v.is_finite()) => {
+                            c.fail(format!("synth_wide.{key} = {v}, expected > 0"))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                match sw.get("adaptive_snapshot_yield").and_then(Value::as_f64) {
+                    None => {
+                        c.fail("synth_wide missing numeric key 'adaptive_snapshot_yield'".into())
+                    }
+                    Some(y) if !(y > 0.0 && y <= 1.0) => c.fail(format!(
+                        "synth_wide.adaptive_snapshot_yield = {y}, expected in (0, 1]"
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
     // schema v3: the batch-engine throughput section
     match root.get("throughput").and_then(Value::as_array) {
         None => c.fail("missing 'throughput' array (batch engine section)".into()),
@@ -245,7 +277,11 @@ fn check_health(file: &str, root: &Value) -> Vec<String> {
 
     // yield and lock state must be present (null only when the relevant
     // subsystem never ran; the CLI `health` command runs them all)
-    for key in ["snapshot_yield", "estimator_reference_locked"] {
+    for key in [
+        "snapshot_yield",
+        "adaptive_snapshot_yield",
+        "estimator_reference_locked",
+    ] {
         if root.get(key).is_none() {
             c.fail(format!("missing key '{key}'"));
         }
@@ -310,6 +346,7 @@ fn main() {
     let baseline = arg("--baseline");
     let trace = arg("--trace");
     let metrics = arg("--metrics");
+    let revs = arg("--revs");
 
     // determinism mode: `--diff A B` compares two artifacts produced by
     // the same build under different worker counts / SIMD backends and
@@ -342,12 +379,16 @@ fn main() {
         eprintln!(
             "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
              [--trace trace.json] [--metrics metrics.prom] \
-             [--baseline BENCH_baseline.json] | --diff A.json B.json"
+             [--baseline BENCH_baseline.json] [--revs git-log.txt] | --diff A.json B.json"
         );
         std::process::exit(2);
     }
     if baseline.is_some() && bench.is_none() {
         eprintln!("--baseline requires --bench");
+        std::process::exit(2);
+    }
+    if revs.is_some() && baseline.is_none() && bench.is_none() {
+        eprintln!("--revs requires --bench or --baseline");
         std::process::exit(2);
     }
 
@@ -375,6 +416,37 @@ fn main() {
                     .into_iter()
                     .map(|v| format!("{path}: {v}")),
             ),
+        }
+    }
+
+    // provenance gate: the committed artifact's git_rev must name a
+    // commit from the provided `git log` listing (one rev per line,
+    // short or full), catching a baseline that went stale because nobody
+    // regenerated it after landing perf-relevant changes. Applies to the
+    // --baseline artifact when given (that is the committed one), else
+    // to --bench.
+    if let Some(revs_path) = &revs {
+        let target = baseline.as_ref().or(bench.as_ref()).expect("checked above");
+        match (std::fs::read_to_string(revs_path), load(target)) {
+            (Err(e), _) => errors.push(format!("{revs_path}: unreadable: {e}")),
+            (_, Err(e)) => errors.push(e),
+            (Ok(revlist), Ok(doc)) => match doc.get("git_rev").and_then(Value::as_str) {
+                None | Some("") => {
+                    errors.push(format!("{target}: missing 'git_rev' for the --revs check"))
+                }
+                Some(rev) => {
+                    let known = revlist
+                        .split_whitespace()
+                        .any(|r| r.starts_with(rev) || rev.starts_with(r));
+                    if !known {
+                        errors.push(format!(
+                            "{target}: git_rev {rev:?} does not match any commit in \
+                             {revs_path} — the committed bench baseline is stale; \
+                             regenerate it with bench_json and commit the result"
+                        ));
+                    }
+                }
+            },
         }
     }
 

@@ -24,6 +24,21 @@ use wiforce_telemetry::json::Value;
 /// catching real multi-stage regressions.
 pub const MAX_REGRESSION_PCT: f64 = 25.0;
 
+/// Hard ceiling on how much `stage_breakdown.synth_ns_per_press` may
+/// regress, percent. Tighter than the headline gate: the synthesis stage
+/// is the pipeline's dominant cost and its per-stage time is a span
+/// aggregate over every telemetry-on press (less noisy than a single
+/// wall-clock pair), so a 15% move is a real regression, not jitter.
+pub const MAX_SYNTH_STAGE_REGRESSION_PCT: f64 = 15.0;
+
+/// Maximum absolute growth of `allocs_per_group` over the baseline.
+/// Allocation counts are near-deterministic (the counting allocator sees
+/// the same steady-state loop every run), so any growth beyond a couple
+/// of stray allocations is a real hot-path regression — this metric
+/// drifted 6 → 13 while it was informational, which is exactly what the
+/// gate now prevents.
+pub const MAX_ALLOCS_PER_GROUP_GROWTH: f64 = 2.0;
+
 /// Stream counts the fresh artifact's `throughput` section must cover.
 pub const REQUIRED_STREAM_POINTS: [u64; 3] = [1, 4, 8];
 
@@ -144,7 +159,7 @@ impl Comparison {
             } else if self
                 .violations
                 .iter()
-                .any(|v| v.contains(row.metric.as_str()))
+                .any(|v| v.starts_with(row.metric.as_str()))
             {
                 "**FAIL**"
             } else {
@@ -197,7 +212,7 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Comparison {
     // gated hot-path metric (lower is better)
     let row = Row::build("ns_per_press", baseline, fresh, true);
     match (row.fresh, row.delta_pct) {
-        (None, _) => violations.push("fresh artifact is missing 'ns_per_press'".to_string()),
+        (None, _) => violations.push("ns_per_press is missing from the fresh artifact".to_string()),
         (Some(_), Some(d)) if d > MAX_REGRESSION_PCT => violations.push(format!(
             "ns_per_press regressed {d:+.1}% (limit {MAX_REGRESSION_PCT:.0}%)"
         )),
@@ -205,18 +220,27 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Comparison {
     }
     rows.push(row);
 
+    // gated allocation count: near-deterministic, so growth beyond a
+    // couple of stray allocations is a real hot-path regression
+    let allocs = Row::build("allocs_per_group", baseline, fresh, true);
+    if let (Some(b), Some(f)) = (allocs.baseline, allocs.fresh) {
+        if f > b + MAX_ALLOCS_PER_GROUP_GROWTH {
+            violations.push(format!(
+                "allocs_per_group grew from {b:.1} to {f:.1} \
+                 (allowed +{MAX_ALLOCS_PER_GROUP_GROWTH:.0})"
+            ));
+        }
+    }
+    rows.push(allocs);
+
     // informational context
-    for metric in [
-        "presses_per_sec",
-        "ns_per_group",
-        "allocs_per_group",
-        "telemetry_overhead_pct",
-    ] {
+    for metric in ["presses_per_sec", "ns_per_group", "telemetry_overhead_pct"] {
         rows.push(Row::build(metric, baseline, fresh, false));
     }
 
-    // schema v4: per-stage deltas (informational — the ns_per_press gate
-    // above is the pass/fail signal; these name the stage that moved)
+    // schema v4+: per-stage deltas. The synthesis stage is gated on its
+    // own (it dominates the press and its span aggregate is less noisy
+    // than the wall-clock headline); the rest name the stage that moved.
     let stage = |doc: &Value, key: &str| {
         doc.get("stage_breakdown")
             .and_then(|sb| sb.get(key))
@@ -229,13 +253,24 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Comparison {
             (Some(b), Some(f)) if b != 0.0 => Some(100.0 * (f - b) / b),
             _ => None,
         };
+        let gated = key == "synth_ns_per_press";
+        if gated {
+            if let Some(d) = delta_pct {
+                if d > MAX_SYNTH_STAGE_REGRESSION_PCT {
+                    violations.push(format!(
+                        "stage_breakdown.synth_ns_per_press regressed {d:+.1}% \
+                         (limit {MAX_SYNTH_STAGE_REGRESSION_PCT:.0}%)"
+                    ));
+                }
+            }
+        }
         if b.is_some() || f.is_some() {
             rows.push(Row {
                 metric: format!("stage_breakdown.{key}"),
                 baseline: b,
                 fresh: f,
                 delta_pct,
-                gated: false,
+                gated,
             });
         }
     }
@@ -559,7 +594,8 @@ mod tests {
         assert!(cmp.passed(), "{:?}", cmp.violations);
         let md = cmp.markdown_table();
         assert!(md.contains("stage_breakdown.synth_ns_per_press"), "{md}");
-        // v4 vs v4: deltas computed
+        // v4 vs v4: deltas computed; the synthesis stage carries its own
+        // gate, the remaining stages stay informational
         let cmp2 = compare(&with_stages, &with_stages);
         let row = cmp2
             .rows
@@ -567,7 +603,13 @@ mod tests {
             .find(|r| r.metric == "stage_breakdown.synth_ns_per_press")
             .expect("stage row");
         assert_eq!(row.delta_pct, Some(0.0));
-        assert!(!row.gated);
+        assert!(row.gated);
+        let spectrum = cmp2
+            .rows
+            .iter()
+            .find(|r| r.metric == "stage_breakdown.spectrum_ns_per_press")
+            .expect("spectrum row");
+        assert!(!spectrum.gated);
     }
 
     #[test]
@@ -629,6 +671,79 @@ mod tests {
         assert!(diff_ignoring_timing(&a, &c)
             .iter()
             .any(|d| d.contains("type mismatch")));
+    }
+
+    fn doc_with_stages(ns_per_press: f64, synth_ns: f64, allocs: f64) -> Value {
+        parse(&format!(
+            r#"{{
+                "schema_version": 7,
+                "git_rev": "abc",
+                "ns_per_press": {ns_per_press},
+                "presses_per_sec": {},
+                "ns_per_group": 6000000,
+                "allocs_per_group": {allocs},
+                "telemetry_overhead_pct": 3.0,
+                "stage_breakdown": {{
+                    "synth_ns_per_press": {synth_ns},
+                    "spectrum_ns_per_press": 600000,
+                    "estimator_ns_per_press": 2000,
+                    "tracker_ns_per_press": 500,
+                    "cache_hit_rate": 1.0
+                }},
+                "throughput": {}
+            }}"#,
+            1e9 / ns_per_press,
+            full_throughput()
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn synth_stage_gate_catches_its_own_regression() {
+        let base = doc_with_stages(2e7, 3.0e6, 6.0);
+        // the stage regresses 20% while the headline stays flat — the
+        // per-stage gate must catch what the 25% headline gate misses
+        let bad = doc_with_stages(2e7, 3.6e6, 6.0);
+        let cmp = compare(&base, &bad);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations
+                .iter()
+                .any(|v| v.starts_with("stage_breakdown.synth_ns_per_press")),
+            "{:?}",
+            cmp.violations
+        );
+        // the headline row must not be marked FAIL by the stage violation
+        let md = cmp.markdown_table();
+        assert!(
+            md.contains("| ns_per_press | 20000000.00 | 20000000.00 | +0.0% | ok |"),
+            "{md}"
+        );
+        // within the limit passes
+        let ok = doc_with_stages(2e7, 3.4e6, 6.0);
+        assert!(compare(&base, &ok).passed());
+    }
+
+    #[test]
+    fn allocs_per_group_growth_fails() {
+        let base = doc_with_stages(2e7, 3.0e6, 6.0);
+        // the historical 6 → 13 drift must now fail
+        let drifted = doc_with_stages(2e7, 3.0e6, 13.0);
+        let cmp = compare(&base, &drifted);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations
+                .iter()
+                .any(|v| v.starts_with("allocs_per_group")),
+            "{:?}",
+            cmp.violations
+        );
+        // a couple of stray allocations stay within tolerance
+        let ok = doc_with_stages(2e7, 3.0e6, 7.5);
+        assert!(compare(&base, &ok).passed());
+        // improvement is always fine
+        let better = doc_with_stages(2e7, 3.0e6, 0.0);
+        assert!(compare(&base, &better).passed());
     }
 
     #[test]

@@ -453,6 +453,19 @@ struct ReaderProducer {
     truth: Vec<Complex>,
     /// Edge scratch for [`wiforce_sensor::clock::ClockPair::state_weights_into`].
     edges: Vec<f64>,
+    /// Wide synthesis resolved from the template (flag, else env, else on).
+    wide: bool,
+    /// Wide-path scratch: row-major truth plane for one snapshot block.
+    truth_plane: Vec<Complex>,
+    /// Wide-path scratch: pre-drawn sounder normals, `rows ×
+    /// seq_normals_per_estimate`, drawn in exact row-path stream order.
+    normals: Vec<f64>,
+    /// Wide-path scratch: one pre-drawn jitter normal per snapshot
+    /// (only drawn when the front end actually jitters).
+    jitters: Vec<f64>,
+    /// Box–Muller uniform scratch for the pre-draw.
+    u1s: Vec<f64>,
+    u2s: Vec<f64>,
     /// Snapshot matrices previously handed out; any entry whose consumers
     /// have all dropped (strong count back to 1) is recycled, so steady
     /// state reuses the group-sized buffers instead of reallocating.
@@ -508,6 +521,12 @@ impl ReaderProducer {
             groups_done: 0,
             truth,
             edges: Vec::new(),
+            wide: sim.synth_wide_enabled(),
+            truth_plane: Vec::new(),
+            normals: Vec::new(),
+            jitters: Vec::new(),
+            u1s: Vec::new(),
+            u2s: Vec::new(),
             retired: Vec::new(),
         }
     }
@@ -547,6 +566,17 @@ impl ReaderProducer {
         let t_int = self.t_int;
         let wander_ppm = self.wander_ppm;
         let reference_groups = self.reference_groups;
+        // faults that draw from (or consult) the RNG mid-stream keep the
+        // row path; otherwise snapshots can pre-draw their scalars and
+        // plane-synthesize in blocks — bit-identical by construction
+        let wide_normals = if self.wide
+            && self.injector.config().snapshot_drop_prob == 0.0
+            && self.injector.config().burst_prob == 0.0
+        {
+            self.sounder.seq_normals_per_estimate()
+        } else {
+            None
+        };
         let ReaderProducer {
             streams,
             scene,
@@ -557,6 +587,11 @@ impl ReaderProducer {
             rng,
             truth,
             edges,
+            truth_plane,
+            normals,
+            jitters,
+            u1s,
+            u2s,
             retired,
             ..
         } = self;
@@ -564,41 +599,82 @@ impl ReaderProducer {
         for s in streams.iter_mut() {
             s.clock.step_group(wander_ppm, rng);
         }
-        for _snap in 0..n {
-            let t_reader = streams[0].clock.reader_time_s();
-            truth.copy_from_slice(&cache.statics);
-            for s in streams.iter_mut() {
-                let t_tag = s.clock.advance(t_snap, drift_ppm);
-                // average the switch state over the sounder's integration
-                // window: instantaneous sampling aliases the square-wave
-                // drive's high harmonics onto *other* tags' Doppler bins
-                // (see `ClockPair::state_weights`), leaking press phase
-                // across frequency-multiplexed streams
-                let w = s.tag.clocks.state_weights_into(t_tag, t_int, edges);
-                let table = s.table_for_group(seq, reference_groups);
-                if let Some(pure) = (0..4).find(|&q| w[q] == 1.0) {
-                    // no drive edge inside the window — one pure state
-                    wiforce_dsp::kernels::accumulate_state(truth, &cache.gains, table, pure);
-                } else {
-                    wiforce_dsp::kernels::blend_states(truth, &cache.gains, table, &w);
+        if let Some(npr) = wide_normals {
+            // wide path: per block, evaluate the truth plane and pre-draw
+            // each snapshot's scalars in exact row-path stream order
+            // (2·n sounder normals, then the jitter normal iff the front
+            // end jitters), then hand the whole block to the sounder's
+            // plane kernel and apply the front end per row
+            const WIDE_ROWS: usize = 64;
+            let noise_std = frontend.noise_floor;
+            let mut done = 0;
+            while done < n {
+                let rows = WIDE_ROWS.min(n - done);
+                truth_plane.clear();
+                truth_plane.resize(rows * width, Complex::ZERO);
+                normals.clear();
+                normals.resize(rows * npr, 0.0);
+                jitters.clear();
+                jitters.resize(rows, 0.0);
+                for r in 0..rows {
+                    eval_shared_truth(
+                        streams,
+                        scene,
+                        cache,
+                        edges,
+                        seq,
+                        reference_groups,
+                        t_snap,
+                        t_int,
+                        drift_ppm,
+                        has_movers,
+                        &mut truth_plane[r * width..(r + 1) * width],
+                    );
+                    wiforce_dsp::rng::draw_box_muller_uniforms(rng, npr, u1s, u2s);
+                    wiforce_dsp::fastmath::standard_normals_from_uniforms(
+                        u1s,
+                        u2s,
+                        &mut normals[r * npr..(r + 1) * npr],
+                    );
+                    if frontend.phase_jitter_rad > 0.0 {
+                        jitters[r] = wiforce_dsp::rng::standard_normal(rng);
+                    }
                 }
+                let est = out.extend_rows(rows);
+                let ok = sounder.estimate_rows_prenoise_into(truth_plane, noise_std, normals, est);
+                assert!(ok, "seq_normals_per_estimate implies a wide rows path");
+                for (r, row) in est.chunks_exact_mut(width).enumerate() {
+                    frontend.process_with_jitter_normal(jitters[r], row, cache.full_scale);
+                }
+                done += rows;
             }
-            if has_movers {
-                for (h, &f) in truth.iter_mut().zip(&cache.freqs_hz) {
-                    *h += scene.dynamic_response(f, t_reader);
-                }
-            }
-            if injector.drops_snapshot(rng) {
-                if out.n_rows() > 0 {
-                    out.push_copy_of_last();
+        } else {
+            for _snap in 0..n {
+                eval_shared_truth(
+                    streams,
+                    scene,
+                    cache,
+                    edges,
+                    seq,
+                    reference_groups,
+                    t_snap,
+                    t_int,
+                    drift_ppm,
+                    has_movers,
+                    truth,
+                );
+                if injector.drops_snapshot(rng) {
+                    if out.n_rows() > 0 {
+                        out.push_copy_of_last();
+                    } else {
+                        out.push_row(truth);
+                    }
                 } else {
-                    out.push_row(truth);
+                    let row = out.push_row_default();
+                    sounder.estimate_into(truth, frontend.noise_floor, rng, row);
+                    injector.maybe_burst(rng, row, cache.direct_amp);
+                    frontend.process(rng, row, cache.full_scale);
                 }
-            } else {
-                let row = out.push_row_default();
-                sounder.estimate_into(truth, frontend.noise_floor, rng, row);
-                injector.maybe_burst(rng, row, cache.direct_amp);
-                frontend.process(rng, row, cache.full_scale);
             }
         }
         if wiforce_telemetry::enabled() {
@@ -610,6 +686,50 @@ impl ReaderProducer {
         let group = Arc::new(out);
         retired.push(Arc::clone(&group));
         (seq, group)
+    }
+}
+
+/// Evaluates the next snapshot's true shared channel into `row`: advance
+/// every stream's tag clock, accumulate each tag's state-weighted
+/// response onto the static channel, then add any mover Doppler. This is
+/// the one truth writer both producer paths use, so the wide block path
+/// is arithmetically identical to the row path.
+#[allow(clippy::too_many_arguments)]
+fn eval_shared_truth(
+    streams: &mut [StreamSynth],
+    scene: &Scene,
+    cache: &ChannelCache,
+    edges: &mut Vec<f64>,
+    seq: u64,
+    reference_groups: usize,
+    t_snap: f64,
+    t_int: f64,
+    drift_ppm: f64,
+    has_movers: bool,
+    row: &mut [Complex],
+) {
+    let t_reader = streams[0].clock.reader_time_s();
+    row.copy_from_slice(&cache.statics);
+    for s in streams.iter_mut() {
+        let t_tag = s.clock.advance(t_snap, drift_ppm);
+        // average the switch state over the sounder's integration
+        // window: instantaneous sampling aliases the square-wave
+        // drive's high harmonics onto *other* tags' Doppler bins
+        // (see `ClockPair::state_weights`), leaking press phase
+        // across frequency-multiplexed streams
+        let w = s.tag.clocks.state_weights_into(t_tag, t_int, edges);
+        let table = s.table_for_group(seq, reference_groups);
+        if let Some(pure) = (0..4).find(|&q| w[q] == 1.0) {
+            // no drive edge inside the window — one pure state
+            wiforce_dsp::kernels::accumulate_state(row, &cache.gains, table, pure);
+        } else {
+            wiforce_dsp::kernels::blend_states(row, &cache.gains, table, &w);
+        }
+    }
+    if has_movers {
+        for (h, &f) in row.iter_mut().zip(&cache.freqs_hz) {
+            *h += scene.dynamic_response(f, t_reader);
+        }
     }
 }
 
@@ -1188,6 +1308,47 @@ mod tests {
             assert_eq!(presses, vec![0, 1], "stream {} schedule", s.name);
         }
         assert_eq!(single.press_readings(), 4);
+    }
+
+    #[test]
+    fn wide_producer_matches_row_path_bitwise() {
+        // the wide block path pre-draws the same scalars the row path
+        // draws, in the same stream order, so every reading must be
+        // bit-identical with the flag on or off — including with movers
+        // (the truth plane is per-row either way) and at any worker count
+        let (mut sim, model) = template();
+        for movers in [false, true] {
+            if movers {
+                sim.scene
+                    .movers
+                    .push(wiforce_channel::movers::MovingScatterer::walker(0.15));
+            }
+            let spec =
+                ReaderSpec::frequency_multiplexed(2, 2, 0xD1CE, &sim.group).expect("allocation");
+            let run = |wide: bool, workers: usize| {
+                let mut sim_w = sim.clone();
+                sim_w.synth_wide = Some(wide);
+                run_batch(
+                    &sim_w,
+                    &model,
+                    std::slice::from_ref(&spec),
+                    &BatchConfig::wiforce(workers),
+                )
+                .expect("batch runs")
+            };
+            let row = run(false, 1);
+            let wide1 = run(true, 1);
+            let wide8 = run(true, 8);
+            assert!(
+                row.deterministic_eq(&wide1),
+                "wide producer diverged from row path (movers: {movers})"
+            );
+            assert!(
+                wide1.deterministic_eq(&wide8),
+                "wide producer lost worker invariance (movers: {movers})"
+            );
+            assert!(row.press_readings() > 0);
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl Backend {
 /// Names of every dispatched kernel, for health-report introspection.
 pub const KERNEL_NAMES: &[&str] = &[
     "philox_normals",
+    "philox_normals_rows",
     "box_muller_normals",
     "cmac_scaled",
     "cmac_sub_scaled",
@@ -56,6 +57,9 @@ pub const KERNEL_NAMES: &[&str] = &[
     "accumulate_state",
     "blend_states",
     "accumulate_noisy",
+    "accumulate_noisy_rows",
+    "eq_reorder_rows",
+    "fft_pow2_rows",
     "wrap_phases",
     "apply_window",
     "quantize_complex",
@@ -188,6 +192,46 @@ simd_kernel! {
         / philox_normals_avx512 / philox_normals_neon
 }
 
+#[inline(always)]
+fn philox_normals_rows_body(
+    key: [u32; 2],
+    grp_dom: [u32; 2],
+    snap0: u32,
+    lanes: usize,
+    out: &mut [f64],
+) {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    if lanes == 0 {
+        return;
+    }
+    for (r, row) in out.chunks_exact_mut(lanes).enumerate() {
+        let snap = snap0.wrapping_add(r as u32);
+        for (i, o) in row.iter_mut().enumerate() {
+            let b = crate::rng::philox4x32([i as u32, snap, grp_dom[0], grp_dom[1]], key);
+            let a = (u64::from(b[1]) << 32) | u64::from(b[0]);
+            let c = (u64::from(b[3]) << 32) | u64::from(b[2]);
+            let u1 = ((a >> 11) + 1) as f64 * SCALE;
+            let u2 = (c >> 11) as f64 * SCALE;
+            *o = crate::fastmath::box_muller(u1, u2);
+        }
+    }
+}
+
+simd_kernel! {
+    /// Wide (snapshot-major) Philox noise fill: `out` is a plane of
+    /// `out.len() / lanes` rows with `lanes` lanes each; row `r` holds
+    /// the normals at counter coordinates
+    /// `(key, [lane, snap0 + r, grp_dom[0], grp_dom[1]])` for lanes
+    /// `0..lanes` — bit-identical per row to a [`philox_normals`] call
+    /// with `ctr_hi = [snap0 + r, grp_dom[0], grp_dom[1]]` and
+    /// `lane0 = 0`, but filled in one kernel invocation so the vector
+    /// unit stays busy across whole snapshot blocks. A trailing partial
+    /// row (`out.len() % lanes != 0`) is left untouched.
+    pub fn philox_normals_rows(key: [u32; 2], grp_dom: [u32; 2], snap0: u32, lanes: usize, out: &mut [f64])
+        = philox_normals_rows_body / philox_normals_rows_avx2
+        / philox_normals_rows_avx512 / philox_normals_rows_neon
+}
+
 // ---------------------------------------------------------------------
 // Box–Muller noise fill
 // ---------------------------------------------------------------------
@@ -313,6 +357,189 @@ simd_kernel! {
     pub fn accumulate_noisy(acc: &mut [Complex], signal: &[Complex], noise_pairs: &[f64], amp: f64)
         = accumulate_noisy_body / accumulate_noisy_avx2
         / accumulate_noisy_avx512 / accumulate_noisy_neon
+}
+
+#[inline(always)]
+fn accumulate_noisy_rows_body(
+    acc: &mut [Complex],
+    payloads: &[Complex],
+    states: &[u8],
+    noise: &[f64],
+    amp: f64,
+) {
+    if states.is_empty() {
+        return;
+    }
+    let n = acc.len() / states.len();
+    for ((row, &st), pairs) in acc
+        .chunks_exact_mut(n)
+        .zip(states)
+        .zip(noise.chunks_exact(2 * n))
+    {
+        let signal = &payloads[usize::from(st) * n..usize::from(st) * n + n];
+        for ((a, &x), g) in row.iter_mut().zip(signal).zip(pairs.chunks_exact(2)) {
+            *a += x + Complex::new(amp * g[0], amp * g[1]);
+        }
+    }
+}
+
+simd_kernel! {
+    /// Wide (snapshot-major) noisy accumulate: `acc` is a plane of
+    /// `states.len()` rows of `n = acc.len() / states.len()` bins each,
+    /// `payloads` holds the four state payloads back-to-back
+    /// (state-major, `4·n` entries), and `noise` carries `2·n`
+    /// interleaved standard normals per row. Row `r` receives
+    /// `acc[r][i] += payloads[states[r]][i] + amp·(g0 + j·g1)` — the
+    /// per-row arithmetic is the exact [`accumulate_noisy`] expression,
+    /// so a plane call is bit-identical to row-at-a-time calls.
+    pub fn accumulate_noisy_rows(acc: &mut [Complex], payloads: &[Complex], states: &[u8], noise: &[f64], amp: f64)
+        = accumulate_noisy_rows_body / accumulate_noisy_rows_avx2
+        / accumulate_noisy_rows_avx512 / accumulate_noisy_rows_neon
+}
+
+#[inline(always)]
+fn eq_reorder_rows_body(out: &mut [Complex], avg: &[Complex], eq: &[Complex]) {
+    let n = eq.len();
+    if n == 0 {
+        return;
+    }
+    let half = n / 2;
+    for (orow, arow) in out.chunks_exact_mut(n).zip(avg.chunks_exact(n)) {
+        for (i, slot) in orow.iter_mut().enumerate() {
+            let bin = (i + n - half) % n;
+            *slot = arow[bin] * eq[bin];
+        }
+    }
+}
+
+simd_kernel! {
+    /// Wide equalize + fftshift reorder: for each row pair of the
+    /// `out`/`avg` planes (row length `n = eq.len()`),
+    /// `out[i] = avg[bin] · eq[bin]` with `bin = (i + n − n/2) mod n` —
+    /// the per-element math of the scalar OFDM estimator's final loop,
+    /// applied to whole snapshot blocks per invocation.
+    pub fn eq_reorder_rows(out: &mut [Complex], avg: &[Complex], eq: &[Complex])
+        = eq_reorder_rows_body / eq_reorder_rows_avx2
+        / eq_reorder_rows_avx512 / eq_reorder_rows_neon
+}
+
+#[inline(always)]
+fn fft_pow2_rows_body(
+    plane: &mut [Complex],
+    n: usize,
+    bitrev: &[u32],
+    twiddles: &[Complex],
+    scratch: &mut Vec<f64>,
+) {
+    if n <= 1 {
+        return;
+    }
+    let rows = plane.len() / n;
+    debug_assert_eq!(plane.len(), rows * n);
+    if rows == 0 {
+        return;
+    }
+    if scratch.len() != 2 * n * rows {
+        // every slot is overwritten by the transpose below, so the fill
+        // value only matters for capacity bookkeeping
+        scratch.clear();
+        scratch.resize(2 * n * rows, 0.0);
+    }
+    let (re, im) = scratch.split_at_mut(n * rows);
+    // Transpose to position-major split re/im lanes (lane r of position k
+    // is row r's bin k), tiled so reads and writes both stay within a few
+    // cache lines per tile.
+    const TILE: usize = 8;
+    for k0 in (0..n).step_by(TILE) {
+        let k1 = (k0 + TILE).min(n);
+        for r0 in (0..rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(rows);
+            for k in k0..k1 {
+                let re_lane = &mut re[k * rows + r0..k * rows + r1];
+                let im_lane = &mut im[k * rows + r0..k * rows + r1];
+                for (r, (o_re, o_im)) in re_lane.iter_mut().zip(im_lane).enumerate() {
+                    let z = plane[(r0 + r) * n + k];
+                    *o_re = z.re;
+                    *o_im = z.im;
+                }
+            }
+        }
+    }
+    // Bit-reversal as whole-lane block swaps — a pure index permutation
+    // moves values untouched, so this is exactly the scalar swap pass.
+    for (i, &j) in bitrev.iter().enumerate() {
+        let j = j as usize;
+        if j > i {
+            let (a, b) = re.split_at_mut(j * rows);
+            a[i * rows..i * rows + rows].swap_with_slice(&mut b[..rows]);
+            let (a, b) = im.split_at_mut(j * rows);
+            a[i * rows..i * rows + rows].swap_with_slice(&mut b[..rows]);
+        }
+    }
+    // Butterfly stages in the exact order (and with the exact twiddles) of
+    // the scalar planned transform; each lane carries one row, and lanes
+    // never mix, so per-row results match the scalar path bit-for-bit.
+    let mut len = 2;
+    let mut stage_off = 0;
+    while len <= n {
+        let half = len / 2;
+        let tw = &twiddles[stage_off..stage_off + half];
+        let mut start = 0;
+        while start < n {
+            for (i, &w) in tw.iter().enumerate() {
+                let lo = (start + i) * rows;
+                let hi = lo + half * rows;
+                let (re_lo_part, re_hi_part) = re.split_at_mut(hi);
+                let (im_lo_part, im_hi_part) = im.split_at_mut(hi);
+                let lo_re = &mut re_lo_part[lo..lo + rows];
+                let hi_re = &mut re_hi_part[..rows];
+                let lo_im = &mut im_lo_part[lo..lo + rows];
+                let hi_im = &mut im_hi_part[..rows];
+                for r in 0..rows {
+                    let br = hi_re[r] * w.re - hi_im[r] * w.im;
+                    let bi = hi_re[r] * w.im + hi_im[r] * w.re;
+                    let ar = lo_re[r];
+                    let ai = lo_im[r];
+                    lo_re[r] = ar + br;
+                    lo_im[r] = ai + bi;
+                    hi_re[r] = ar - br;
+                    hi_im[r] = ai - bi;
+                }
+            }
+            start += len;
+        }
+        stage_off += half;
+        len <<= 1;
+    }
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for k0 in (0..n).step_by(TILE) {
+            let k1 = (k0 + TILE).min(n);
+            for r in r0..r1 {
+                let row = &mut plane[r * n..r * n + n];
+                for (k, z) in row.iter_mut().enumerate().take(k1).skip(k0) {
+                    z.re = re[k * rows + r];
+                    z.im = im[k * rows + r];
+                }
+            }
+        }
+    }
+}
+
+simd_kernel! {
+    /// Row-vectorized radix-2 FFT: transforms every length-`n` row of
+    /// `plane` (`plane.len() / n` rows) in one invocation. The rows are
+    /// transposed into position-major split re/im lanes so every
+    /// butterfly touches `rows` contiguous doubles — the vector unit
+    /// spans *rows*, not positions — while each lane executes the exact
+    /// add/mul sequence of the scalar planned transform
+    /// (`FftPlan::forward_inplace`) with the same precomputed `bitrev`
+    /// and `twiddles` tables. Per-row results are therefore bit-identical
+    /// to row-at-a-time scalar transforms (pinned by fft tests).
+    /// `scratch` is caller-owned workspace, resized to `2·n·rows`.
+    pub fn fft_pow2_rows(plane: &mut [Complex], n: usize, bitrev: &[u32], twiddles: &[Complex], scratch: &mut Vec<f64>)
+        = fft_pow2_rows_body / fft_pow2_rows_avx2
+        / fft_pow2_rows_avx512 / fft_pow2_rows_neon
 }
 
 // ---------------------------------------------------------------------
@@ -534,6 +761,125 @@ mod tests {
             let mut want = base.clone();
             accumulate_noisy_body(&mut want, &signal, &pairs, 0.37);
             assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn philox_rows_kernel_matches_single_row_bitwise() {
+        // A plane fill must agree per row with the row-at-a-time kernel
+        // and the scalar per-element draw — same counter coordinates.
+        let key = [0x5EED_CAFE, 0x89AB_CDEF];
+        let grp_dom = [7, 0];
+        for (rows, lanes) in [(0usize, 8usize), (1, 1), (3, 7), (4, 128), (9, 33)] {
+            let mut plane = vec![0.0; rows * lanes];
+            philox_normals_rows(key, grp_dom, 11, lanes, &mut plane);
+            let mut want_plane = vec![0.0; rows * lanes];
+            philox_normals_rows_body(key, grp_dom, 11, lanes, &mut want_plane);
+            for r in 0..rows {
+                let snap = 11u32.wrapping_add(r as u32);
+                let ctr_hi = [snap, grp_dom[0], grp_dom[1]];
+                let mut row = vec![0.0; lanes];
+                philox_normals(key, ctr_hi, 0, &mut row);
+                for i in 0..lanes {
+                    let got = plane[r * lanes + i];
+                    assert_eq!(got.to_bits(), want_plane[r * lanes + i].to_bits());
+                    assert_eq!(got.to_bits(), row[i].to_bits(), "rows={rows} r={r} i={i}");
+                    let scalar = crate::rng::philox_normal_at(key, ctr_hi, i as u32);
+                    assert_eq!(got.to_bits(), scalar.to_bits(), "r={r} i={i} vs scalar");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn philox_rows_kernel_ignores_partial_tail() {
+        let key = [1, 2];
+        let mut plane = vec![f64::NAN; 2 * 8 + 3];
+        philox_normals_rows(key, [0, 0], 0, 8, &mut plane);
+        assert!(plane[..16].iter().all(|v| v.is_finite()));
+        assert!(plane[16..].iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn accumulate_noisy_rows_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (rows, n) in [(1usize, 1usize), (3, 8), (5, 64), (4, 100)] {
+            let payloads = complexes(&mut rng, 4 * n);
+            let states: Vec<u8> = (0..rows).map(|_| rng.gen::<u8>() % 4).collect();
+            let noise: Vec<f64> = (0..2 * n * rows).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let base = complexes(&mut rng, n * rows);
+            let amp = 0.41;
+
+            let mut got = base.clone();
+            accumulate_noisy_rows(&mut got, &payloads, &states, &noise, amp);
+            let mut body = base.clone();
+            accumulate_noisy_rows_body(&mut body, &payloads, &states, &noise, amp);
+            assert_bits_eq(&got, &body);
+
+            // Reference: one accumulate_noisy call per row.
+            let mut want = base.clone();
+            for r in 0..rows {
+                let st = usize::from(states[r]);
+                accumulate_noisy_body(
+                    &mut want[r * n..(r + 1) * n],
+                    &payloads[st * n..st * n + n],
+                    &noise[2 * n * r..2 * n * (r + 1)],
+                    amp,
+                );
+            }
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn eq_reorder_rows_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (rows, n) in [(1usize, 2usize), (3, 8), (5, 64), (2, 100)] {
+            let avg = complexes(&mut rng, rows * n);
+            let eq = complexes(&mut rng, n);
+            let mut got = vec![Complex::ZERO; rows * n];
+            eq_reorder_rows(&mut got, &avg, &eq);
+            let mut body = vec![Complex::ZERO; rows * n];
+            eq_reorder_rows_body(&mut body, &avg, &eq);
+            assert_bits_eq(&got, &body);
+
+            let half = n / 2;
+            let mut want = vec![Complex::ZERO; rows * n];
+            for r in 0..rows {
+                for i in 0..n {
+                    let bin = (i + n - half) % n;
+                    want[r * n + i] = avg[r * n + bin] * eq[bin];
+                }
+            }
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn wide_isa_instantiations_match_scalar_bitwise() {
+        let key = [3, 4];
+        let (rows, lanes) = (5usize, 67usize);
+        let mut scalar = vec![0.0; rows * lanes];
+        philox_normals_rows_body(key, [2, 1], 6, lanes, &mut scalar);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut v = vec![0.0; rows * lanes];
+            // Safety: AVX2 support was just detected.
+            unsafe { philox_normals_rows_avx2(key, [2, 1], 6, lanes, &mut v) };
+            for (a, b) in v.iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            let mut v = vec![0.0; rows * lanes];
+            // Safety: AVX-512 F+DQ+VL support was just detected.
+            unsafe { philox_normals_rows_avx512(key, [2, 1], 6, lanes, &mut v) };
+            for (a, b) in v.iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

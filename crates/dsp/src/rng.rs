@@ -202,6 +202,18 @@ impl CounterRng {
         crate::kernels::philox_normals(self.key, self.ctr_hi, self.lane, out);
         self.lane = self.lane.wrapping_add(out.len() as u32);
     }
+
+    /// Repositions the cursor as if `n` normals had been filled without
+    /// materializing them: discards any buffered spare word and advances
+    /// `n` lanes. After `skip_normals(n)` the cursor state is identical
+    /// to the state after a [`Self::fill_normals`] of an `n`-sample
+    /// buffer — this is what lets a plane-at-a-time (wide) noise fill
+    /// hand correctly positioned per-snapshot cursors to the remaining
+    /// scalar draw sites (burst faults, front-end jitter).
+    pub fn skip_normals(&mut self, n: usize) {
+        self.spare = None;
+        self.lane = self.lane.wrapping_add(n as u32);
+    }
 }
 
 impl rand::RngCore for CounterRng {
@@ -364,6 +376,32 @@ mod tests {
             let scalar = philox_normal_at([42, 0], [2, 1, super::DOMAIN_SNAPSHOT], i as u32);
             assert_eq!(w.to_bits(), scalar.to_bits(), "lane {i} vs scalar");
         }
+    }
+
+    #[test]
+    fn skip_normals_matches_fill_state() {
+        // A cursor that skipped n lanes must continue bit-identically to
+        // one that actually filled n normals — same lane, no stale spare.
+        let key = 0xBEEF_u64;
+        for n in [0, 1, 31, 128] {
+            let mut filled = CounterRng::for_snapshot(key, 2, 9);
+            let mut buf = vec![0.0; n];
+            filled.fill_normals(&mut buf);
+            let mut skipped = CounterRng::for_snapshot(key, 2, 9);
+            skipped.skip_normals(n);
+            assert_eq!(filled.lane(), skipped.lane(), "n={n}");
+            for _ in 0..8 {
+                assert_eq!(filled.next_u64(), skipped.next_u64(), "n={n}");
+            }
+        }
+        // both fill and skip discard a buffered spare word first
+        let mut filled = CounterRng::for_snapshot(3, 0, 0);
+        let mut skipped = CounterRng::for_snapshot(3, 0, 0);
+        assert_eq!(filled.next_u64(), skipped.next_u64());
+        let mut buf = vec![0.0; 16];
+        filled.fill_normals(&mut buf);
+        skipped.skip_normals(16);
+        assert_eq!(filled.next_u64(), skipped.next_u64());
     }
 
     #[test]

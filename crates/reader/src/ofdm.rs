@@ -34,6 +34,9 @@ struct OfdmScratch {
     u1s: Vec<f64>,
     u2s: Vec<f64>,
     normals: Vec<f64>,
+    /// The four per-state payloads flattened state-major for the wide
+    /// (snapshot-plane) synthesis path.
+    payload_plane: Vec<Complex>,
 }
 
 impl OfdmScratch {
@@ -61,6 +64,7 @@ thread_local! {
             u1s: Vec::new(),
             u2s: Vec::new(),
             normals: Vec::new(),
+            payload_plane: Vec::new(),
         })
     };
 }
@@ -411,6 +415,169 @@ impl ChannelSounder for OfdmSounder {
             }
         });
     }
+
+    /// Wide (structure-of-arrays) synthesis: fills a whole plane of
+    /// snapshot rows per call. The Philox plane kernel draws the same
+    /// `2n` lanes per row that [`Self::estimate_prepared_counter_into`]
+    /// draws through its cursor, the row-plane accumulate performs the
+    /// identical per-element arithmetic, the per-row forward FFTs reuse
+    /// the same cached plan, and the equalize/reorder kernel replicates
+    /// the scalar output loop — so each row is bit-identical to the
+    /// row-at-a-time path (pinned by a test). Returns `Some(2n)`: the
+    /// lanes each snapshot's cursor consumed.
+    fn estimate_prepared_counter_rows_into(
+        &self,
+        prepared: &[PreparedChannel],
+        states: &[u8],
+        noise_std: f64,
+        key: u64,
+        group: u32,
+        snap0: u32,
+        out: &mut [Complex],
+    ) -> Option<u32> {
+        let n = self.n_subcarriers;
+        let rows = states.len();
+        assert_eq!(
+            out.len(),
+            rows * n,
+            "output plane must hold one estimate row per state"
+        );
+        for p in prepared {
+            assert_eq!(
+                p.payload.len(),
+                n,
+                "prepared payload must match the sounder configuration"
+            );
+        }
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+
+            scratch.payload_plane.clear();
+            for p in prepared {
+                scratch.payload_plane.extend_from_slice(&p.payload);
+            }
+
+            let n_normals = 2 * n;
+            scratch.normals.clear();
+            scratch.normals.resize(rows * n_normals, 0.0);
+            let kf = [key as u32, (key >> 32) as u32];
+            wiforce_dsp::kernels::philox_normals_rows(
+                kf,
+                [group, wiforce_dsp::rng::DOMAIN_SNAPSHOT],
+                snap0,
+                n_normals,
+                &mut scratch.normals,
+            );
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(rows * n, Complex::ZERO);
+            {
+                let OfdmScratch {
+                    avg,
+                    payload_plane,
+                    normals,
+                    ..
+                } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy_rows(
+                    avg,
+                    payload_plane,
+                    states,
+                    normals,
+                    amp,
+                );
+            }
+
+            with_plan(n, |plan| plan.forward_rows_inplace(&mut scratch.avg, rows));
+            {
+                let OfdmScratch { avg, eq, .. } = scratch;
+                wiforce_dsp::kernels::eq_reorder_rows(out, avg, eq);
+            }
+        });
+        Some(2 * n as u32)
+    }
+
+    fn seq_normals_per_estimate(&self) -> Option<usize> {
+        Some(2 * self.n_subcarriers)
+    }
+
+    /// Sequential wide path: per-snapshot truths (the batch engine's
+    /// multi-stream blend makes every row distinct), noise pre-drawn by
+    /// the caller in stream order. The per-row symbol multiply + planned
+    /// IFFT + scale is element-for-element the `rx_sym` build in
+    /// [`Self::estimate_into`], and the noisy-average/FFT/equalize tail
+    /// reuses the same plane kernels as the counter wide path — so each
+    /// row is bit-identical to a row-at-a-time call (pinned by a test).
+    fn estimate_rows_prenoise_into(
+        &self,
+        truths: &[Complex],
+        noise_std: f64,
+        normals: &[f64],
+        out: &mut [Complex],
+    ) -> bool {
+        let n = self.n_subcarriers;
+        let rows = out.len() / n.max(1);
+        assert_eq!(out.len(), rows * n, "output plane must be whole rows");
+        assert_eq!(truths.len(), rows * n, "one truth row per estimate row");
+        assert_eq!(normals.len(), rows * 2 * n, "2n pre-drawn normals per row");
+        assert!(rows <= 256, "u8 row index: synthesize in blocks of ≤256");
+        let half = n / 2;
+        let scale = (n as f64).sqrt();
+        OFDM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.refresh_symbols(self);
+
+            // per-row payloads (rows are distinct channels here, so the
+            // payload plane is row-major instead of state-major)
+            scratch.payload_plane.clear();
+            scratch.payload_plane.resize(rows * n, Complex::ZERO);
+            for (prow, trow) in scratch
+                .payload_plane
+                .chunks_exact_mut(n)
+                .zip(truths.chunks_exact(n))
+            {
+                let s = &scratch.symbols;
+                for (i, &h) in trow.iter().enumerate() {
+                    let bin = (i + n - half) % n;
+                    prow[bin] = s[bin] * h;
+                }
+            }
+            with_plan(n, |plan| {
+                plan.inverse_rows_inplace(&mut scratch.payload_plane, rows)
+            });
+            scratch
+                .payload_plane
+                .iter_mut()
+                .for_each(|z| *z = *z * scale);
+
+            let amp = (noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt();
+            scratch.avg.clear();
+            scratch.avg.resize(rows * n, Complex::ZERO);
+            let mut idx = [0u8; 256];
+            for (r, slot) in idx.iter_mut().enumerate().take(rows) {
+                *slot = r as u8;
+            }
+            {
+                let OfdmScratch {
+                    avg, payload_plane, ..
+                } = scratch;
+                wiforce_dsp::kernels::accumulate_noisy_rows(
+                    avg,
+                    payload_plane,
+                    &idx[..rows],
+                    normals,
+                    amp,
+                );
+            }
+
+            with_plan(n, |plan| plan.forward_rows_inplace(&mut scratch.avg, rows));
+            {
+                let OfdmScratch { avg, eq, .. } = scratch;
+                wiforce_dsp::kernels::eq_reorder_rows(out, avg, eq);
+            }
+        });
+        true
+    }
 }
 
 /// Reorders an ascending-frequency-offset vector into FFT bin order.
@@ -662,6 +829,93 @@ mod tests {
             (rms_ctr / rms_seq - 1.0).abs() < 0.1,
             "counter {rms_ctr} vs sequential {rms_seq}"
         );
+    }
+
+    #[test]
+    fn wide_rows_path_is_bit_identical_to_row_path() {
+        use wiforce_dsp::rng::CounterRng;
+        let s = OfdmSounder::wiforce();
+        // four distinct "switch state" channels, as the pipeline prepares
+        let prepared: Vec<PreparedChannel> = (0..4)
+            .map(|st| {
+                let truth: Vec<Complex> = (0..64)
+                    .map(|k| Complex::from_polar(1.0 + 0.01 * k as f64, 0.03 * (k + st) as f64))
+                    .collect();
+                s.prepare(&truth)
+            })
+            .collect();
+        let key = 0x00C0_FFEE_u64 | (7u64 << 40);
+        let group = 3u32;
+        let snap0 = 11u32;
+        let states: Vec<u8> = (0..37u8).map(|r| (r.wrapping_mul(7) >> 1) % 4).collect();
+        let rows = states.len();
+        for noise in [0.0, 0.05] {
+            let mut plane = vec![Complex::ZERO; rows * 64];
+            let lanes = s
+                .estimate_prepared_counter_rows_into(
+                    &prepared, &states, noise, key, group, snap0, &mut plane,
+                )
+                .expect("OFDM has a wide path");
+            assert_eq!(lanes, 128);
+            for (r, &st) in states.iter().enumerate() {
+                let mut cursor = CounterRng::for_snapshot(key, group, snap0 + r as u32);
+                let mut row = [Complex::ZERO; 64];
+                s.estimate_prepared_counter_into(
+                    &prepared[usize::from(st)],
+                    noise,
+                    &mut cursor,
+                    &mut row,
+                );
+                for (i, (w, x)) in plane[r * 64..(r + 1) * 64].iter().zip(&row).enumerate() {
+                    assert_eq!(w.re.to_bits(), x.re.to_bits(), "r={r} i={i}");
+                    assert_eq!(w.im.to_bits(), x.im.to_bits(), "r={r} i={i}");
+                }
+                // a fresh cursor skipped by the returned lane count lands in
+                // the same state as the one the row path consumed
+                let mut skipped = CounterRng::for_snapshot(key, group, snap0 + r as u32);
+                skipped.skip_normals(lanes as usize);
+                assert_eq!(cursor.lane(), skipped.lane());
+            }
+        }
+    }
+
+    #[test]
+    fn seq_wide_path_is_bit_identical_to_row_path() {
+        // the batch producer's wide path: per-snapshot truths, noise
+        // pre-drawn from one sequential RNG in stream order
+        let s = OfdmSounder::wiforce();
+        let npr = s.seq_normals_per_estimate().expect("OFDM advertises one");
+        assert_eq!(npr, 128);
+        let rows = 23usize;
+        let truths: Vec<Complex> = (0..rows * 64)
+            .map(|i| Complex::from_polar(1.0 + 1e-3 * (i % 97) as f64, 0.02 * (i % 61) as f64))
+            .collect();
+        for noise in [0.0, 0.05] {
+            // pre-draw, exactly as the producer does
+            let mut rng = StdRng::seed_from_u64(77);
+            let (mut u1s, mut u2s) = (Vec::new(), Vec::new());
+            let mut normals = vec![0.0; rows * npr];
+            for r in 0..rows {
+                wiforce_dsp::rng::draw_box_muller_uniforms(&mut rng, npr, &mut u1s, &mut u2s);
+                wiforce_dsp::fastmath::standard_normals_from_uniforms(
+                    &u1s,
+                    &u2s,
+                    &mut normals[r * npr..(r + 1) * npr],
+                );
+            }
+            let mut plane = vec![Complex::ZERO; rows * 64];
+            assert!(s.estimate_rows_prenoise_into(&truths, noise, &normals, &mut plane));
+
+            let mut row_rng = StdRng::seed_from_u64(77);
+            let mut row = [Complex::ZERO; 64];
+            for r in 0..rows {
+                s.estimate_into(&truths[r * 64..(r + 1) * 64], noise, &mut row_rng, &mut row);
+                for (w, x) in plane[r * 64..(r + 1) * 64].iter().zip(&row) {
+                    assert_eq!(w.re.to_bits(), x.re.to_bits(), "row {r}");
+                    assert_eq!(w.im.to_bits(), x.im.to_bits(), "row {r}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -159,6 +159,77 @@ pub trait ChannelSounder {
         self.estimate_counter_into(&prepared.truth, noise_std, cursor, out);
     }
 
+    /// Wide (structure-of-arrays) twin of
+    /// [`Self::estimate_prepared_counter_into`]: synthesizes a whole
+    /// block of snapshots in one call. `prepared` holds one
+    /// [`PreparedChannel`] per tag switch state (index = state),
+    /// `states[r]` selects the state of snapshot `snap0 + r`, and `out`
+    /// is a snapshot-major plane of `states.len()` rows of grid-size
+    /// estimates. Noise is drawn straight from the counter kernel at
+    /// coordinates `(key, group, snap0 + r, lane)`.
+    ///
+    /// Returns `Some(lanes)` — the number of cursor lanes each row
+    /// consumed — when the sounder has a wide fast path; the caller then
+    /// positions per-snapshot cursors with
+    /// [`CounterRng::skip_normals`]`(lanes)` before any remaining scalar
+    /// draw sites (burst faults, front-end jitter). Returns `None` when
+    /// no wide path exists (the default), telling the caller to fall
+    /// back to row-at-a-time synthesis. When it returns `Some`, each row
+    /// of `out` must be bit-identical to an
+    /// `estimate_prepared_counter_into(&prepared[states[r]], …)` call
+    /// with a fresh cursor at `(key, group, snap0 + r)`.
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_prepared_counter_rows_into(
+        &self,
+        prepared: &[PreparedChannel],
+        states: &[u8],
+        noise_std: f64,
+        key: u64,
+        group: u32,
+        snap0: u32,
+        out: &mut [Complex],
+    ) -> Option<u32> {
+        let _ = (prepared, states, noise_std, key, group, snap0, out);
+        None
+    }
+
+    /// Number of standard normals one sequential [`Self::estimate_into`]
+    /// call consumes — drawn via
+    /// [`wiforce_dsp::rng::draw_box_muller_uniforms`] followed by
+    /// [`wiforce_dsp::fastmath::standard_normals_from_uniforms`], in
+    /// stream order — when that count is fixed per estimate.
+    ///
+    /// `Some(count)` is a contract: a producer may pre-draw `count`
+    /// normals per snapshot with those exact functions (interleaved with
+    /// its own scalar draws in stream order) and hand the plane to
+    /// [`Self::estimate_rows_prenoise_into`], which must then be
+    /// implemented and bit-identical to row-at-a-time `estimate_into`
+    /// calls fed the same RNG stream. `None` (the default) means no
+    /// sequential wide path — fall back to rows.
+    fn seq_normals_per_estimate(&self) -> Option<usize> {
+        None
+    }
+
+    /// Sequential-stream wide path: synthesizes one estimate row per
+    /// truth row from pre-drawn noise. `truths` is a row-major plane of
+    /// per-snapshot true channels (`rows × grid`), `normals` holds
+    /// [`Self::seq_normals_per_estimate`] pre-drawn standard normals per
+    /// row, and `out` is the matching estimate plane. Returns `false`
+    /// (the default) when the sounder has no wide path; when it returns
+    /// `true`, each row must be bit-identical to
+    /// `estimate_into(truth_row, noise_std, rng, row)` with the RNG
+    /// positioned as the pre-draw was.
+    fn estimate_rows_prenoise_into(
+        &self,
+        truths: &[Complex],
+        noise_std: f64,
+        normals: &[f64],
+        out: &mut [Complex],
+    ) -> bool {
+        let _ = (truths, noise_std, normals, out);
+        false
+    }
+
     /// Maximum unambiguous modulation ("artificial Doppler") frequency,
     /// Hz: `1/(2T)` (the paper's Nyquist argument in §4.4).
     fn max_doppler_hz(&self) -> f64 {

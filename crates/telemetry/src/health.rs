@@ -14,7 +14,11 @@ use crate::json::JsonWriter;
 use crate::{Histogram, TelemetrySnapshot};
 
 /// Current `PipelineHealth` JSON schema version. Bump when keys change.
-pub const HEALTH_SCHEMA_VERSION: u64 = 1;
+/// v2 added `adaptive_snapshot_yield`: the fraction of the snapshot
+/// budget the adaptive synthesis path actually synthesized (1.0 in exact
+/// mode, lower when groups hit their SNR target early; null when no
+/// synthesis ran).
+pub const HEALTH_SCHEMA_VERSION: u64 = 2;
 
 /// Latency statistics for one span path.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +83,11 @@ pub struct PipelineHealth {
     /// Fraction of sounded snapshots that survived fault injection
     /// (1.0 when no snapshots were dropped; `None` when nothing ran).
     pub snapshot_yield: Option<f64>,
+    /// Fraction of the snapshot budget the adaptive synthesis path
+    /// actually synthesized: 1.0 in exact mode, below 1.0 when groups
+    /// reached their SNR target on the prefix and stopped early (`None`
+    /// when no synthesis ran).
+    pub adaptive_snapshot_yield: Option<f64>,
     /// `true` when the streaming estimator reported a locked no-touch
     /// reference (`None` when no estimator ran).
     pub reference_locked: Option<bool>,
@@ -121,6 +130,7 @@ impl PipelineHealth {
             .gauges
             .get("estimator.reference_locked")
             .map(|&v| v != 0.0);
+        let adaptive_snapshot_yield = snap.gauges.get("pipeline.adaptive_snapshot_yield").copied();
 
         PipelineHealth {
             schema_version: HEALTH_SCHEMA_VERSION,
@@ -129,6 +139,7 @@ impl PipelineHealth {
             gauges,
             observations,
             snapshot_yield,
+            adaptive_snapshot_yield,
             reference_locked,
         }
     }
@@ -146,6 +157,10 @@ impl PipelineHealth {
         match self.snapshot_yield {
             Some(y) => w.number("snapshot_yield", y),
             None => w.number("snapshot_yield", f64::NAN), // serialized as null
+        };
+        match self.adaptive_snapshot_yield {
+            Some(y) => w.number("adaptive_snapshot_yield", y),
+            None => w.number("adaptive_snapshot_yield", f64::NAN),
         };
         match self.reference_locked {
             Some(locked) => w.boolean("estimator_reference_locked", locked),
@@ -239,6 +254,8 @@ mod tests {
         snap.counters.insert("faults.snapshots_dropped".into(), 4);
         snap.gauges.insert("pipeline.line_to_floor_db".into(), 31.5);
         snap.gauges.insert("estimator.reference_locked".into(), 1.0);
+        snap.gauges
+            .insert("pipeline.adaptive_snapshot_yield".into(), 0.44);
         let mut obs = Histogram::default();
         obs.record(0.2);
         snap.observations
@@ -251,6 +268,7 @@ mod tests {
         let health = PipelineHealth::from_snapshot(&sample_snapshot());
         assert_eq!(health.schema_version, HEALTH_SCHEMA_VERSION);
         assert!((health.snapshot_yield.unwrap() - 0.96).abs() < 1e-12);
+        assert_eq!(health.adaptive_snapshot_yield, Some(0.44));
         assert_eq!(health.reference_locked, Some(true));
         let stage = health.stage("pipeline.measure_press").unwrap();
         assert_eq!(stage.count, 3);
@@ -264,11 +282,13 @@ mod tests {
     fn empty_snapshot_reports_unknowns() {
         let health = PipelineHealth::from_snapshot(&TelemetrySnapshot::default());
         assert_eq!(health.snapshot_yield, None);
+        assert_eq!(health.adaptive_snapshot_yield, None);
         assert_eq!(health.reference_locked, None);
         assert!(health.stages.is_empty());
         // and the JSON still parses with the required keys present
         let v = json::parse(&health.to_json()).unwrap();
         assert_eq!(v.get("snapshot_yield"), Some(&json::Value::Null));
+        assert_eq!(v.get("adaptive_snapshot_yield"), Some(&json::Value::Null));
         assert!(v.get("stages").unwrap().as_array().unwrap().is_empty());
     }
 
@@ -277,10 +297,17 @@ mod tests {
         let health = PipelineHealth::from_snapshot(&sample_snapshot());
         let text = health.to_json();
         let v = json::parse(&text).expect("health JSON parses");
-        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64(),
+            Some(HEALTH_SCHEMA_VERSION as f64)
+        );
         assert_eq!(
             v.get("estimator_reference_locked"),
             Some(&json::Value::Bool(true))
+        );
+        assert_eq!(
+            v.get("adaptive_snapshot_yield").unwrap().as_f64(),
+            Some(0.44)
         );
         let stages = v.get("stages").unwrap().as_array().unwrap();
         assert_eq!(stages.len(), 1);

@@ -3,10 +3,33 @@
 //! `GIT_REV` (CI sets it from the checkout SHA), falls back to asking git,
 //! and finally to "unknown" so offline/tarball builds still work.
 
+use std::path::Path;
 use std::process::Command;
 
 fn main() {
     println!("cargo:rerun-if-env-changed=GIT_REV");
+    // Re-stamp when HEAD moves. Without these, cargo reuses the build
+    // script output from whichever commit first compiled this crate, so
+    // bench artifacts carry a stale rev — exactly the provenance drift
+    // the CI `--revs` / `--expect-rev` gates exist to catch. `.git/HEAD`
+    // covers branch switches and detached-HEAD commits; the pointed-to
+    // ref file covers new commits on the current branch (falling back to
+    // packed-refs when the loose ref file does not exist).
+    let git_dir = Path::new("../../.git");
+    if git_dir.exists() {
+        println!("cargo:rerun-if-changed={}", git_dir.join("HEAD").display());
+        if let Ok(head) = std::fs::read_to_string(git_dir.join("HEAD")) {
+            if let Some(r) = head.trim().strip_prefix("ref: ") {
+                let loose = git_dir.join(r);
+                let watch = if loose.exists() {
+                    loose
+                } else {
+                    git_dir.join("packed-refs")
+                };
+                println!("cargo:rerun-if-changed={}", watch.display());
+            }
+        }
+    }
     let rev = std::env::var("GIT_REV").ok().or_else(|| {
         Command::new("git")
             .args(["rev-parse", "--short", "HEAD"])

@@ -248,6 +248,102 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
         }
     }
 
+    // schema v8: the wide-batching / response-table gates — these are
+    // absolute (no baseline needed): the calibrated wide default must
+    // win, the response memo must absorb steady-state presses, the
+    // steady-state group must stay near allocation-free, and a full
+    // artifact must clear the 8-stream throughput floor
+    if schema >= 8.0 {
+        let quick = root.get("quick").and_then(Value::as_bool);
+        if quick.is_none() {
+            c.fail("missing boolean key 'quick' (schema v8)".into());
+        }
+        match root.get("calibration") {
+            None => c.fail("missing 'calibration' object (schema v8)".into()),
+            Some(cal) => {
+                for key in ["chunk_rows", "ns_per_row_wide", "ns_per_row_narrow"] {
+                    if cal.get(key).and_then(Value::as_f64).is_none() {
+                        c.fail(format!("calibration missing numeric key '{key}'"));
+                    }
+                }
+                for key in ["wide_default", "probed"] {
+                    if cal.get(key).and_then(Value::as_bool).is_none() {
+                        c.fail(format!("calibration missing boolean key '{key}'"));
+                    }
+                }
+            }
+        }
+        match root.get("response_table_hit_rate").and_then(Value::as_f64) {
+            None => c.fail("missing numeric key 'response_table_hit_rate' (schema v8)".into()),
+            Some(r) if r < regression::MIN_RESPONSE_TABLE_HIT_RATE => c.fail(format!(
+                "response_table_hit_rate = {r:.4} below the {:.2} floor — steady-state \
+                 presses are rebuilding press-invariant sounding tables",
+                regression::MIN_RESPONSE_TABLE_HIT_RATE
+            )),
+            _ => {}
+        }
+        match root.get("cross_stream_batch") {
+            None => c.fail("missing 'cross_stream_batch' object (schema v8)".into()),
+            Some(cs) => {
+                for key in ["batch_presses", "chunk_rows"] {
+                    if cs.get(key).and_then(Value::as_f64).is_none() {
+                        c.fail(format!("cross_stream_batch missing numeric key '{key}'"));
+                    }
+                }
+                match cs.get("occupancy").and_then(Value::as_f64) {
+                    None => c.fail("cross_stream_batch missing numeric key 'occupancy'".into()),
+                    Some(o) if !(0.0..=1.0).contains(&o) => c.fail(format!(
+                        "cross_stream_batch.occupancy = {o}, expected in [0, 1]"
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        if let Some(v) = root.get("allocs_per_group").and_then(Value::as_f64) {
+            if v > regression::MAX_ALLOCS_PER_GROUP {
+                c.fail(format!(
+                    "allocs_per_group = {v:.1} exceeds the {:.0} ceiling",
+                    regression::MAX_ALLOCS_PER_GROUP
+                ));
+            }
+        }
+        let sw = |key: &str| {
+            root.get("synth_wide")
+                .and_then(|sw| sw.get(key))
+                .and_then(Value::as_f64)
+        };
+        if let (Some(on), Some(off)) = (sw("ns_per_group_on"), sw("ns_per_group_off")) {
+            if off > 0.0 && on / off > regression::MAX_WIDE_ON_OFF_RATIO {
+                c.fail(format!(
+                    "synth_wide.ns_per_group_on = {on:.0} is {:.2}× ns_per_group_off = \
+                     {off:.0} (limit {:.2}×) — wide synthesis is enabled but losing",
+                    on / off,
+                    regression::MAX_WIDE_ON_OFF_RATIO
+                ));
+            }
+        }
+        if quick == Some(false) {
+            match root
+                .get("throughput")
+                .and_then(Value::as_array)
+                .and_then(|points| {
+                    points
+                        .iter()
+                        .find(|p| p.get("streams").and_then(Value::as_f64) == Some(8.0))
+                })
+                .and_then(|p| p.get("presses_per_sec"))
+                .and_then(Value::as_f64)
+            {
+                None => c.fail("full v8 artifact lacks the 8-stream throughput point".into()),
+                Some(pps) if pps < regression::MIN_THROUGHPUT_8_STREAMS_PPS => c.fail(format!(
+                    "throughput[streams=8].presses_per_sec = {pps:.0} below the {:.0} floor",
+                    regression::MIN_THROUGHPUT_8_STREAMS_PPS
+                )),
+                _ => {}
+            }
+        }
+    }
+
     // schema v3: the batch-engine throughput section
     match root.get("throughput").and_then(Value::as_array) {
         None => c.fail("missing 'throughput' array (batch engine section)".into()),
@@ -284,6 +380,25 @@ fn check_health(file: &str, root: &Value) -> Vec<String> {
     ] {
         if root.get(key).is_none() {
             c.fail(format!("missing key '{key}'"));
+        }
+    }
+
+    // schema v3: response-table / wide-batching gauges (null when the
+    // relevant path never ran, but the keys must exist)
+    if root
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+        >= 3.0
+    {
+        for key in [
+            "response_table_hit_rate",
+            "synth_chunk_rows",
+            "cross_stream_occupancy",
+        ] {
+            if root.get(key).is_none() {
+                c.fail(format!("missing key '{key}' (health schema v3)"));
+            }
         }
     }
 
@@ -347,6 +462,7 @@ fn main() {
     let trace = arg("--trace");
     let metrics = arg("--metrics");
     let revs = arg("--revs");
+    let expect_rev = arg("--expect-rev");
 
     // determinism mode: `--diff A B` compares two artifacts produced by
     // the same build under different worker counts / SIMD backends and
@@ -379,7 +495,8 @@ fn main() {
         eprintln!(
             "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
              [--trace trace.json] [--metrics metrics.prom] \
-             [--baseline BENCH_baseline.json] [--revs git-log.txt] | --diff A.json B.json"
+             [--baseline BENCH_baseline.json] [--revs git-log.txt] \
+             [--expect-rev SHA] | --diff A.json B.json"
         );
         std::process::exit(2);
     }
@@ -389,6 +506,10 @@ fn main() {
     }
     if revs.is_some() && baseline.is_none() && bench.is_none() {
         eprintln!("--revs requires --bench or --baseline");
+        std::process::exit(2);
+    }
+    if expect_rev.is_some() && bench.is_none() {
+        eprintln!("--expect-rev requires --bench");
         std::process::exit(2);
     }
 
@@ -443,6 +564,29 @@ fn main() {
                             "{target}: git_rev {rev:?} does not match any commit in \
                              {revs_path} — the committed bench baseline is stale; \
                              regenerate it with bench_json and commit the result"
+                        ));
+                    }
+                }
+            },
+        }
+    }
+
+    // build-provenance gate: a freshly generated --bench artifact must be
+    // stamped with the rev it was built from. CI passes the checkout SHA;
+    // a mismatch means the bench binary was built before HEAD moved (the
+    // stale-GIT_REV bug the build script's rerun-if-changed now prevents)
+    if let (Some(want), Some(fresh_path)) = (&expect_rev, &bench) {
+        match load(fresh_path) {
+            Err(e) => errors.push(e),
+            Ok(doc) => match doc.get("git_rev").and_then(Value::as_str) {
+                None | Some("") => {
+                    errors.push(format!("{fresh_path}: missing 'git_rev' for --expect-rev"))
+                }
+                Some(rev) => {
+                    if !(rev.starts_with(want.as_str()) || want.starts_with(rev)) {
+                        errors.push(format!(
+                            "{fresh_path}: git_rev {rev:?} does not match the expected \
+                             build rev {want:?} — the bench binary carries a stale stamp"
                         ));
                     }
                 }

@@ -17,6 +17,8 @@
 //! never be observed, which the cache-equivalence fixture tests pin.
 
 use crate::scene::Scene;
+use std::any::Any;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use wiforce_dsp::Complex;
@@ -39,6 +41,8 @@ pub struct ChannelCache {
     pub full_scale: f64,
     /// Memoized per-tag-state response planes ([`Self::state_planes`]).
     planes_memo: PlaneMemo,
+    /// Memoized sounding-response tables ([`Self::response_tables`]).
+    response_memo: ResponseMemo,
 }
 
 /// Per-scene tag-state response planes: the full received channel
@@ -89,6 +93,71 @@ pub fn plane_token<'a>(values: impl IntoIterator<Item = &'a Complex>) -> u64 {
     h.finish()
 }
 
+/// FNV-1a token over a sequence of raw `u64` words — how sounders derive
+/// the `config_token` half of a [`ChannelCache::response_tables`] key
+/// from their press-invariant configuration fields.
+pub fn config_token(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv::new();
+    for w in words {
+        h.u64(w);
+    }
+    h.finish()
+}
+
+/// Type-erased, bounded map of press-invariant sounding-response tables,
+/// keyed by `(plane token, sounder config token)`. The channel crate
+/// cannot name the reader crate's prepared-channel types, so entries are
+/// stored as `Arc<dyn Any>` and downcast on the way out; a key collision
+/// with a different stored type is treated as a miss and overwritten.
+///
+/// Hit/miss totals live here as atomics (not in the telemetry stream)
+/// for the same reason as [`SharedChannelCache`]'s: a warm memo survives
+/// across runs and which thread builds an entry is a scheduling
+/// accident, so per-thread counters would break deterministic merges.
+struct ResponseMemo {
+    map: Mutex<HashMap<(u64, u64), Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Entry bound for [`ResponseMemo`]: generous next to real fleets (an
+/// 8-stream batch with per-press contacts holds a channel table plus a
+/// payload table per distinct contact — tens of entries), tiny next to
+/// the planes it guards. On overflow the map is cleared — the next
+/// lookups rebuild, correctness is unaffected.
+const RESPONSE_MEMO_CAP: usize = 256;
+
+impl Default for ResponseMemo {
+    fn default() -> Self {
+        ResponseMemo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResponseMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.map.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("ResponseMemo")
+            .field("entries", &len)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Clone for ResponseMemo {
+    fn clone(&self) -> Self {
+        ResponseMemo {
+            map: Mutex::new(self.map.lock().expect("response memo poisoned").clone()),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 impl ChannelCache {
     /// Evaluates the press-invariant channel state for `scene` at
     /// `freqs_hz` — the same arithmetic, in the same order, as the
@@ -110,6 +179,7 @@ impl ChannelCache {
             direct_amp,
             full_scale,
             planes_memo: PlaneMemo::default(),
+            response_memo: ResponseMemo::default(),
         }
     }
 
@@ -148,6 +218,69 @@ impl ChannelCache {
         });
         *slot = Some(Arc::clone(&built));
         built
+    }
+
+    /// Returns the memoized sounding-response tables for the
+    /// `(tag-table token, sounder config token)` pair, calling `build`
+    /// only on a miss. `T` is whatever press-invariant precomputation
+    /// the sounder gathers from at estimate time (e.g. a
+    /// `Vec<PreparedChannel>` of per-state payloads); it is stored
+    /// type-erased and downcast on every hit. Stale entries are
+    /// impossible for the same reason as [`Self::state_planes`]: a scene
+    /// mutation changes the fingerprint and replaces the whole cache
+    /// entry, memo included, and a tag-table or sounder-config change
+    /// changes the key.
+    pub fn response_tables<T: Any + Send + Sync>(
+        &self,
+        token: u64,
+        config_token: u64,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let key = (token, config_token);
+        {
+            let map = self
+                .response_memo
+                .map
+                .lock()
+                .expect("response memo poisoned");
+            if let Some(entry) = map.get(&key) {
+                if let Ok(hit) = Arc::clone(entry).downcast::<T>() {
+                    self.response_memo.hits.fetch_add(1, Ordering::Relaxed);
+                    return hit;
+                }
+            }
+        }
+        // build outside the lock: entries are pure functions of the key,
+        // so a racing double-build stores identical tables
+        self.response_memo.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut map = self
+            .response_memo
+            .map
+            .lock()
+            .expect("response memo poisoned");
+        if map.len() >= RESPONSE_MEMO_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
+        built
+    }
+
+    /// Lifetime `(hits, misses)` totals of [`Self::response_tables`] on
+    /// this entry (shared across every `Arc` holder; a `clone()` of the
+    /// cache value itself snapshots and then diverges).
+    pub fn response_stats(&self) -> (u64, u64) {
+        (
+            self.response_memo.hits.load(Ordering::Relaxed),
+            self.response_memo.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes the response-table hit/miss totals (entries are kept) —
+    /// how benches measure the steady-state hit rate after warmup.
+    pub fn reset_response_stats(&self) {
+        self.response_memo.hits.store(0, Ordering::Relaxed);
+        self.response_memo.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -286,6 +419,25 @@ impl SharedChannelCache {
     pub fn invalidate(&self) {
         *self.slot.lock().expect("channel cache poisoned") = None;
     }
+
+    /// `(hits, misses)` of the current entry's response-table memo
+    /// ([`ChannelCache::response_stats`]); `(0, 0)` when the slot is
+    /// empty.
+    pub fn response_stats(&self) -> (u64, u64) {
+        self.slot
+            .lock()
+            .expect("channel cache poisoned")
+            .as_ref()
+            .map(|e| e.response_stats())
+            .unwrap_or((0, 0))
+    }
+
+    /// Zeroes the current entry's response-table hit/miss totals.
+    pub fn reset_response_stats(&self) {
+        if let Some(e) = self.slot.lock().expect("channel cache poisoned").as_ref() {
+            e.reset_response_stats();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +522,54 @@ mod tests {
             .clone()
             .state_planes(tok_b, 4, || panic!("clone shares the entry"));
         assert_eq!(c.token, tok_b);
+    }
+
+    #[test]
+    fn response_memo_is_keyed_and_counted() {
+        let cache = ChannelCache::build(&Scene::fig12(0.9e9), &freqs());
+        let cfg_a = config_token([64, 5, 0x0FD3]);
+        let cfg_b = config_token([64, 5, 0x0FD4]);
+        assert_ne!(cfg_a, cfg_b, "config token tracks the words");
+
+        let a = cache.response_tables(7, cfg_a, || vec![1.0_f64, 2.0]);
+        let a2: Arc<Vec<f64>> =
+            cache.response_tables(7, cfg_a, || panic!("must not rebuild on a hit"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.response_stats(), (1, 1));
+
+        // a different config token (sounder edit) is a distinct entry…
+        let b = cache.response_tables(7, cfg_b, || vec![3.0_f64]);
+        assert_eq!(b[0], 3.0);
+        // …as is a different table token (tag edit)
+        let c = cache.response_tables(8, cfg_a, || vec![4.0_f64]);
+        assert_eq!(c[0], 4.0);
+        assert_eq!(cache.response_stats(), (1, 3));
+
+        // a colliding key holding another type rebuilds instead of
+        // serving the wrong table
+        let d: Arc<Vec<u32>> = cache.response_tables(7, cfg_a, || vec![9_u32]);
+        assert_eq!(d[0], 9);
+
+        cache.reset_response_stats();
+        assert_eq!(cache.response_stats(), (0, 0));
+        // entries survive a stats reset
+        let _: Arc<Vec<u32>> = cache.response_tables(7, cfg_a, || panic!("entry kept"));
+        assert_eq!(cache.response_stats(), (1, 0));
+    }
+
+    #[test]
+    fn response_memo_caps_its_entry_count() {
+        let cache = ChannelCache::build(&Scene::fig12(0.9e9), &freqs());
+        for i in 0..(2 * super::RESPONSE_MEMO_CAP as u64) {
+            let _ = cache.response_tables(i, 0, || i);
+        }
+        let (h, m) = cache.response_stats();
+        assert_eq!(h, 0);
+        assert_eq!(m, 2 * super::RESPONSE_MEMO_CAP as u64);
+        // the map was cleared at capacity, so a re-lookup of an early key
+        // rebuilds — bounded memory, never a stale or wrong entry
+        let v = cache.response_tables(0, 0, || 123_u64);
+        assert_eq!(*v, 123);
     }
 
     #[test]

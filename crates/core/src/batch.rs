@@ -63,16 +63,17 @@ use crate::pipeline::{Simulation, Sounder, TagClock};
 use crate::tracking::{TrackedReading, Tracker, TrackerConfig};
 use crate::WiForceError;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use wiforce_channel::cache::ChannelCache;
+use wiforce_channel::cache::{config_token, ChannelCache};
 use wiforce_channel::faults::{FaultConfig, FaultInjector};
 use wiforce_channel::{Frontend, Scene};
 use wiforce_dsp::{Complex, SnapshotMatrix};
 use wiforce_reader::stream::{GroupItem, TagDemux};
 use wiforce_reader::ChannelSounder;
 use wiforce_sensor::multi::allocate_frequencies_on_grid;
+use wiforce_sensor::tag::ContactState;
 use wiforce_sensor::SensorTag;
 use wiforce_telemetry::metrics;
 use wiforce_telemetry::trace;
@@ -238,6 +239,24 @@ pub struct BatchConfig {
     /// backpressure and overflow paths actually exercise. `None` (no
     /// delay) outside tests.
     pub consume_throttle: Option<Duration>,
+    /// Cross-stream superposition synthesis (opt-in). The sounder's
+    /// payload transform is linear in the channel, so every stream
+    /// riding a reader contributes a precomputed per-state *payload*
+    /// table instead of a channel table: one table gather per stream
+    /// replaces the per-snapshot symbol multiply + IFFT, and noise
+    /// comes from the counter kernel at `(key, group, snapshot, lane)`
+    /// — a pure function of coordinates. Per-stream results are
+    /// bit-identical at any [`Self::chunk_rows`] width, worker count,
+    /// and SIMD dispatch, but are a *different* (equally valid) noise
+    /// realization than the row/wide paths, which is why this is not
+    /// the default. Falls back to the row/wide paths for sounders
+    /// without a payload entry, moving scenes, and fault regimes that
+    /// draw mid-stream (drops, bursts).
+    pub cross_stream: bool,
+    /// SoA block width for the cross-stream path, clamped to
+    /// `1..=`[`crate::calibrate::MAX_CHUNK_ROWS`]. `None` defers to the
+    /// one-shot startup calibration; any width produces the same bits.
+    pub chunk_rows: Option<usize>,
 }
 
 impl BatchConfig {
@@ -249,6 +268,8 @@ impl BatchConfig {
             reference_groups: 2,
             overflow: OverflowPolicy::Stall,
             consume_throttle: None,
+            cross_stream: false,
+            chunk_rows: None,
         }
     }
 }
@@ -416,17 +437,34 @@ impl BatchReport {
 struct StreamSynth {
     tag: SensorTag,
     clock: TagClock,
-    tables: Vec<Vec<[Complex; 4]>>,
+    /// Slot tables live behind `Arc`s out of the scene's response memo:
+    /// the reflection network is identical across streams (clocks never
+    /// enter it), so the untouched table and every repeated
+    /// (force, location) contact are built once per scene and shared.
+    tables: Vec<Arc<Vec<[Complex; 4]>>>,
+    /// Payload-domain twin of `tables` for the cross-stream
+    /// superposition path: entry `[k][q]` is sample `k` of the sounder
+    /// payload prepared from this stream's state-`q` channel
+    /// contribution (`gains ⊙ table[·][q]`). Empty when the path is
+    /// off.
+    payload_tables: Vec<Arc<Vec<[Complex; 4]>>>,
     n_presses: usize,
 }
 
 impl StreamSynth {
-    fn table_for_group(&self, group: u64, reference_groups: usize) -> &[[Complex; 4]] {
-        let slot = (group as usize)
+    fn slot_for_group(&self, group: u64, reference_groups: usize) -> usize {
+        (group as usize)
             .checked_sub(reference_groups)
             .filter(|p| *p < self.n_presses)
-            .map_or(0, |p| 1 + p);
-        &self.tables[slot]
+            .map_or(0, |p| 1 + p)
+    }
+
+    fn table_for_group(&self, group: u64, reference_groups: usize) -> &[[Complex; 4]] {
+        self.tables[self.slot_for_group(group, reference_groups)].as_slice()
+    }
+
+    fn payload_table_for_group(&self, group: u64, reference_groups: usize) -> &[[Complex; 4]] {
+        self.payload_tables[self.slot_for_group(group, reference_groups)].as_slice()
     }
 }
 
@@ -453,8 +491,24 @@ struct ReaderProducer {
     truth: Vec<Complex>,
     /// Edge scratch for [`wiforce_sensor::clock::ClockPair::state_weights_into`].
     edges: Vec<f64>,
-    /// Wide synthesis resolved from the template (flag, else env, else on).
+    /// Wide synthesis resolved from the template (flag, else env, else
+    /// the startup calibration's verdict).
     wide: bool,
+    /// Cross-stream superposition resolved from the config (opt-in, and
+    /// only when the sounder has a payload path and the scene is
+    /// static; see [`BatchConfig::cross_stream`]).
+    superpose: bool,
+    /// SoA block width for the superposition path.
+    chunk_rows: usize,
+    /// Sounder payload of the static channel alone — the superposition
+    /// accumulator's starting row.
+    payload_static: Vec<Complex>,
+    /// All-ones gain vector: the payload tables already fold
+    /// `cache.gains` in, so the shared accumulate/blend kernels run
+    /// with unit gains on this path.
+    ones: Vec<Complex>,
+    /// Superposition scratch: row-major payload plane for one block.
+    payload_plane: Vec<Complex>,
     /// Wide-path scratch: row-major truth plane for one snapshot block.
     truth_plane: Vec<Complex>,
     /// Wide-path scratch: pre-drawn sounder normals, `rows ×
@@ -473,36 +527,128 @@ struct ReaderProducer {
 }
 
 impl ReaderProducer {
-    fn build(sim: &Simulation, spec: &ReaderSpec, reference_groups: usize) -> Self {
+    fn build(sim: &Simulation, spec: &ReaderSpec, cfg: &BatchConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         // the subcarrier grid depends only on the sounder and scene, both
         // shared across streams — compute it once for every table below
         let freqs = sim.subcarrier_freqs_hz();
-        let streams = spec
-            .streams
-            .iter()
-            .map(|s| {
-                let mut sim_s = sim.clone();
-                sim_s.tag = SensorTag::wiforce_prototype(s.fs_hz);
-                sim_s.group.line1_hz = s.fs_hz;
-                sim_s.group.line2_hz = 4.0 * s.fs_hz;
-                let mut tables = vec![sim_s.tag_response_table(&freqs, None)];
-                for p in &s.presses {
-                    let contact = sim_s.contact_for(p.force_n, p.location_m);
-                    tables.push(sim_s.tag_response_table(&freqs, contact.as_ref()));
-                }
-                StreamSynth {
-                    tag: sim_s.tag,
-                    clock: TagClock::new(&mut rng),
-                    tables,
-                    n_presses: s.presses.len(),
-                }
-            })
-            .collect();
         let cache = if sim.use_channel_cache {
             sim.channel_cache.get_or_build(&sim.scene, &freqs)
         } else {
             Arc::new(ChannelCache::build(&sim.scene, &freqs))
+        };
+        // superposition needs the payload-linearity path: a sounder with
+        // a hashable prepared transform, a static scene (mover Doppler is
+        // channel-domain and time-varying), and no mid-stream fault draws
+        let superpose = cfg.cross_stream
+            && sim.sounder.response_token().is_some()
+            && sim.scene.movers.is_empty()
+            && spec.faults.snapshot_drop_prob == 0.0
+            && spec.faults.burst_prob == 0.0;
+        // per-state payload contribution of one channel table: prepare
+        // `gains ⊙ table[·][q]` through the sounder and keep its payload
+        let payload_table = |table: &[[Complex; 4]]| -> Vec<[Complex; 4]> {
+            let per_state: Vec<Vec<Complex>> = (0..4)
+                .map(|q| {
+                    let plane: Vec<Complex> = table
+                        .iter()
+                        .zip(&cache.gains)
+                        .map(|(row, g)| *g * row[q])
+                        .collect();
+                    sim.sounder.prepare(&plane).payload
+                })
+                .collect();
+            (0..per_state[0].len())
+                .map(|k| {
+                    [
+                        per_state[0][k],
+                        per_state[1][k],
+                        per_state[2][k],
+                        per_state[3][k],
+                    ]
+                })
+                .collect()
+        };
+        // Slot tables go through the scene's response memo. The
+        // reflection network depends only on the tag's electrical parts
+        // (line, switches, splitter) — identical for every stream, since
+        // `wiforce_prototype` varies only the clocks with `fs` — and the
+        // contact, which is fully identified by its two port lengths.
+        // Hashing the contact bits under a path-specific salt therefore
+        // dedupes the untouched table across all streams, repeated
+        // (force, location) pairs across streams, and every table across
+        // repeated `run_batch` calls on one shared cache. Payload tables
+        // additionally key on the sounder's response token.
+        let mut sim_rep = sim.clone();
+        if let Some(s0) = spec.streams.first() {
+            sim_rep.tag = SensorTag::wiforce_prototype(s0.fs_hz);
+        }
+        const TAG_TABLE_SALT: u64 = 0x7461_675f_7462_6c31; // "tag_tbl1"
+        const PAYLOAD_TABLE_SALT: u64 = 0x706c_645f_7462_6c31; // "pld_tbl1"
+        const STATIC_PAYLOAD_SALT: u64 = 0x7374_6174_6963_706c; // "staticpl"
+                                                                // port lengths are finite (clamped to [0, beam length]), so the
+                                                                // all-ones NaN pattern can never collide with a real contact
+        let contact_words = |c: Option<&ContactState>| -> [u64; 2] {
+            c.map_or([u64::MAX, u64::MAX], |c| {
+                [c.port1_short_m.to_bits(), c.port2_short_m.to_bits()]
+            })
+        };
+        let channel_table = |contact: Option<&ContactState>| -> Arc<Vec<[Complex; 4]>> {
+            let [w1, w2] = contact_words(contact);
+            cache.response_tables(config_token([TAG_TABLE_SALT, w1, w2]), 0, || {
+                sim_rep.tag_response_table(&freqs, contact)
+            })
+        };
+        let payload_cfg = sim.sounder.response_token().unwrap_or(0);
+        let streams: Vec<StreamSynth> = spec
+            .streams
+            .iter()
+            .map(|s| {
+                let mut slot_words = vec![contact_words(None)];
+                let mut tables = vec![channel_table(None)];
+                for p in &s.presses {
+                    let contact = sim_rep.contact_for(p.force_n, p.location_m);
+                    slot_words.push(contact_words(contact.as_ref()));
+                    tables.push(channel_table(contact.as_ref()));
+                }
+                let payload_tables = if superpose {
+                    tables
+                        .iter()
+                        .zip(&slot_words)
+                        .map(|(t, w)| {
+                            cache.response_tables(
+                                config_token([PAYLOAD_TABLE_SALT, w[0], w[1]]),
+                                payload_cfg,
+                                || payload_table(t),
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                StreamSynth {
+                    tag: SensorTag::wiforce_prototype(s.fs_hz),
+                    clock: TagClock::new(&mut rng),
+                    tables,
+                    payload_tables,
+                    n_presses: s.presses.len(),
+                }
+            })
+            .collect();
+        let payload_static = if superpose {
+            cache
+                .response_tables(config_token([STATIC_PAYLOAD_SALT]), payload_cfg, || {
+                    sim.sounder.prepare(&cache.statics).payload
+                })
+                .as_ref()
+                .clone()
+        } else {
+            Vec::new()
+        };
+        let ones = if superpose {
+            vec![Complex::new(1.0, 0.0); payload_static.len()]
+        } else {
+            Vec::new()
         };
         let truth = vec![Complex::ZERO; cache.statics.len()];
         ReaderProducer {
@@ -517,11 +663,19 @@ impl ReaderProducer {
             t_snap: sim.group.snapshot_period_s,
             t_int: sim.sounder.integration_window_s(),
             wander_ppm: sim.tag_clock_wander_ppm,
-            reference_groups,
+            reference_groups: cfg.reference_groups,
             groups_done: 0,
             truth,
             edges: Vec::new(),
             wide: sim.synth_wide_enabled(),
+            superpose,
+            chunk_rows: cfg
+                .chunk_rows
+                .unwrap_or_else(crate::calibrate::synth_chunk_rows)
+                .clamp(1, crate::calibrate::MAX_CHUNK_ROWS),
+            payload_static,
+            ones,
+            payload_plane: Vec::new(),
             truth_plane: Vec::new(),
             normals: Vec::new(),
             jitters: Vec::new(),
@@ -577,6 +731,8 @@ impl ReaderProducer {
         } else {
             None
         };
+        let superpose = self.superpose;
+        let chunk = self.chunk_rows;
         let ReaderProducer {
             streams,
             scene,
@@ -587,6 +743,9 @@ impl ReaderProducer {
             rng,
             truth,
             edges,
+            payload_static,
+            ones,
+            payload_plane,
             truth_plane,
             normals,
             jitters,
@@ -599,7 +758,62 @@ impl ReaderProducer {
         for s in streams.iter_mut() {
             s.clock.step_group(wander_ppm, rng);
         }
-        if let Some(npr) = wide_normals {
+        let mut cross_occupancy = None;
+        if superpose {
+            // cross-stream superposition: the sounder payload is linear
+            // in the channel, so one shared static payload plus one
+            // table gather per stream replaces the per-snapshot symbol
+            // multiply + IFFT the row/wide paths pay. The per-group
+            // noise key is drawn here (one sequential draw), and every
+            // noise lane after that is a pure function of
+            // `(key, group, snapshot, lane)` — so any block width and
+            // any worker count produce the same bits.
+            let noise_std = frontend.noise_floor;
+            let key = rng.next_u64();
+            let mut done = 0;
+            while done < n {
+                let rows = chunk.min(n - done);
+                payload_plane.clear();
+                payload_plane.resize(rows * width, Complex::ZERO);
+                jitters.clear();
+                jitters.resize(rows, 0.0);
+                for r in 0..rows {
+                    let row = &mut payload_plane[r * width..(r + 1) * width];
+                    row.copy_from_slice(payload_static);
+                    for s in streams.iter_mut() {
+                        let t_tag = s.clock.advance(t_snap, drift_ppm);
+                        let w = s.tag.clocks.state_weights_into(t_tag, t_int, edges);
+                        let table = s.payload_table_for_group(seq, reference_groups);
+                        if let Some(pure) = (0..4).find(|&q| w[q] == 1.0) {
+                            wiforce_dsp::kernels::accumulate_state(row, ones, table, pure);
+                        } else {
+                            wiforce_dsp::kernels::blend_states(row, ones, table, &w);
+                        }
+                    }
+                    if frontend.phase_jitter_rad > 0.0 {
+                        jitters[r] = wiforce_dsp::rng::standard_normal(rng);
+                    }
+                }
+                let est = out.extend_rows(rows);
+                let lanes = sounder.estimate_payload_counter_rows_into(
+                    payload_plane,
+                    noise_std,
+                    key,
+                    seq as u32,
+                    done as u32,
+                    est,
+                );
+                assert!(
+                    lanes.is_some(),
+                    "superposition gate requires the payload rows path"
+                );
+                for (r, row) in est.chunks_exact_mut(width).enumerate() {
+                    frontend.process_with_jitter_normal(jitters[r], row, cache.full_scale);
+                }
+                done += rows;
+            }
+            cross_occupancy = Some(n as f64 / (n.div_ceil(chunk) * chunk) as f64);
+        } else if let Some(npr) = wide_normals {
             // wide path: per block, evaluate the truth plane and pre-draw
             // each snapshot's scalars in exact row-path stream order
             // (2·n sounder normals, then the jitter normal iff the front
@@ -682,6 +896,11 @@ impl ReaderProducer {
             wiforce_telemetry::counter!("pipeline.snapshots_total", n as u64);
             wiforce_telemetry::counter!("faults.snapshots_dropped", 0);
             wiforce_telemetry::counter!("faults.bursts_injected", 0);
+            if let Some(occ) = cross_occupancy {
+                wiforce_telemetry::counter!("batch.cross_stream_rows", n as u64);
+                wiforce_telemetry::gauge!("batch.cross_stream_occupancy", occ);
+                wiforce_telemetry::gauge!("batch.cross_stream_chunk_rows", chunk as f64);
+            }
         }
         let group = Arc::new(out);
         retired.push(Arc::clone(&group));
@@ -758,23 +977,25 @@ impl StreamConsumer {
             if let Some(delay) = self.throttle {
                 std::thread::sleep(delay);
             }
-            for row in item.snapshots.rows() {
-                match self.estimator.push_snapshot(row) {
-                    Ok(Some(reading)) => {
-                        let tracked = self.tracker.update(&reading);
-                        let press = (item.seq as usize)
-                            .checked_sub(self.reference_groups)
-                            .filter(|p| *p < self.n_presses);
-                        self.readings.push(StreamReading {
-                            group: item.seq,
-                            press,
-                            reading,
-                            tracked,
-                        });
-                    }
-                    Ok(None) => {}
-                    Err(_) => self.failures += 1,
+            // each item is one complete phase group shared (behind an
+            // `Arc`) by every stream on the reader: the bulk push
+            // extracts this stream's lines straight from the shared
+            // matrix instead of copying n_snapshots rows per stream
+            match self.estimator.push_group(&item.snapshots) {
+                Ok(Some(reading)) => {
+                    let tracked = self.tracker.update(&reading);
+                    let press = (item.seq as usize)
+                        .checked_sub(self.reference_groups)
+                        .filter(|p| *p < self.n_presses);
+                    self.readings.push(StreamReading {
+                        group: item.seq,
+                        press,
+                        reading,
+                        tracked,
+                    });
                 }
+                Ok(None) => {}
+                Err(_) => self.failures += 1,
             }
             self.latencies_ns
                 .push(item.produced.elapsed().as_nanos() as u64);
@@ -1080,7 +1301,7 @@ pub fn run_batch_observed(
     let mut locate = Vec::new();
     let mut total = Vec::new();
     for (r, spec) in readers.iter().enumerate() {
-        let producer = ReaderProducer::build(sim, spec, cfg.reference_groups);
+        let producer = ReaderProducer::build(sim, spec, cfg);
         total.push((cfg.reference_groups + spec.max_presses()) as u64);
         let mut dx = TagDemux::new(capacity);
         for (l, s) in spec.streams.iter().enumerate() {
@@ -1247,6 +1468,22 @@ pub fn run_batch_observed(
         let (hits, misses) = sim.channel_cache.stats();
         metrics::counter_add("channel_cache.hits", &[], hits);
         metrics::counter_add("channel_cache.misses", &[], misses);
+        let (rhits, rmisses) = sim.channel_cache.response_stats();
+        if rhits + rmisses > 0 {
+            metrics::gauge_set(
+                "response_table.hit_rate",
+                &[],
+                rhits as f64 / (rhits + rmisses) as f64,
+            );
+        }
+        metrics::gauge_set(
+            "pipeline.synth_chunk_rows",
+            &[],
+            crate::calibrate::synth_chunk_rows() as f64,
+        );
+        if let Some(&occ) = merged.gauges.get("batch.cross_stream_occupancy") {
+            metrics::gauge_set("batch.cross_stream_occupancy", &[], occ);
+        }
         for (flat, s) in streams.iter().enumerate() {
             let reader = s.reader.to_string();
             let labels = [("reader", reader.as_str()), ("stream", s.name.as_str())];
@@ -1349,6 +1586,179 @@ mod tests {
             );
             assert!(row.press_readings() > 0);
         }
+    }
+
+    #[test]
+    fn cross_stream_superposition_is_width_and_worker_invariant() {
+        // the superposition path keys every noise lane by
+        // (key, group, snapshot, lane) and draws its per-row scalars in
+        // row order, so per-stream readings must be bit-identical at any
+        // SoA block width and any worker count (the forced-scalar axis
+        // rides the CI matrix over this same fixture)
+        let (sim, model) = template();
+        let spec = ReaderSpec::frequency_multiplexed(8, 2, 0xAB5, &sim.group).expect("allocation");
+        let run = |chunk: Option<usize>, workers: usize| {
+            let cfg = BatchConfig {
+                cross_stream: true,
+                chunk_rows: chunk,
+                ..BatchConfig::wiforce(workers)
+            };
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs")
+        };
+        let base = run(Some(1), 1);
+        for (chunk, workers) in [
+            (Some(4), 1),
+            (Some(crate::calibrate::MAX_CHUNK_ROWS), 1),
+            (Some(1), 8),
+            (Some(4), 8),
+            (None, 8),
+        ] {
+            let other = run(chunk, workers);
+            assert!(
+                base.deterministic_eq(&other),
+                "superposition diverged at chunk {chunk:?} workers {workers}"
+            );
+        }
+        assert_eq!(base.press_readings(), 16);
+        // and it is genuinely a different noise realization than the
+        // row/wide paths — not accidentally routed through them
+        let legacy = run_batch(
+            &sim,
+            &model,
+            std::slice::from_ref(&spec),
+            &BatchConfig::wiforce(1),
+        )
+        .expect("batch runs");
+        assert!(!base.deterministic_eq(&legacy));
+    }
+
+    #[test]
+    fn cross_stream_superposition_estimates_stay_accurate() {
+        // payload superposition changes the noise realization, not the
+        // physics: per-stream force/location estimates must land inside
+        // press-separating tolerances. Runs at 2.4 GHz, where the model
+        // inversion is well-conditioned — the 900 MHz inversion's skew
+        // would fold noise-realization differences into N-scale force
+        // spread (see pressed_streams_report_their_own_forces)
+        let sim = Simulation::paper_default(2.4e9);
+        let model = Arc::new(sim.vna_calibration().expect("calibration"));
+        let grid = 1.0 / (sim.group.n_snapshots as f64 * sim.group.snapshot_period_s);
+        let clocks = allocate_frequencies_on_grid(2, 800.0, 2000.0, grid).unwrap();
+        let spec = ReaderSpec::new(7)
+            .stream(
+                "hard",
+                clocks[0],
+                vec![PressSpec {
+                    force_n: 5.0,
+                    location_m: 0.030,
+                }],
+            )
+            .stream(
+                "soft",
+                clocks[1],
+                vec![PressSpec {
+                    force_n: 2.0,
+                    location_m: 0.050,
+                }],
+            );
+        let cfg = BatchConfig {
+            cross_stream: true,
+            ..BatchConfig::wiforce(2)
+        };
+        let report =
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs");
+        let hard = &report.streams[0].readings[0];
+        let soft = &report.streams[1].readings[0];
+        assert!(hard.reading.touched && soft.reading.touched);
+        assert!(
+            (hard.reading.force_n - 5.0).abs() < 2.2,
+            "hard force {}",
+            hard.reading.force_n
+        );
+        assert!(
+            (soft.reading.force_n - 2.0).abs() < 1.0,
+            "soft force {}",
+            soft.reading.force_n
+        );
+        assert!(
+            (hard.reading.location_m - 0.030).abs() < 5e-3,
+            "hard location {}",
+            hard.reading.location_m
+        );
+        assert!(
+            (soft.reading.location_m - 0.050).abs() < 5e-3,
+            "soft location {}",
+            soft.reading.location_m
+        );
+    }
+
+    #[test]
+    fn cross_stream_superposition_matches_row_path_noiseless() {
+        // with every stochastic stage silenced — noise, jitter, clock
+        // wander (the paths consume different RNG draw counts per group,
+        // so wander trajectories diverge otherwise), and the ADC
+        // quantizer (its thresholds amplify last-bit differences to full
+        // steps) — the two paths differ only by the floating-point
+        // rounding of payload linearity, so readings must agree almost
+        // exactly: the physics-equivalence check that separates
+        // "different noise realization" from "wrong math"
+        let (mut sim, model) = template();
+        sim.frontend.noise_floor = 0.0;
+        sim.frontend.phase_jitter_rad = 0.0;
+        sim.frontend.adc_enob_bits = 0;
+        sim.tag_clock_wander_ppm = 0.0;
+        let spec = ReaderSpec::frequency_multiplexed(4, 2, 0x90D, &sim.group).expect("allocation");
+        let run = |cross: bool| {
+            let cfg = BatchConfig {
+                cross_stream: cross,
+                ..BatchConfig::wiforce(2)
+            };
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs")
+        };
+        let sup = run(true);
+        let row = run(false);
+        assert_eq!(sup.press_readings(), row.press_readings());
+        for (a, b) in sup.streams.iter().zip(&row.streams) {
+            for (ra, rb) in a.readings.iter().zip(&b.readings) {
+                assert_eq!(ra.reading.touched, rb.reading.touched, "stream {}", a.name);
+                assert!(
+                    (ra.reading.force_n - rb.reading.force_n).abs() < 1e-6,
+                    "stream {} force {} vs {}",
+                    a.name,
+                    ra.reading.force_n,
+                    rb.reading.force_n
+                );
+                assert!(
+                    (ra.reading.location_m - rb.reading.location_m).abs() < 1e-8,
+                    "stream {} location {} vs {}",
+                    a.name,
+                    ra.reading.location_m,
+                    rb.reading.location_m
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_stream_falls_back_for_fault_regimes() {
+        // drops and bursts draw from the producer RNG mid-stream, so the
+        // superposition gate must quietly keep the row path — results
+        // identical to a cross_stream=false run
+        let (sim, model) = template();
+        let spec = ReaderSpec::frequency_multiplexed(2, 1, 0xFA17, &sim.group)
+            .expect("allocation")
+            .with_faults(FaultConfig {
+                snapshot_drop_prob: 0.2,
+                ..FaultConfig::none()
+            });
+        let run = |cross: bool| {
+            let cfg = BatchConfig {
+                cross_stream: cross,
+                ..BatchConfig::wiforce(2)
+            };
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs")
+        };
+        assert!(run(true).deterministic_eq(&run(false)));
     }
 
     #[test]

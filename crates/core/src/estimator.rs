@@ -109,6 +109,48 @@ impl ForceEstimator {
         if self.buffer.n_rows() < self.cfg.group.n_snapshots {
             return Ok(None);
         }
+        // take the buffer so the group can borrow it while `self` stays
+        // mutable; its capacity is handed back (cleared) afterwards
+        let buffer = std::mem::take(&mut self.buffer);
+        let result = self.process_group(buffer.view());
+        self.buffer = buffer;
+        self.buffer.clear();
+        result
+    }
+
+    /// Pushes one complete phase group without copying.
+    ///
+    /// The batch engine shares each synthesized snapshot matrix across
+    /// every frequency-multiplexed stream on a reader; feeding it here
+    /// extracts this stream's lines straight from the shared buffer
+    /// instead of re-copying `n_snapshots` rows per stream the way
+    /// [`Self::push_snapshot`] must. Falls back to row-wise pushes (and
+    /// returns the last reading completed, if any) when the internal
+    /// buffer holds a partial group or `group` is not exactly one group
+    /// long.
+    pub fn push_group(
+        &mut self,
+        group: &SnapshotMatrix,
+    ) -> Result<Option<ForceReading>, WiForceError> {
+        if self.buffer.n_rows() == 0 && group.n_rows() == self.cfg.group.n_snapshots {
+            return self.process_group(group.view());
+        }
+        let mut last = Ok(None);
+        for row in group.rows() {
+            match self.push_snapshot(row) {
+                Ok(None) => {}
+                done => last = done,
+            }
+        }
+        last
+    }
+
+    /// Shared group-completion pipeline: harmonic extraction, reference
+    /// handling, differential phases, model inversion.
+    fn process_group(
+        &mut self,
+        group: wiforce_dsp::SnapshotView<'_>,
+    ) -> Result<Option<ForceReading>, WiForceError> {
         let _span = wiforce_telemetry::span!("estimator.group");
         // counted once per completed group (not per push): the per-sample
         // counter lookup was a measurable share of telemetry-on overhead
@@ -119,8 +161,7 @@ impl ForceEstimator {
         let start_s = self.groups_seen as f64
             * self.cfg.group.n_snapshots as f64
             * self.cfg.group.snapshot_period_s;
-        let lines = extract_lines(&self.cfg.group, self.buffer.view(), start_s);
-        self.buffer.clear();
+        let lines = extract_lines(&self.cfg.group, group, start_s);
         self.groups_seen += 1;
         wiforce_telemetry::counter!("estimator.groups", 1);
         wiforce_telemetry::gauge!("estimator.groups_seen", self.groups_seen as f64);

@@ -55,6 +55,7 @@
 
 pub mod batch;
 pub mod calib;
+pub mod calibrate;
 pub mod diffphase;
 pub mod estimator;
 pub mod gestures;

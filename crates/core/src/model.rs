@@ -9,7 +9,7 @@
 
 use crate::calib::SensorModel;
 use crate::WiForceError;
-use wiforce_dsp::interp::catmull_rom;
+use wiforce_dsp::interp::{catmull_stencil, CatmullStencil};
 use wiforce_dsp::phase::wrap_to_pi;
 
 /// An inverted estimate.
@@ -56,27 +56,35 @@ impl SensorModel {
                 y2[k] = c.poly2.eval(f);
             }
         };
-        let cost_at = |y1: &[f64], y2: &[f64], x: f64| -> f64 {
-            let p1 = catmull_rom(&xs, y1, x).expect("validated at fit time");
-            let p2 = catmull_rom(&xs, y2, x).expect("validated at fit time");
-            let e1 = wrap_to_pi(p1 - phi1_rad);
-            let e2 = wrap_to_pi(p2 - phi2_rad);
+        // Location columns repeat across every force row of a scan pass,
+        // and Catmull-Rom interpolation is linear in the row values — so
+        // each pass builds one interpolation stencil per column up front
+        // ([`catmull_rom`] collapsed to four multiply-adds) and reuses it
+        // for all rows: ~40× fewer bracket/tangent computations.
+        let cost_at = |y1: &[f64], y2: &[f64], st: &CatmullStencil| -> f64 {
+            let e1 = wrap_to_pi(st.eval(y1) - phi1_rad);
+            let e2 = wrap_to_pi(st.eval(y2) - phi2_rad);
             e1 * e1 + e2 * e2
         };
 
         // coarse grid
         let (mut best_f, mut best_x, mut best_c) = (f_lo, x_lo, f64::INFINITY);
         let (nf, nx) = (40, 45);
+        let mut cols: Vec<(f64, CatmullStencil)> = Vec::with_capacity(nx + 1);
+        for j in 0..=nx {
+            let x = x_lo + (x_hi - x_lo) * j as f64 / nx as f64;
+            let st = catmull_stencil(&xs, x).expect("validated at fit time");
+            cols.push((x, st));
+        }
         for i in 0..=nf {
             let f = f_lo + (f_hi - f_lo) * i as f64 / nf as f64;
             fill_row(f, &mut y1, &mut y2);
-            for j in 0..=nx {
-                let x = x_lo + (x_hi - x_lo) * j as f64 / nx as f64;
-                let c = cost_at(&y1, &y2, x);
+            for (x, st) in &cols {
+                let c = cost_at(&y1, &y2, st);
                 if c < best_c {
                     best_c = c;
                     best_f = f;
-                    best_x = x;
+                    best_x = *x;
                 }
             }
         }
@@ -85,16 +93,21 @@ impl SensorModel {
         let mut span_x = (x_hi - x_lo) / nx as f64;
         for _ in 0..3 {
             let (f0, x0) = (best_f, best_x);
+            cols.clear();
+            for j in -10i32..=10 {
+                let x = (x0 + j as f64 * span_x / 10.0).clamp(x_lo, x_hi);
+                let st = catmull_stencil(&xs, x).expect("validated at fit time");
+                cols.push((x, st));
+            }
             for i in -10i32..=10 {
                 let f = (f0 + i as f64 * span_f / 10.0).clamp(f_lo, f_hi);
                 fill_row(f, &mut y1, &mut y2);
-                for j in -10i32..=10 {
-                    let x = (x0 + j as f64 * span_x / 10.0).clamp(x_lo, x_hi);
-                    let c = cost_at(&y1, &y2, x);
+                for (x, st) in &cols {
+                    let c = cost_at(&y1, &y2, st);
                     if c < best_c {
                         best_c = c;
                         best_f = f;
-                        best_x = x;
+                        best_x = *x;
                     }
                 }
             }

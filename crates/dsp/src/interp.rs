@@ -97,6 +97,95 @@ pub fn catmull_rom(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, InterpError> {
         + (t3 - t2) * m1)
 }
 
+/// A precomputed Catmull-Rom evaluation stencil at one fixed abscissa.
+///
+/// Catmull-Rom interpolation is linear in the sample values: for a fixed
+/// grid `xs` and query `x`, the result is a dot product of at most four
+/// weights with `ys[base..]`. Callers that evaluate many different value
+/// rows at the same abscissae (e.g. the sensor-model inversion's grid
+/// scan, which sweeps force rows under fixed location columns) build the
+/// stencil once per abscissa and pay four multiply-adds per evaluation
+/// instead of a full bracket + tangent computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CatmullStencil {
+    /// First sample index the taps apply to.
+    base: usize,
+    /// Tap weights for `ys[base..base + 4]`; trailing taps that fall off
+    /// the grid carry zero weight.
+    w: [f64; 4],
+}
+
+impl CatmullStencil {
+    /// Applies the stencil to one row of sample values (`ys` must be the
+    /// same length as the grid the stencil was built for).
+    #[inline]
+    pub fn eval(&self, ys: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (w, y) in self.w.iter().zip(&ys[self.base..]) {
+            acc += w * y;
+        }
+        acc
+    }
+}
+
+/// Builds the [`CatmullStencil`] for query point `x` on grid `xs`,
+/// matching [`catmull_rom`]'s piecewise definition (including the linear
+/// clamp beyond the grid ends) up to floating-point reassociation.
+pub fn catmull_stencil(xs: &[f64], x: f64) -> Result<CatmullStencil, InterpError> {
+    if xs.len() < 2 {
+        return Err(InterpError::TooFewPoints);
+    }
+    if xs.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(InterpError::NotSorted);
+    }
+    let n = xs.len();
+    let i = bracket(xs, x);
+    if x <= xs[0] || x >= xs[n - 1] || n < 3 {
+        let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+        return Ok(CatmullStencil {
+            base: i,
+            w: [1.0 - t, t, 0.0, 0.0],
+        });
+    }
+    let h = xs[i + 1] - xs[i];
+    let t = (x - xs[i]) / h;
+    let t2 = t * t;
+    let t3 = t2 * t;
+    let b0 = 2.0 * t3 - 3.0 * t2 + 1.0;
+    let b1 = t3 - 2.0 * t2 + t;
+    let b2 = -2.0 * t3 + 3.0 * t2;
+    let b3 = t3 - t2;
+    // accumulate per-sample weights of b0·ys[i] + b1·h·tangent(i) +
+    // b2·ys[i+1] + b3·h·tangent(i+1), where each tangent is a finite
+    // difference of two samples
+    let base = if i == 0 { 0 } else { i - 1 };
+    let mut w = [0.0f64; 4];
+    {
+        let mut add = |idx: usize, v: f64| w[idx - base] += v;
+        add(i, b0);
+        add(i + 1, b2);
+        if i == 0 {
+            let c = b1 * h / (xs[1] - xs[0]);
+            add(1, c);
+            add(0, -c);
+        } else {
+            let c = b1 * h / (xs[i + 1] - xs[i - 1]);
+            add(i + 1, c);
+            add(i - 1, -c);
+        }
+        if i + 1 == n - 1 {
+            let c = b3 * h / (xs[n - 1] - xs[n - 2]);
+            add(n - 1, c);
+            add(n - 2, -c);
+        } else {
+            let c = b3 * h / (xs[i + 2] - xs[i]);
+            add(i + 2, c);
+            add(i, -c);
+        }
+    }
+    Ok(CatmullStencil { base, w })
+}
+
 /// Bilinear interpolation on a rectangular grid.
 ///
 /// `values[i][j]` corresponds to `(xs[i], ys[j])`. Clamps outside the grid.
@@ -133,6 +222,50 @@ pub fn bilinear(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stencil_matches_catmull_rom_everywhere() {
+        // non-uniform grid, queries inside every interval, at knots, and
+        // beyond both ends (the linear-clamp region)
+        let xs = [0.0, 0.7, 1.5, 3.1, 4.0];
+        let rows = [
+            [1.0, -2.0, 0.5, 3.0, -1.0],
+            [0.0, 1.0, 4.0, 9.0, 16.0],
+            [5.0, 5.0, 5.0, 5.0, 5.0],
+        ];
+        for q in 0..200 {
+            let x = -0.5 + 5.0 * q as f64 / 199.0;
+            let st = catmull_stencil(&xs, x).unwrap();
+            for ys in &rows {
+                let direct = catmull_rom(&xs, ys, x).unwrap();
+                let via = st.eval(ys);
+                assert!(
+                    (direct - via).abs() <= 1e-12 * (1.0 + direct.abs()),
+                    "x={x}: direct={direct} stencil={via}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_handles_tiny_grids() {
+        // n == 2 → pure lerp path; n == 3 → boundary tangents both sides
+        let st = catmull_stencil(&[0.0, 1.0], 0.25).unwrap();
+        assert!((st.eval(&[0.0, 4.0]) - 1.0).abs() < 1e-15);
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 1.0, 0.0];
+        for &x in &[0.3, 0.5, 1.2, 1.9] {
+            let st = catmull_stencil(&xs, x).unwrap();
+            let direct = catmull_rom(&xs, &ys, x).unwrap();
+            assert!((st.eval(&ys) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stencil_rejects_bad_grids() {
+        assert!(catmull_stencil(&[0.0], 0.0).is_err());
+        assert!(catmull_stencil(&[1.0, 0.5], 0.7).is_err());
+    }
 
     #[test]
     fn lerp_hits_knots_and_midpoints() {

@@ -18,7 +18,13 @@ use crate::{Histogram, TelemetrySnapshot};
 /// budget the adaptive synthesis path actually synthesized (1.0 in exact
 /// mode, lower when groups hit their SNR target early; null when no
 /// synthesis ran).
-pub const HEALTH_SCHEMA_VERSION: u64 = 2;
+/// v3 added the response-table / wide-batching trio:
+/// `response_table_hit_rate` (per-scene sounding-response memo hits over
+/// total lookups; null before any lookup), `synth_chunk_rows` (the SoA
+/// chunk width the calibrated synthesis paths drive), and
+/// `cross_stream_occupancy` (mean fill of the cross-stream superposition
+/// mega-chunks; null when the path never ran).
+pub const HEALTH_SCHEMA_VERSION: u64 = 3;
 
 /// Latency statistics for one span path.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +97,15 @@ pub struct PipelineHealth {
     /// `true` when the streaming estimator reported a locked no-touch
     /// reference (`None` when no estimator ran).
     pub reference_locked: Option<bool>,
+    /// Hit rate of the per-scene sounding-response memo (`None` before
+    /// any lookup was recorded).
+    pub response_table_hit_rate: Option<f64>,
+    /// SoA chunk width the synthesis paths ran at (`None` when no
+    /// synthesis reported it).
+    pub synth_chunk_rows: Option<f64>,
+    /// Mean occupancy of the cross-stream superposition chunks (`None`
+    /// when the cross-stream path never ran).
+    pub cross_stream_occupancy: Option<f64>,
 }
 
 impl PipelineHealth {
@@ -131,6 +146,9 @@ impl PipelineHealth {
             .get("estimator.reference_locked")
             .map(|&v| v != 0.0);
         let adaptive_snapshot_yield = snap.gauges.get("pipeline.adaptive_snapshot_yield").copied();
+        let response_table_hit_rate = snap.gauges.get("pipeline.response_table_hit_rate").copied();
+        let synth_chunk_rows = snap.gauges.get("pipeline.synth_chunk_rows").copied();
+        let cross_stream_occupancy = snap.gauges.get("batch.cross_stream_occupancy").copied();
 
         PipelineHealth {
             schema_version: HEALTH_SCHEMA_VERSION,
@@ -141,6 +159,9 @@ impl PipelineHealth {
             snapshot_yield,
             adaptive_snapshot_yield,
             reference_locked,
+            response_table_hit_rate,
+            synth_chunk_rows,
+            cross_stream_occupancy,
         }
     }
 
@@ -165,6 +186,18 @@ impl PipelineHealth {
         match self.reference_locked {
             Some(locked) => w.boolean("estimator_reference_locked", locked),
             None => w.number("estimator_reference_locked", f64::NAN),
+        };
+        match self.response_table_hit_rate {
+            Some(r) => w.number("response_table_hit_rate", r),
+            None => w.number("response_table_hit_rate", f64::NAN),
+        };
+        match self.synth_chunk_rows {
+            Some(r) => w.number("synth_chunk_rows", r),
+            None => w.number("synth_chunk_rows", f64::NAN),
+        };
+        match self.cross_stream_occupancy {
+            Some(o) => w.number("cross_stream_occupancy", o),
+            None => w.number("cross_stream_occupancy", f64::NAN),
         };
         w.begin_array_key("stages");
         for s in &self.stages {

@@ -136,7 +136,7 @@ fn usage() -> &'static str {
      press/sweep/replay/health/serve: --health-json PATH  write a PipelineHealth report\n\
      serve/trace/metrics: --streams N  --presses N  --readers N  --workers N  --queue N\n\
      \x20       --faults none|harsh|saturating  --overflow stall|drop-newest\n\
-     \x20       --throttle-ms N  --watch 1\n\
+     \x20       --throttle-ms N  --watch 1  --cross-stream 1\n\
      serve: --trace PATH  --metrics PATH    trace: --out PATH    metrics: --out PATH"
 }
 
@@ -508,6 +508,9 @@ fn cmd_health(args: &Args) -> Result<(), String> {
         return Err("stream receiver failed to sync".into());
     }
 
+    // cache gauges are end-of-run only (mid-run readings of the shared
+    // memo counters are scheduling-dependent)
+    sim.emit_cache_gauges();
     wiforce_telemetry::set_enabled(false);
     let report = PipelineHealth::collect();
     match args.get("health-json") {
@@ -558,10 +561,12 @@ fn run_serve_workload(args: &Args) -> Result<(BatchReport, usize, usize), String
         })
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
+    let cross_stream = args.u64_or("cross-stream", 0)? != 0;
     let cfg = BatchConfig {
         workers,
         queue_capacity: queue,
         overflow,
+        cross_stream,
         consume_throttle: (throttle_ms > 0.0)
             .then(|| std::time::Duration::from_secs_f64(throttle_ms * 1e-3)),
         ..BatchConfig::wiforce(workers)

@@ -6,6 +6,7 @@
 //! ```text
 //! check_artifacts --bench BENCH_pipeline.json --health health.json \
 //!                 [--trace trace.json] [--metrics metrics.prom] \
+//!                 [--calibration CALIBRATION_synth.json] \
 //!                 [--baseline BENCH_baseline.json]
 //! ```
 //!
@@ -20,9 +21,15 @@
 //! presence of per-stream series. Both are backed by
 //! [`wiforce_bench::observability`].
 //!
+//! `--calibration` validates the standalone `CALIBRATION_synth.json`
+//! probe verdict: structure plus the schema-v2 provenance pair
+//! (`schema_version` + `git_rev`), so the `--revs` / `--expect-rev`
+//! staleness gates below cover it exactly like the bench baseline.
+//!
 //! `--revs` takes a `git log` listing (one rev per line, short or full)
-//! and fails when the committed artifact's `git_rev` (`--baseline` when
-//! given, else `--bench`) names no commit in it — a stale-baseline trap.
+//! and fails when each committed artifact's `git_rev` (`--baseline` when
+//! given, else `--bench`; plus `--calibration` when given) names no
+//! commit in it — a stale-baseline trap.
 //!
 //! With `--baseline`, the `--bench` artifact is additionally compared
 //! against the given committed baseline with
@@ -344,6 +351,69 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
         }
     }
 
+    // schema v9: spectral direct line synthesis + the observability
+    // measurement fixes. The spectral section carries its own absolute
+    // perf gates on full artifacts (no baseline needed): the whole point
+    // of skipping the waveform is a sub-millisecond sequential press and
+    // an 8-stream rate an order of magnitude above the time-domain
+    // floor. The metrics-series count must now reflect the instrumented
+    // batch run's per-stream series, not the single-stream press loop.
+    if schema >= 9.0 {
+        let quick = root.get("quick").and_then(Value::as_bool);
+        c.number(root, "overhead_blocks", true);
+        match root.get("synth_spectral") {
+            None => c.fail("missing 'synth_spectral' object (schema v9)".into()),
+            Some(ss) => {
+                for key in regression::SYNTH_SPECTRAL_METRICS {
+                    match ss.get(key).and_then(Value::as_f64) {
+                        None => c.fail(format!("synth_spectral missing numeric key '{key}'")),
+                        Some(v) if !(v > 0.0 && v.is_finite()) => {
+                            c.fail(format!("synth_spectral.{key} = {v}, expected > 0"))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if quick == Some(false) {
+                    if let Some(ns) = ss.get("ns_per_press").and_then(Value::as_f64) {
+                        if ns > regression::MAX_SPECTRAL_NS_PER_PRESS {
+                            c.fail(format!(
+                                "synth_spectral.ns_per_press = {ns:.0} exceeds the \
+                                 {:.0} ns ceiling — direct line synthesis is not \
+                                 delivering its sub-millisecond press",
+                                regression::MAX_SPECTRAL_NS_PER_PRESS
+                            ));
+                        }
+                    }
+                    if let Some(pps) = ss.get("presses_per_sec_8_streams").and_then(Value::as_f64) {
+                        if pps < regression::MIN_SPECTRAL_THROUGHPUT_8_STREAMS_PPS {
+                            c.fail(format!(
+                                "synth_spectral.presses_per_sec_8_streams = {pps:.0} \
+                                 below the {:.0} floor",
+                                regression::MIN_SPECTRAL_THROUGHPUT_8_STREAMS_PPS
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let obs = |key: &str| {
+            root.get("observability")
+                .and_then(|o| o.get(key))
+                .and_then(Value::as_f64)
+        };
+        match (obs("metrics_series"), obs("metrics_streams")) {
+            (_, None) => {
+                c.fail("observability missing numeric key 'metrics_streams' (schema v9)".into())
+            }
+            (Some(series), Some(streams)) if series < streams => c.fail(format!(
+                "observability.metrics_series = {series:.0} below the stream count \
+                 {streams:.0} — the registry harvest missed the batch run's \
+                 per-stream series (the pre-v9 bug this field now gates)"
+            )),
+            _ => {}
+        }
+    }
+
     // schema v3: the batch-engine throughput section
     match root.get("throughput").and_then(Value::as_array) {
         None => c.fail("missing 'throughput' array (batch engine section)".into()),
@@ -362,6 +432,33 @@ fn check_bench(file: &str, root: &Value) -> Vec<String> {
                     }
                 }
             }
+        }
+    }
+    c.errors
+}
+
+/// Validates the standalone `CALIBRATION_synth.json` probe verdict:
+/// structure plus the v2 provenance pair (`schema_version` + `git_rev`)
+/// the `--revs` / `--expect-rev` staleness gates key on. A committed
+/// calibration without provenance can silently pin a chunk width probed
+/// on a machine (and code) nobody remembers.
+fn check_calibration(file: &str, root: &Value) -> Vec<String> {
+    let mut c = Checker::new(file);
+    match root.get("schema_version").and_then(Value::as_f64) {
+        None => c.fail("missing numeric key 'schema_version' (calibration v2)".into()),
+        Some(v) if v < 2.0 => c.fail(format!(
+            "schema_version = {v} predates the provenance stamp — regenerate \
+             CALIBRATION_synth.json with bench_json"
+        )),
+        Some(_) => {}
+    }
+    c.string(root, "git_rev");
+    for key in ["chunk_rows", "ns_per_row_wide", "ns_per_row_narrow"] {
+        c.number(root, key, true);
+    }
+    for key in ["wide_default", "probed"] {
+        if root.get(key).and_then(Value::as_bool).is_none() {
+            c.fail(format!("missing boolean key '{key}'"));
         }
     }
     c.errors
@@ -461,6 +558,7 @@ fn main() {
     let baseline = arg("--baseline");
     let trace = arg("--trace");
     let metrics = arg("--metrics");
+    let calibration = arg("--calibration");
     let revs = arg("--revs");
     let expect_rev = arg("--expect-rev");
 
@@ -491,10 +589,16 @@ fn main() {
         }
     }
 
-    if bench.is_none() && health.is_none() && trace.is_none() && metrics.is_none() {
+    if bench.is_none()
+        && health.is_none()
+        && trace.is_none()
+        && metrics.is_none()
+        && calibration.is_none()
+    {
         eprintln!(
             "usage: check_artifacts [--bench BENCH_pipeline.json] [--health health.json] \
              [--trace trace.json] [--metrics metrics.prom] \
+             [--calibration CALIBRATION_synth.json] \
              [--baseline BENCH_baseline.json] [--revs git-log.txt] \
              [--expect-rev SHA] | --diff A.json B.json"
         );
@@ -504,12 +608,12 @@ fn main() {
         eprintln!("--baseline requires --bench");
         std::process::exit(2);
     }
-    if revs.is_some() && baseline.is_none() && bench.is_none() {
-        eprintln!("--revs requires --bench or --baseline");
+    if revs.is_some() && baseline.is_none() && bench.is_none() && calibration.is_none() {
+        eprintln!("--revs requires --bench, --baseline, or --calibration");
         std::process::exit(2);
     }
-    if expect_rev.is_some() && bench.is_none() {
-        eprintln!("--expect-rev requires --bench");
+    if expect_rev.is_some() && bench.is_none() && calibration.is_none() {
+        eprintln!("--expect-rev requires --bench or --calibration");
         std::process::exit(2);
     }
 
@@ -519,6 +623,9 @@ fn main() {
     }
     if let Some(path) = &health {
         check_file(path, &mut errors, check_health);
+    }
+    if let Some(path) = &calibration {
+        check_file(path, &mut errors, check_calibration);
     }
     if let Some(path) = &trace {
         check_file(path, &mut errors, |file, root| {
@@ -547,27 +654,40 @@ fn main() {
     // --baseline artifact when given (that is the committed one), else
     // to --bench.
     if let Some(revs_path) = &revs {
-        let target = baseline.as_ref().or(bench.as_ref()).expect("checked above");
-        match (std::fs::read_to_string(revs_path), load(target)) {
-            (Err(e), _) => errors.push(format!("{revs_path}: unreadable: {e}")),
-            (_, Err(e)) => errors.push(e),
-            (Ok(revlist), Ok(doc)) => match doc.get("git_rev").and_then(Value::as_str) {
-                None | Some("") => {
-                    errors.push(format!("{target}: missing 'git_rev' for the --revs check"))
-                }
-                Some(rev) => {
-                    let known = revlist
-                        .split_whitespace()
-                        .any(|r| r.starts_with(rev) || rev.starts_with(r));
-                    if !known {
-                        errors.push(format!(
-                            "{target}: git_rev {rev:?} does not match any commit in \
-                             {revs_path} — the committed bench baseline is stale; \
-                             regenerate it with bench_json and commit the result"
-                        ));
+        // the committed bench baseline and the committed calibration
+        // verdict both go stale the same way; each provided artifact's
+        // git_rev must name a commit from the listing
+        let targets: Vec<&String> = baseline
+            .as_ref()
+            .or(bench.as_ref())
+            .into_iter()
+            .chain(calibration.as_ref())
+            .collect();
+        match std::fs::read_to_string(revs_path) {
+            Err(e) => errors.push(format!("{revs_path}: unreadable: {e}")),
+            Ok(revlist) => {
+                for target in targets {
+                    match load(target) {
+                        Err(e) => errors.push(e),
+                        Ok(doc) => match doc.get("git_rev").and_then(Value::as_str) {
+                            None | Some("") => errors
+                                .push(format!("{target}: missing 'git_rev' for the --revs check")),
+                            Some(rev) => {
+                                let known = revlist
+                                    .split_whitespace()
+                                    .any(|r| r.starts_with(rev) || rev.starts_with(r));
+                                if !known {
+                                    errors.push(format!(
+                                        "{target}: git_rev {rev:?} does not match any commit in \
+                                         {revs_path} — the committed artifact is stale; \
+                                         regenerate it with bench_json and commit the result"
+                                    ));
+                                }
+                            }
+                        },
                     }
                 }
-            },
+            }
         }
     }
 
@@ -575,22 +695,26 @@ fn main() {
     // stamped with the rev it was built from. CI passes the checkout SHA;
     // a mismatch means the bench binary was built before HEAD moved (the
     // stale-GIT_REV bug the build script's rerun-if-changed now prevents)
-    if let (Some(want), Some(fresh_path)) = (&expect_rev, &bench) {
-        match load(fresh_path) {
-            Err(e) => errors.push(e),
-            Ok(doc) => match doc.get("git_rev").and_then(Value::as_str) {
-                None | Some("") => {
-                    errors.push(format!("{fresh_path}: missing 'git_rev' for --expect-rev"))
-                }
-                Some(rev) => {
-                    if !(rev.starts_with(want.as_str()) || want.starts_with(rev)) {
-                        errors.push(format!(
-                            "{fresh_path}: git_rev {rev:?} does not match the expected \
-                             build rev {want:?} — the bench binary carries a stale stamp"
-                        ));
+    if let Some(want) = &expect_rev {
+        // a freshly generated calibration carries the same stamp as the
+        // bench artifact it was written alongside — check both
+        for fresh_path in bench.iter().chain(calibration.iter()) {
+            match load(fresh_path) {
+                Err(e) => errors.push(e),
+                Ok(doc) => match doc.get("git_rev").and_then(Value::as_str) {
+                    None | Some("") => {
+                        errors.push(format!("{fresh_path}: missing 'git_rev' for --expect-rev"))
                     }
-                }
-            },
+                    Some(rev) => {
+                        if !(rev.starts_with(want.as_str()) || want.starts_with(rev)) {
+                            errors.push(format!(
+                                "{fresh_path}: git_rev {rev:?} does not match the expected \
+                                 build rev {want:?} — the bench binary carries a stale stamp"
+                            ));
+                        }
+                    }
+                },
+            }
         }
     }
 
@@ -620,7 +744,10 @@ fn main() {
     }
 
     if errors.is_empty() {
-        for path in [bench, health, trace, metrics].into_iter().flatten() {
+        for path in [bench, health, trace, metrics, calibration]
+            .into_iter()
+            .flatten()
+        {
             println!("{path}: OK");
         }
     } else {

@@ -102,6 +102,31 @@ pub const MAX_ALLOCS_PER_GROUP: f64 = 6.0;
 /// (non-`quick`) v8 artifacts, presses per second across all streams.
 pub const MIN_THROUGHPUT_8_STREAMS_PPS: f64 = 1200.0;
 
+/// Ceiling on `synth_spectral.ns_per_press` for full v9 artifacts: the
+/// spectral path synthesizes the two consumed lines directly (O(K) work
+/// per group instead of O(N·K) waveform + O(N log N) extraction), so a
+/// sequential press must come in under a millisecond — roughly 3× faster
+/// than the time-domain headline has ever been. Breaching it means the
+/// fast path fell back to waveform synthesis or grew a hidden O(N·K)
+/// stage.
+pub const MAX_SPECTRAL_NS_PER_PRESS: f64 = 1_000_000.0;
+
+/// Floor on `synth_spectral.presses_per_sec_8_streams` for full v9
+/// artifacts: an 8-stream spectral batch run must clear 5000 aggregate
+/// presses/sec — an order of magnitude above the time-domain
+/// [`MIN_THROUGHPUT_8_STREAMS_PPS`] floor, which is the whole point of
+/// skipping the waveform.
+pub const MIN_SPECTRAL_THROUGHPUT_8_STREAMS_PPS: f64 = 5000.0;
+
+/// Keys of the v9 `synth_spectral` object (all timing-derived, so the
+/// determinism diff skips them via [`is_timing_key`]'s patterns).
+pub const SYNTH_SPECTRAL_METRICS: [&str; 4] = [
+    "ns_per_press",
+    "presses_per_sec",
+    "presses_per_sec_8_streams",
+    "p95_stream_latency_ns",
+];
+
 /// Keys of the schema-v4 `stage_breakdown` object, reported per-stage in
 /// the before/after table so a `ns_per_press` move names its stage.
 pub const STAGE_BREAKDOWN_METRICS: [&str; 5] = [

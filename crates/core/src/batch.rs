@@ -436,6 +436,9 @@ impl BatchReport {
 /// slot (index 0 = untouched, 1 + p = press p).
 struct StreamSynth {
     tag: SensorTag,
+    /// Tag base clock, Hz — the spectral path's line frequencies
+    /// (`fs`, `4fs`) derive from it.
+    fs_hz: f64,
     clock: TagClock,
     /// Slot tables live behind `Arc`s out of the scene's response memo:
     /// the reflection network is identical across streams (clocks never
@@ -498,6 +501,16 @@ struct ReaderProducer {
     /// only when the sounder has a payload path and the scene is
     /// static; see [`BatchConfig::cross_stream`]).
     superpose: bool,
+    /// Spectral-domain line synthesis resolved from the template
+    /// ([`Simulation::synth_spectral_enabled`]) and this reader's
+    /// eligibility (static scene, no mid-stream fault draws, white
+    /// estimate noise, mean-subtracted-DFT extraction). Takes priority
+    /// over the superposition and wide paths when engaged.
+    spectral: bool,
+    /// Per-snapshot, per-subcarrier estimate-noise sigma (per component)
+    /// of the sounder — the unitarity input of the spectral path. 0 when
+    /// `spectral` is off.
+    sigma_est: f64,
     /// SoA block width for the superposition path.
     chunk_rows: usize,
     /// Sounder payload of the static channel alone — the superposition
@@ -542,6 +555,20 @@ impl ReaderProducer {
         // channel-domain and time-varying), and no mid-stream fault draws
         let superpose = cfg.cross_stream
             && sim.sounder.response_token().is_some()
+            && sim.scene.movers.is_empty()
+            && spec.faults.snapshot_drop_prob == 0.0
+            && spec.faults.burst_prob == 0.0;
+        // spectral-domain line synthesis never materializes snapshots at
+        // all; besides the superposition conditions it needs white
+        // sounder estimate noise (for the unitarity argument) and the
+        // mean-subtracted-DFT extraction the line model reproduces. It
+        // is accuracy-gated, not bit-pinned, so it only engages on the
+        // explicit opt-in ([`Simulation::synth_spectral_enabled`]).
+        let sigma_est = sim.sounder.estimate_noise_sigma(sim.frontend.noise_floor);
+        let spectral = sim.synth_spectral_enabled()
+            && sim.group.method == crate::harmonics::ExtractionMethod::MeanSubtractedDft
+            && sim.sounder.response_token().is_some()
+            && sigma_est.is_some()
             && sim.scene.movers.is_empty()
             && spec.faults.snapshot_drop_prob == 0.0
             && spec.faults.burst_prob == 0.0;
@@ -628,6 +655,7 @@ impl ReaderProducer {
                 };
                 StreamSynth {
                     tag: SensorTag::wiforce_prototype(s.fs_hz),
+                    fs_hz: s.fs_hz,
                     clock: TagClock::new(&mut rng),
                     tables,
                     payload_tables,
@@ -669,6 +697,8 @@ impl ReaderProducer {
             edges: Vec::new(),
             wide: sim.synth_wide_enabled(),
             superpose,
+            spectral,
+            sigma_est: sigma_est.unwrap_or(0.0),
             chunk_rows: cfg
                 .chunk_rows
                 .unwrap_or_else(crate::calibrate::synth_chunk_rows)
@@ -708,6 +738,9 @@ impl ReaderProducer {
     /// Returns the group behind an [`Arc`] whose buffer is recycled once
     /// every consumer has dropped it.
     fn produce_group(&mut self) -> (u64, Arc<SnapshotMatrix>) {
+        if self.spectral {
+            return self.produce_group_spectral();
+        }
         let _span = wiforce_telemetry::span!("batch.produce_group");
         let seq = self.groups_done;
         self.groups_done += 1;
@@ -906,7 +939,171 @@ impl ReaderProducer {
         retired.push(Arc::clone(&group));
         (seq, group)
     }
+
+    /// Spectral-domain twin of [`Self::produce_group`]: produces each
+    /// stream's two consumed spectral lines *directly* — no time-domain
+    /// snapshots ever exist. The returned matrix has `2·n_streams` rows
+    /// (rows `2i`/`2i+1` are stream `i`'s `fs`/`4fs` lines across
+    /// subcarriers, phase-referenced to the group's reader start time),
+    /// which consumers feed straight to [`ForceEstimator::push_lines`].
+    ///
+    /// Model per stream line `ω = 2π·f·T` (see
+    /// `Simulation::synth_lines_spectral` for the derivation):
+    /// deterministic term `Σ_σ gains[k]·table[k][σ]·W_σ(ω)` from one
+    /// O(N) walk of the integration-window state weights (statics cancel
+    /// exactly under mean subtraction); noise by DFT unitarity as
+    /// circular Gaussian of per-component std
+    /// `√((σ_est² + step²/12)·(1−|D̄|²)/N)` drawn from a Philox cursor
+    /// keyed `(key, group, bin)`; and the per-snapshot front-end phase
+    /// jitter drawn once per group and projected onto every line, so the
+    /// cross-stream and cross-line jitter correlation of the shared
+    /// time-domain rows is preserved. One sequential RNG draw per group
+    /// (the press key), exactly like the superposition path.
+    fn produce_group_spectral(&mut self) -> (u64, Arc<SnapshotMatrix>) {
+        let _span = wiforce_telemetry::span!("batch.produce_group");
+        let seq = self.groups_done;
+        self.groups_done += 1;
+        let n = self.n_snapshots;
+        let width = self.cache.statics.len();
+        let drift_ppm = self.injector.config().tag_clock_ppm;
+        let t_snap = self.t_snap;
+        let t_int = self.t_int;
+        let wander_ppm = self.wander_ppm;
+        let reference_groups = self.reference_groups;
+        let sigma_est = self.sigma_est;
+        let mut out = self.reclaim_matrix(width);
+        out.reserve_rows(2 * self.streams.len());
+        let ReaderProducer {
+            streams,
+            cache,
+            frontend,
+            rng,
+            edges,
+            normals,
+            jitters,
+            retired,
+            ..
+        } = self;
+        for s in streams.iter_mut() {
+            s.clock.step_group(wander_ppm, rng);
+        }
+        // one sequential draw per group; every noise lane after it is a
+        // pure function of (key, group, bin, lane)
+        let key = rng.next_u64();
+
+        // quantization folded in as additive uniform noise of variance
+        // step²/12 (valid because the front-end jitter dithers ≳1 LSB)
+        let step = if frontend.adc_enob_bits > 0 && cache.full_scale > 0.0 {
+            2.0 * cache.full_scale / (1u64 << frontend.adc_enob_bits.min(62)) as f64
+        } else {
+            0.0
+        };
+        let var_row = sigma_est * sigma_est + step * step / 12.0;
+
+        // the common-mode jitter sequence θ_s rotates every subcarrier
+        // of a snapshot identically in the time domain, so it is drawn
+        // once per group and projected onto each consumed line
+        let jitter_rad = frontend.phase_jitter_rad;
+        jitters.clear();
+        jitters.resize(n, 0.0);
+        if jitter_rad > 0.0 {
+            let mut cursor =
+                wiforce_dsp::rng::CounterRng::for_spectral(key, seq as u32, SPECTRAL_JITTER_BIN);
+            cursor.fill_normals(jitters);
+            for t in jitters.iter_mut() {
+                *t *= jitter_rad;
+            }
+        }
+        let tacc: f64 = jitters.iter().sum();
+
+        let inv_n = 1.0 / n as f64;
+        let start_s = seq as f64 * n as f64 * t_snap;
+        for s in streams.iter_mut() {
+            let line_hz = [s.fs_hz, 4.0 * s.fs_hz];
+            let rot = [
+                Complex::cis(-wiforce_dsp::TAU * line_hz[0] * t_snap),
+                Complex::cis(-wiforce_dsp::TAU * line_hz[1] * t_snap),
+            ];
+            let mut ph = [Complex::ONE; 2];
+            let mut e = [[Complex::ZERO; 4]; 2];
+            let mut j = [Complex::ZERO; 2];
+            let mut counts = [0.0f64; 4];
+            for &th in jitters.iter().take(n) {
+                let t_tag = s.clock.advance(t_snap, drift_ppm);
+                let w = s.tag.clocks.state_weights_into(t_tag, t_int, edges);
+                for q in 0..4 {
+                    if w[q] != 0.0 {
+                        e[0][q] += ph[0].scale(w[q]);
+                        e[1][q] += ph[1].scale(w[q]);
+                        counts[q] += w[q];
+                    }
+                }
+                if jitter_rad > 0.0 {
+                    j[0] += ph[0].scale(th);
+                    j[1] += ph[1].scale(th);
+                }
+                ph[0] *= rot[0];
+                ph[1] *= rot[1];
+            }
+            let table = s.table_for_group(seq, reference_groups);
+            for li in 0..2 {
+                // D̄ = (Σ_σ E_σ)/N exactly (≈0 on the integer line bins)
+                let dbar = (e[li][0] + e[li][1] + e[li][2] + e[li][3]).scale(inv_n);
+                let wc = [
+                    (e[li][0] - dbar.scale(counts[0])).scale(inv_n),
+                    (e[li][1] - dbar.scale(counts[1])).scale(inv_n),
+                    (e[li][2] - dbar.scale(counts[2])).scale(inv_n),
+                    (e[li][3] - dbar.scale(counts[3])).scale(inv_n),
+                ];
+                let shrink = (1.0 - dbar.norm_sqr()).max(0.0);
+                let sigma_line = (var_row * shrink * inv_n).sqrt();
+                // mean-subtracted jitter projection J = Σθ·e/N − θ̄·D̄
+                let jline = j[li].scale(inv_n) - dbar.scale(tacc * inv_n);
+                let reference = Complex::cis(-wiforce_dsp::TAU * line_hz[li] * start_s);
+                normals.clear();
+                normals.resize(2 * width, 0.0);
+                let mut cursor = wiforce_dsp::rng::CounterRng::for_spectral(
+                    key,
+                    seq as u32,
+                    wiforce_dsp::rng::spectral_bin_id(line_hz[li]),
+                );
+                cursor.fill_normals(normals);
+                let row = out.push_row_default();
+                for (k, slot) in row.iter_mut().enumerate() {
+                    let t = &table[k];
+                    let det = cache.gains[k]
+                        * (t[0] * wc[0] + t[1] * wc[1] + t[2] * wc[2] + t[3] * wc[3]);
+                    let mean_p = cache.statics[k]
+                        + cache.gains[k]
+                            * (t[0].scale(counts[0] * inv_n)
+                                + t[1].scale(counts[1] * inv_n)
+                                + t[2].scale(counts[2] * inv_n)
+                                + t[3].scale(counts[3] * inv_n));
+                    let noise_k =
+                        Complex::new(normals[2 * k], normals[2 * k + 1]).scale(sigma_line);
+                    *slot = reference * (det + noise_k + Complex::I * mean_p * jline);
+                }
+            }
+        }
+        if wiforce_telemetry::enabled() {
+            wiforce_telemetry::counter!("batch.groups_produced", 1);
+            wiforce_telemetry::counter!("batch.spectral_groups", 1);
+            // the group still stands in for n soundings of reader time
+            wiforce_telemetry::counter!("pipeline.snapshots_total", n as u64);
+            wiforce_telemetry::counter!("faults.snapshots_dropped", 0);
+            wiforce_telemetry::counter!("faults.bursts_injected", 0);
+        }
+        let group = Arc::new(out);
+        retired.push(Arc::clone(&group));
+        (seq, group)
+    }
 }
+
+/// Philox "bin" coordinate of the per-group common-mode jitter draw on
+/// the spectral path — far outside the centi-hertz ids of any real line
+/// ([`wiforce_dsp::rng::spectral_bin_id`] of tag clocks stays under
+/// ~1 MHz·100), so the jitter lanes can never collide with line noise.
+const SPECTRAL_JITTER_BIN: u32 = u32::MAX;
 
 /// Evaluates the next snapshot's true shared channel into `row`: advance
 /// every stream's tag clock, accumulate each tag's state-weighted
@@ -968,6 +1165,11 @@ struct StreamConsumer {
     /// Testing aid: sleep this long per consumed group (see
     /// [`BatchConfig::consume_throttle`]).
     throttle: Option<Duration>,
+    /// Spectral transport: when set, each received matrix carries
+    /// pre-extracted lines instead of snapshots, and this stream's two
+    /// lines live at rows `2·lines_row` (`fs`) and `2·lines_row + 1`
+    /// (`4fs`). `None` means the classic time-domain snapshot layout.
+    lines_row: Option<usize>,
 }
 
 impl StreamConsumer {
@@ -980,8 +1182,20 @@ impl StreamConsumer {
             // each item is one complete phase group shared (behind an
             // `Arc`) by every stream on the reader: the bulk push
             // extracts this stream's lines straight from the shared
-            // matrix instead of copying n_snapshots rows per stream
-            match self.estimator.push_group(&item.snapshots) {
+            // matrix instead of copying n_snapshots rows per stream;
+            // on the spectral transport the matrix already holds each
+            // stream's extracted lines, so extraction is skipped
+            let pushed = match self.lines_row {
+                Some(i) => {
+                    let m = &item.snapshots;
+                    self.estimator.push_lines(crate::harmonics::GroupLines {
+                        p1: m.row(2 * i).to_vec(),
+                        p2: m.row(2 * i + 1).to_vec(),
+                    })
+                }
+                None => self.estimator.push_group(&item.snapshots),
+            };
+            match pushed {
                 Ok(Some(reading)) => {
                     let tracked = self.tracker.update(&reading);
                     let press = (item.seq as usize)
@@ -1302,6 +1516,7 @@ pub fn run_batch_observed(
     let mut total = Vec::new();
     for (r, spec) in readers.iter().enumerate() {
         let producer = ReaderProducer::build(sim, spec, cfg);
+        let spectral = producer.spectral;
         total.push((cfg.reference_groups + spec.max_presses()) as u64);
         let mut dx = TagDemux::new(capacity);
         for (l, s) in spec.streams.iter().enumerate() {
@@ -1328,6 +1543,7 @@ pub fn run_batch_observed(
                 failures: 0,
                 latencies_ns: Vec::new(),
                 throttle: cfg.consume_throttle,
+                lines_row: spectral.then_some(l),
             })));
         }
         producers.push(Some(Box::new(producer)));
@@ -1630,6 +1846,135 @@ mod tests {
         )
         .expect("batch runs");
         assert!(!base.deterministic_eq(&legacy));
+    }
+
+    #[test]
+    fn spectral_batch_is_worker_and_chunk_invariant() {
+        // the spectral producer draws one press key per group and keys
+        // every noise lane by (key, group, bin, lane), so readings must
+        // be bit-identical at any worker count and any chunk width (the
+        // chunk knob is a no-op on this arm but must stay harmless)
+        let (mut sim, model) = template();
+        sim.synth_spectral = Some(true);
+        let spec = ReaderSpec::frequency_multiplexed(4, 2, 0x5BEC, &sim.group).expect("allocation");
+        let run = |chunk: Option<usize>, workers: usize| {
+            let cfg = BatchConfig {
+                chunk_rows: chunk,
+                ..BatchConfig::wiforce(workers)
+            };
+            run_batch(&sim, &model, std::slice::from_ref(&spec), &cfg).expect("batch runs")
+        };
+        let base = run(None, 1);
+        for (chunk, workers) in [(None, 8), (Some(4), 1), (Some(4), 8)] {
+            let other = run(chunk, workers);
+            assert!(
+                base.deterministic_eq(&other),
+                "spectral batch diverged at chunk {chunk:?} workers {workers}"
+            );
+        }
+        assert_eq!(base.press_readings(), 8);
+        // and it is a genuinely different noise realization than the
+        // time-domain row path — not accidentally routed through it
+        let mut sim_td = sim.clone();
+        sim_td.synth_spectral = Some(false);
+        let legacy = run_batch(
+            &sim_td,
+            &model,
+            std::slice::from_ref(&spec),
+            &BatchConfig::wiforce(1),
+        )
+        .expect("batch runs");
+        assert!(!base.deterministic_eq(&legacy));
+    }
+
+    #[test]
+    fn spectral_batch_falls_back_when_ineligible() {
+        // movers break the static-scene premise of the spectral model;
+        // with the flag forced on the producer must silently take the
+        // time-domain arm and reproduce it bit for bit
+        let (mut sim, model) = template();
+        sim.scene
+            .movers
+            .push(wiforce_channel::movers::MovingScatterer::walker(0.15));
+        let spec = ReaderSpec::frequency_multiplexed(2, 2, 0xFA11, &sim.group).expect("allocation");
+        let run = |spectral: bool| {
+            let mut sim_s = sim.clone();
+            sim_s.synth_spectral = Some(spectral);
+            run_batch(
+                &sim_s,
+                &model,
+                std::slice::from_ref(&spec),
+                &BatchConfig::wiforce(1),
+            )
+            .expect("batch runs")
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(
+            off.deterministic_eq(&on),
+            "ineligible spectral request must fall back to the time-domain arm"
+        );
+        assert!(off.press_readings() > 0);
+    }
+
+    #[test]
+    fn spectral_batch_estimates_stay_accurate() {
+        // direct line synthesis changes the noise realization, not the
+        // physics: per-stream force/location estimates must land inside
+        // press-separating tolerances (2.4 GHz, where the inversion is
+        // well-conditioned — see the superposition twin of this test)
+        let mut sim = Simulation::paper_default(2.4e9);
+        sim.synth_spectral = Some(true);
+        let model = Arc::new(sim.vna_calibration().expect("calibration"));
+        let grid = 1.0 / (sim.group.n_snapshots as f64 * sim.group.snapshot_period_s);
+        let clocks = allocate_frequencies_on_grid(2, 800.0, 2000.0, grid).unwrap();
+        let spec = ReaderSpec::new(0x57EC)
+            .stream(
+                "hard",
+                clocks[0],
+                vec![PressSpec {
+                    force_n: 5.0,
+                    location_m: 0.030,
+                }],
+            )
+            .stream(
+                "soft",
+                clocks[1],
+                vec![PressSpec {
+                    force_n: 2.0,
+                    location_m: 0.050,
+                }],
+            );
+        let report = run_batch(
+            &sim,
+            &model,
+            std::slice::from_ref(&spec),
+            &BatchConfig::wiforce(2),
+        )
+        .expect("batch runs");
+        let hard = &report.streams[0].readings[0];
+        let soft = &report.streams[1].readings[0];
+        assert!(hard.reading.touched && soft.reading.touched);
+        assert!(
+            (hard.reading.force_n - 5.0).abs() < 2.2,
+            "hard force {}",
+            hard.reading.force_n
+        );
+        assert!(
+            (soft.reading.force_n - 2.0).abs() < 1.0,
+            "soft force {}",
+            soft.reading.force_n
+        );
+        assert!(
+            (hard.reading.location_m - 0.030).abs() < 5e-3,
+            "hard location {}",
+            hard.reading.location_m
+        );
+        assert!(
+            (soft.reading.location_m - 0.050).abs() < 5e-3,
+            "soft location {}",
+            soft.reading.location_m
+        );
     }
 
     #[test]

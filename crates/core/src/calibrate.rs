@@ -54,9 +54,16 @@ pub struct Calibration {
     pub probed: bool,
 }
 
+/// Version of the standalone `CALIBRATION_synth.json` layout, bumped on
+/// breaking changes. v2 added the provenance pair (`schema_version` +
+/// `git_rev`) that `check_artifacts --calibration` validates against the
+/// repository history, so a stale committed probe verdict is caught the
+/// same way a stale bench baseline is.
+pub const CALIBRATION_SCHEMA_VERSION: u32 = 2;
+
 impl Calibration {
     /// The calibration report as a small JSON object (schema used by
-    /// `CALIBRATION_synth.json` and the bench `calibration` section).
+    /// the bench `calibration` section).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -68,6 +75,32 @@ impl Calibration {
                 "  \"probed\": {}\n",
                 "}}"
             ),
+            self.wide_default,
+            self.chunk_rows,
+            self.ns_per_row_wide,
+            self.ns_per_row_narrow,
+            self.probed,
+        )
+    }
+
+    /// The standalone `CALIBRATION_synth.json` document: the probe
+    /// verdict of [`Self::to_json`] stamped with its schema version and
+    /// the git revision of the build that produced it.
+    pub fn to_json_stamped(&self, git_rev: &str) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema_version\": {},\n",
+                "  \"git_rev\": \"{}\",\n",
+                "  \"wide_default\": {},\n",
+                "  \"chunk_rows\": {},\n",
+                "  \"ns_per_row_wide\": {:.1},\n",
+                "  \"ns_per_row_narrow\": {:.1},\n",
+                "  \"probed\": {}\n",
+                "}}"
+            ),
+            CALIBRATION_SCHEMA_VERSION,
+            git_rev.replace(['"', '\\'], "_"),
             self.wide_default,
             self.chunk_rows,
             self.ns_per_row_wide,

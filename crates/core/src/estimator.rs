@@ -145,23 +145,48 @@ impl ForceEstimator {
         last
     }
 
+    /// The reader time the estimator expects the *next* group to start
+    /// at — producers synthesizing lines directly (the spectral batch
+    /// path) must phase-reference their synthesis here so pre-extracted
+    /// lines land on the same rotation the extraction path would apply.
+    pub fn next_group_start_s(&self) -> f64 {
+        self.groups_seen as f64
+            * self.cfg.group.n_snapshots as f64
+            * self.cfg.group.snapshot_period_s
+    }
+
+    /// Pushes one phase group's pre-extracted spectral lines.
+    ///
+    /// The spectral batch path synthesizes each group's lines directly —
+    /// no time-domain snapshots ever exist — so extraction is skipped
+    /// entirely; reference locking, differential phases, and inversion
+    /// run unchanged. The lines must be phase-referenced to
+    /// [`Self::next_group_start_s`].
+    pub fn push_lines(&mut self, lines: GroupLines) -> Result<Option<ForceReading>, WiForceError> {
+        self.process_lines(lines)
+    }
+
     /// Shared group-completion pipeline: harmonic extraction, reference
     /// handling, differential phases, model inversion.
     fn process_group(
         &mut self,
         group: wiforce_dsp::SnapshotView<'_>,
     ) -> Result<Option<ForceReading>, WiForceError> {
-        let _span = wiforce_telemetry::span!("estimator.group");
         // counted once per completed group (not per push): the per-sample
         // counter lookup was a measurable share of telemetry-on overhead
         wiforce_telemetry::counter!(
             "estimator.snapshots_pushed",
             self.cfg.group.n_snapshots as u64
         );
-        let start_s = self.groups_seen as f64
-            * self.cfg.group.n_snapshots as f64
-            * self.cfg.group.snapshot_period_s;
-        let lines = extract_lines(&self.cfg.group, group, start_s);
+        let lines = extract_lines(&self.cfg.group, group, self.next_group_start_s());
+        self.process_lines(lines)
+    }
+
+    /// Group-completion tail shared by the extraction and pre-extracted
+    /// (spectral) paths: reference handling, differential phases, model
+    /// inversion.
+    fn process_lines(&mut self, lines: GroupLines) -> Result<Option<ForceReading>, WiForceError> {
+        let _span = wiforce_telemetry::span!("estimator.group");
         self.groups_seen += 1;
         wiforce_telemetry::counter!("estimator.groups", 1);
         wiforce_telemetry::gauge!("estimator.groups_seen", self.groups_seen as f64);

@@ -135,6 +135,14 @@ pub fn philox_normal_at(key: [u32; 2], ctr_hi: [u32; 3], lane: u32) -> f64 {
 pub const DOMAIN_SNAPSHOT: u32 = 0;
 /// Counter domain for per-group header draws (tag-clock wander steps).
 pub const DOMAIN_GROUP: u32 = 1;
+/// Counter domain for spectral-line draws: frequency-domain noise at the
+/// consumed bins only. The "snapshot" counter slot carries the bin
+/// coordinate (the line frequency in centi-hertz), so every
+/// `(press key, group, bin)` triple addresses a disjoint lane space —
+/// disjoint from both time-domain domains above, which is what lets the
+/// spectral and time-domain paths coexist per press without correlated
+/// draws.
+pub const DOMAIN_SPECTRAL: u32 = 2;
 
 /// A cursor into the Philox counter space at fixed simulation
 /// coordinates `(key, domain, group, snapshot)`, advancing only the lane.
@@ -179,6 +187,13 @@ impl CounterRng {
         CounterRng::new(key, DOMAIN_GROUP, group, 0)
     }
 
+    /// Cursor for spectral-line draws ([`DOMAIN_SPECTRAL`]): one lane
+    /// space per `(key, group, bin)`. Callers encode the consumed line
+    /// frequency as an integer bin id (see [`spectral_bin_id`]).
+    pub fn for_spectral(key: u64, group: u32, bin: u32) -> Self {
+        CounterRng::new(key, DOMAIN_SPECTRAL, group, bin)
+    }
+
     /// The next unconsumed lane (counter word 0).
     pub fn lane(&self) -> u32 {
         self.lane
@@ -214,6 +229,17 @@ impl CounterRng {
         self.spare = None;
         self.lane = self.lane.wrapping_add(n as u32);
     }
+}
+
+/// Maps a spectral-line frequency (Hz) to the integer bin id used as
+/// the [`DOMAIN_SPECTRAL`] counter coordinate: the frequency in
+/// centi-hertz, rounded. Centi-hertz resolution keeps every line the
+/// simulator consumes distinct (tag modulation fundamentals, their
+/// floor-probe offsets at 1.37×/2.61×, and the multi-stream frequency
+/// plan spaced tens of hertz apart) while staying well inside `u32` for
+/// any sub-40-MHz line.
+pub fn spectral_bin_id(line_hz: f64) -> u32 {
+    (line_hz * 100.0).round() as u32
 }
 
 impl rand::RngCore for CounterRng {
@@ -354,6 +380,53 @@ mod tests {
         assert_ne!(base, first(CounterRng::for_snapshot(key, 4, 17)));
         assert_ne!(base, first(CounterRng::for_group(key, 3)));
         assert_ne!(base, first(CounterRng::for_snapshot(key ^ 1, 3, 17)));
+    }
+
+    #[test]
+    fn spectral_cursor_is_disjoint_and_pure() {
+        let key = 0xFEED_u64;
+        // pure function of (key, group, bin)
+        let first = |mut c: CounterRng| c.next_u64();
+        let base = first(CounterRng::for_spectral(key, 3, 100_000));
+        assert_eq!(base, first(CounterRng::for_spectral(key, 3, 100_000)));
+        // distinct from other bins, groups, keys, and both time domains
+        assert_ne!(base, first(CounterRng::for_spectral(key, 3, 400_000)));
+        assert_ne!(base, first(CounterRng::for_spectral(key, 4, 100_000)));
+        assert_ne!(base, first(CounterRng::for_spectral(key ^ 1, 3, 100_000)));
+        assert_ne!(base, first(CounterRng::for_snapshot(key, 3, 100_000)));
+        assert_ne!(base, first(CounterRng::for_group(key, 3)));
+        // bulk fills agree with the scalar reference at the same coords
+        let mut c = CounterRng::for_spectral(key, 3, 137_000);
+        let mut buf = vec![0.0; 16];
+        c.fill_normals(&mut buf);
+        for (i, w) in buf.iter().enumerate() {
+            let scalar = philox_normal_at(
+                [key as u32, (key >> 32) as u32],
+                [137_000, 3, DOMAIN_SPECTRAL],
+                i as u32,
+            );
+            assert_eq!(w.to_bits(), scalar.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn spectral_bin_ids_separate_the_frequency_plan() {
+        // the exact line frequencies the simulator consumes must map to
+        // distinct bins: fundamentals, floor probes, and a dense
+        // multi-stream plan at sub-hertz-scale spacing
+        assert_eq!(spectral_bin_id(1000.0), 100_000);
+        assert_eq!(spectral_bin_id(4000.0), 400_000);
+        assert_ne!(
+            spectral_bin_id(1000.0 * 1.37),
+            spectral_bin_id(1000.0 * 2.61)
+        );
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64 {
+            let f = 800.0 + s as f64 * (1200.0 / 43.2);
+            for m in [1.0, 1.37, 2.61, 4.0] {
+                assert!(seen.insert(spectral_bin_id(f * m)), "collision at {f}x{m}");
+            }
+        }
     }
 
     #[test]

@@ -586,6 +586,16 @@ impl ChannelSounder for OfdmSounder {
         Some(2 * self.n_subcarriers)
     }
 
+    /// OFDM estimate error is exactly white and uniform across
+    /// subcarriers: the averaged frame carries complex AWGN of
+    /// per-component std `amp = √(σ²/(2·n_repeats))`, the unnormalized
+    /// forward FFT scales white noise by `√n`, and the LS equalizers have
+    /// modulus `1/√n` for the unit-modulus QPSK preamble — the two cancel,
+    /// leaving per-component std `amp` on every subcarrier.
+    fn estimate_noise_sigma(&self, noise_std: f64) -> Option<f64> {
+        Some((noise_std * noise_std / (2.0 * self.n_repeats as f64)).sqrt())
+    }
+
     /// Sequential wide path: per-snapshot truths (the batch engine's
     /// multi-stream blend makes every row distinct), noise pre-drawn by
     /// the caller in stream order. The per-row symbol multiply + planned
@@ -1003,6 +1013,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn estimate_noise_sigma_matches_empirical_error() {
+        // the advertised white-error std must match the actual estimator
+        // output: per-component RMS error over many snapshots ≈ sigma
+        let s = OfdmSounder::wiforce();
+        let noise = 0.05;
+        let sigma = s.estimate_noise_sigma(noise).expect("OFDM error is white");
+        assert!((sigma - (noise * noise / 10.0).sqrt()).abs() < 1e-15);
+        let truth = vec![Complex::ONE; 64];
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 200;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let est = s.estimate(&truth, noise, &mut rng);
+            acc += est
+                .iter()
+                .zip(&truth)
+                .map(|(e, t)| (*e - *t).norm_sqr())
+                .sum::<f64>();
+        }
+        // norm_sqr sums both components: E|e|² = 2σ²
+        let per_component = (acc / (trials * 64 * 2) as f64).sqrt();
+        assert!(
+            (per_component / sigma - 1.0).abs() < 0.05,
+            "empirical {per_component} vs advertised {sigma}"
+        );
     }
 
     #[test]

@@ -276,6 +276,26 @@ pub trait ChannelSounder {
     fn max_doppler_hz(&self) -> f64 {
         0.5 / self.snapshot_period_s()
     }
+
+    /// Per-component standard deviation of the estimate error this
+    /// sounder leaves on each grid point at receiver noise level
+    /// `noise_std`, when that error is i.i.d. circular complex Gaussian
+    /// and uniform across the grid.
+    ///
+    /// `Some(sigma)` is the contract that unlocks spectral-domain direct
+    /// line synthesis: by DFT unitarity, a snapshot whose estimate error
+    /// is white complex Gaussian of per-component std `sigma` contributes
+    /// white complex Gaussian noise of the same per-component std to any
+    /// unit-normalized discrete spectral line across snapshots — so a
+    /// caller can draw the line's noise directly at the consumed bins
+    /// instead of synthesizing and transforming every snapshot. `None`
+    /// (the default) means the error is not white/uniform (e.g. symbol
+    /// amplitudes vary across the grid) and callers must stay on a
+    /// time-domain path.
+    fn estimate_noise_sigma(&self, noise_std: f64) -> Option<f64> {
+        let _ = noise_std;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,7 @@ fn usage() -> &'static str {
      serve/trace/metrics: --streams N  --presses N  --readers N  --workers N  --queue N\n\
      \x20       --faults none|harsh|saturating  --overflow stall|drop-newest\n\
      \x20       --throttle-ms N  --watch 1  --cross-stream 1\n\
+     \x20       --synth-mode auto|spectral|wide|row  pin the synthesis arm\n\
      serve: --trace PATH  --metrics PATH    trace: --out PATH    metrics: --out PATH"
 }
 
@@ -528,7 +529,27 @@ fn cmd_health(args: &Args) -> Result<(), String> {
 /// window is streamed to stderr as single-line JSON while the batch
 /// runs. Returns the report plus the reader/worker counts for display.
 fn run_serve_workload(args: &Args) -> Result<(BatchReport, usize, usize), String> {
-    let sim = sim_from(args)?;
+    let mut sim = sim_from(args)?;
+    // pin the synthesis arm regardless of WIFORCE_SYNTH_* env defaults;
+    // "auto" keeps env/heuristic selection. spectral falls back to the
+    // time-domain arm per-reader when the scene is ineligible.
+    match args.get("synth-mode").unwrap_or("auto") {
+        "auto" => {}
+        "spectral" => sim.synth_spectral = Some(true),
+        "wide" => {
+            sim.synth_spectral = Some(false);
+            sim.synth_wide = Some(true);
+        }
+        "row" => {
+            sim.synth_spectral = Some(false);
+            sim.synth_wide = Some(false);
+        }
+        other => {
+            return Err(format!(
+                "--synth-mode '{other}': expected auto|spectral|wide|row"
+            ))
+        }
+    }
     let streams = args.u64_or("streams", 4)?.max(1) as usize;
     let presses = args.u64_or("presses", 4)?.max(1) as usize;
     let readers = args.u64_or("readers", 1)?.max(1) as usize;

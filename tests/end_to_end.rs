@@ -41,6 +41,38 @@ fn both_carriers_estimate_accurately() {
 }
 
 #[test]
+fn spectral_synthesis_estimates_match_paper_bounds() {
+    // the spectral arm draws a different (but statistically identical)
+    // noise realization than the time-domain paths, so its end-to-end
+    // error CDF must land in the same accuracy band — median against the
+    // headline bounds, and the worst grid press bounded too
+    let mut sim = Simulation::paper_default(2.4e9);
+    sim.synth_spectral = Some(true);
+    let model = sim.vna_calibration().expect("calibration");
+    let mut f_errs = Vec::new();
+    let mut l_errs = Vec::new();
+    let mut k = 0u64;
+    for &loc in &[0.025, 0.040, 0.055] {
+        for &force in &[2.0, 4.0, 6.0] {
+            let mut rng = StdRng::seed_from_u64(2 + k * 7877);
+            k += 1;
+            let r = sim
+                .measure_press(&model, force, loc, &mut rng)
+                .expect("press readable");
+            f_errs.push((r.force_n - force).abs());
+            l_errs.push((r.location_m - loc).abs() * 1e3);
+        }
+    }
+    let (f_med, l_med) = (median(&f_errs), median(&l_errs));
+    assert!(f_med < 0.9, "spectral median force error {f_med} N");
+    assert!(l_med < 1.6, "spectral median location error {l_med} mm");
+    let f_max = f_errs.iter().cloned().fold(0.0f64, f64::max);
+    let l_max = l_errs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(f_max < 2.5, "spectral worst force error {f_max} N");
+    assert!(l_max < 6.0, "spectral worst location error {l_max} mm");
+}
+
+#[test]
 fn survives_harsh_fault_injection() {
     // dropped snapshots, tag clock offset, interference bursts — the
     // pipeline must keep estimating, if less precisely
